@@ -1,0 +1,47 @@
+"""Headline textual claims (Sections III-B and IV) — paper vs measured."""
+
+import pytest
+
+from repro.analysis.claims import build_claims, render_claims
+from repro.core.config import OISAConfig
+from repro.core.mapping import ConvWorkload, macs_per_cycle, plan_convolution
+
+
+@pytest.fixture(scope="module")
+def claims():
+    return build_claims(include_fig9=True)
+
+
+def test_all_headline_claims_hold(claims, save_artifact):
+    """Every measured claim lands within its declared tolerance."""
+    save_artifact("claims_paper_vs_measured.txt", render_claims(claims))
+    failing = [claim.name for claim in claims if not claim.holds]
+    assert failing == [], f"claims out of tolerance: {failing}"
+
+
+def test_exact_structural_claims(claims):
+    """The zero-tolerance claims are bit-exact."""
+    exact = {claim.name: claim for claim in claims if claim.tolerance == 0.0}
+    assert exact["MACs/cycle K=3"].measured_value == 3600
+    assert exact["MACs/cycle K=5"].measured_value == 2000
+    assert exact["MACs/cycle K=7"].measured_value == 3920
+    assert exact["total MRs"].measured_value == 4000
+    assert exact["weight mapping iterations"].measured_value == 100
+
+
+def test_bench_claims_structural(benchmark):
+    """Hot path: the mapping arithmetic behind the claims."""
+    cfg = OISAConfig()
+
+    def measure():
+        return tuple(macs_per_cycle(cfg, k) for k in (3, 5, 7))
+
+    assert benchmark(measure) == (3600, 2000, 3920)
+
+
+def test_bench_mapping_planner(benchmark):
+    """Hot path: planning a first-layer workload onto the OPC."""
+    cfg = OISAConfig()
+    workload = ConvWorkload(3, 64, 3, 128, 128, padding=1)
+    plan = benchmark(plan_convolution, cfg, workload)
+    assert plan.mapping_rounds == 1

@@ -1,0 +1,43 @@
+"""Fig. 4(b): AWC transient staircase — regeneration + kernel benchmark."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.fig4 import build_fig4, render_fig4
+from repro.circuits.awc import AwcCircuit, AwcDesign
+
+
+@pytest.fixture(scope="module")
+def fig4_data():
+    return build_fig4()
+
+
+def test_fig4_regenerates_paper_staircase(fig4_data, save_artifact):
+    """The paper's figure: 16 monotone current levels spanning ~0-400 uA."""
+    save_artifact("fig4_awc_staircase.txt", render_fig4(fig4_data))
+    assert fig4_data.num_levels == 16
+    assert fig4_data.monotonic
+    assert 330 < fig4_data.max_current_ua < 430
+    # The transient covers the paper's 16 ns window.
+    assert fig4_data.times_ns[-1] == pytest.approx(16.0)
+
+
+def test_fig4_converter_quality(fig4_data):
+    """DNL stays well under 1 LSB — no missing codes at 4 bits."""
+    assert np.abs(fig4_data.dnl_lsb).max() < 1.0
+    assert np.abs(fig4_data.inl_lsb).max() < 1.0
+
+
+def test_bench_awc_staircase_transient(benchmark):
+    """Hot path: the full 16-code transient sweep."""
+    circuit = AwcCircuit(AwcDesign(), seed=7)
+    result = benchmark(circuit.staircase_transient)
+    assert result["Ituning"].max() > 300e-6
+
+
+def test_bench_awc_level_lookup(benchmark):
+    """Hot path: vectorised code -> current conversion (used per mapping)."""
+    circuit = AwcCircuit(AwcDesign(), seed=7)
+    codes = np.random.default_rng(0).integers(0, 16, size=4000)
+    levels = benchmark(circuit.level_current_a, codes)
+    assert levels.shape == (4000,)

@@ -1,0 +1,43 @@
+"""Fig. 8: VAM thresholding transient — regeneration + kernel benchmark."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.fig8 import build_fig8, render_fig8
+from repro.circuits.vam import VamCircuit
+from repro.core.vam import ActivationModulator
+
+
+@pytest.fixture(scope="module")
+def fig8_data():
+    return build_fig8()
+
+
+def test_fig8_regenerates_paper_waveforms(fig8_data, save_artifact):
+    """The paper's observation: Out1 -> (1,1), Out2 -> (1,0), Out3 -> (0,0)."""
+    save_artifact("fig8_vam_thresholding.txt", render_fig8(fig8_data))
+    assert fig8_data.symbols == [2, 1, 0]
+    assert fig8_data.t1 == [1, 1, 0]
+    assert fig8_data.t2 == [1, 0, 0]
+
+
+def test_fig8_voltage_windows(fig8_data):
+    """Out2 sits between the 0.16 V and 0.32 V references, as printed."""
+    assert fig8_data.pixel_voltages_v[0] > 0.32
+    assert 0.16 < fig8_data.pixel_voltages_v[1] < 0.32
+    assert fig8_data.pixel_voltages_v[2] < 0.16
+
+
+def test_bench_vam_transient(benchmark):
+    """Hot path: the three-pixel 40 ns transient."""
+    vam = VamCircuit()
+    result = benchmark(vam.threshold_transient)
+    assert "Out3t2" in result
+
+
+def test_bench_frame_ternary_encode(benchmark):
+    """Hot path: ternary-encoding a full 128x128x3 frame (per-frame cost)."""
+    modulator = ActivationModulator()
+    frame = np.random.default_rng(0).uniform(0, 1, (3, 128, 128))
+    symbols = benchmark(modulator.encode, frame)
+    assert symbols.shape == (3, 128, 128)

@@ -1,0 +1,66 @@
+"""Fig. 9: power comparison across platforms — regeneration + benchmarks."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.fig9 import build_fig9, render_fig9
+from repro.baselines import AsicAccelerator, CrosslightAccelerator
+from repro.core.config import OISAConfig
+from repro.core.energy import OISAEnergyModel, default_plan, resnet18_first_layer_workload
+
+
+@pytest.fixture(scope="module")
+def fig9_data():
+    return build_fig9()
+
+
+def test_fig9_regenerates_paper_series(fig9_data, save_artifact):
+    """OISA lowest at every bit config; reductions near 8.3x/7.9x/18.4x."""
+    save_artifact("fig9_power_comparison.txt", render_fig9(fig9_data))
+    oisa = np.asarray(fig9_data.power_w["OISA"])
+    for name in ("Crosslight", "AppCip", "ASIC"):
+        assert np.all(np.asarray(fig9_data.power_w[name]) > oisa)
+    assert fig9_data.reductions_vs_oisa["Crosslight"] == pytest.approx(8.3, rel=0.25)
+    assert fig9_data.reductions_vs_oisa["AppCip"] == pytest.approx(7.9, rel=0.25)
+    assert fig9_data.reductions_vs_oisa["ASIC"] == pytest.approx(18.4, rel=0.25)
+
+
+def test_fig9_breakdown_attribution(fig9_data):
+    """The paper's reading: the gap comes from ADC/DAC elimination."""
+    crosslight = fig9_data.breakdowns["Crosslight"][-1]  # [4,2]
+    converter_share = (crosslight["adc"] + crosslight["dac"]) / sum(
+        crosslight.values()
+    )
+    assert converter_share > 0.5
+    oisa = fig9_data.breakdowns["OISA"][-1]
+    assert "adc" not in oisa and "dac" not in oisa
+
+
+def test_bench_fig9_full_sweep(benchmark):
+    """Regenerating the whole figure (4 platforms x 4 bit configs)."""
+    data = benchmark(build_fig9)
+    assert len(data.power_w["OISA"]) == 4
+
+
+def test_bench_oisa_average_power(benchmark):
+    """Hot path: one OISA average-power evaluation."""
+    model = OISAEnergyModel(OISAConfig())
+    plan = default_plan()
+    breakdown = benchmark(model.average_power_w, plan)
+    assert breakdown.total > 0.0
+
+
+def test_bench_crosslight_power(benchmark):
+    """Hot path: one Crosslight power evaluation."""
+    crosslight = CrosslightAccelerator()
+    workload = resnet18_first_layer_workload()
+    breakdown = benchmark(crosslight.average_power_w, workload, 4)
+    assert breakdown.total > 0.0
+
+
+def test_bench_asic_power(benchmark):
+    """Hot path: one ASIC power evaluation."""
+    asic = AsicAccelerator()
+    workload = resnet18_first_layer_workload()
+    breakdown = benchmark(asic.average_power_w, workload, 4)
+    assert breakdown.total > 0.0

@@ -1,0 +1,54 @@
+"""Table I: PIS/PNS comparison — regeneration + benchmarks."""
+
+import pytest
+
+from repro.analysis.table1 import build_oisa_row, build_table1, render_table1
+from repro.core.accelerator import OISAAccelerator
+
+import numpy as np
+
+
+@pytest.fixture(scope="module")
+def table1_data():
+    return build_table1()
+
+
+def test_table1_regenerates(table1_data, save_artifact):
+    """All ten literature rows plus the measured OISA row."""
+    save_artifact("table1_comparison.txt", render_table1(table1_data))
+    assert len(table1_data.literature) == 10
+    row = table1_data.oisa_row
+    assert row["frame_rate_fps"] == "1000"
+    assert float(row["efficiency_tops_per_watt"]) == pytest.approx(6.68, rel=0.03)
+
+
+def test_table1_oisa_power_band(table1_data):
+    """Measured Table-I power falls inside the paper's 0.12-0.34 mW band."""
+    power_mw = float(table1_data.oisa_row["power_mw"])
+    assert 0.1 < power_mw < 0.4
+
+
+def test_table1_oisa_wins_cnn_efficiency(table1_data):
+    """OISA is the most efficient first-layer-CNN platform in the table."""
+    measured = float(table1_data.oisa_row["efficiency_tops_per_watt"])
+    for design in table1_data.literature:
+        if design.purpose == "1st-layer CNN":
+            assert measured > design.efficiency_upper()
+
+
+def test_bench_table1_build(benchmark):
+    """Regenerating the measured OISA row from the architecture model."""
+    row = benchmark(build_oisa_row)
+    assert row["array_size"] == "128x128"
+
+
+def test_bench_full_frame_first_layer(benchmark):
+    """Hot path behind the table: one full 128x128 frame through the OPC."""
+    oisa = OISAAccelerator(seed=0)
+    weights = np.random.default_rng(0).normal(size=(64, 3, 3, 3)) * 0.1
+    oisa.program_conv(weights, padding=1)
+    frame = np.random.default_rng(1).uniform(0, 1, (3, 128, 128))
+    oisa.process_frame(frame)  # pay the mapping frame outside the timer
+
+    result = benchmark(oisa.process_frame, frame)
+    assert result.features.shape == (64, 128, 128)

@@ -1,0 +1,35 @@
+"""Shared benchmark fixtures and artifact output.
+
+Every ``bench_*`` module regenerates one of the paper's tables/figures.
+Rendered text artifacts are written to ``benchmarks/output/`` so a bench
+run leaves the same deliverables the paper prints.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+OUTPUT_DIR = os.path.join(os.path.dirname(__file__), "output")
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> str:
+    """Directory collecting the rendered table/figure artifacts."""
+    os.makedirs(OUTPUT_DIR, exist_ok=True)
+    return OUTPUT_DIR
+
+
+@pytest.fixture(scope="session")
+def save_artifact(artifact_dir):
+    """Write (and echo) a rendered artifact."""
+
+    def _save(name: str, text: str) -> str:
+        path = os.path.join(artifact_dir, name)
+        with open(path, "w") as handle:
+            handle.write(text + "\n")
+        print(f"\n{text}\n[artifact saved to {path}]")
+        return path
+
+    return _save

@@ -1,0 +1,44 @@
+"""Regenerate the paper's Table II at full fidelity.
+
+Trains every (dataset, [W:A]) cell with the ``full`` settings preset
+(larger synthetic datasets, wider networks, more epochs) and prints the
+accuracy table next to the paper's reported rows.  Expect tens of minutes
+on a laptop CPU; results are cached in ``.table2_full_cache.json`` so
+interrupted runs resume.
+
+For a quick look use the benchmark instead::
+
+    pytest benchmarks/bench_table2_accuracy.py --benchmark-only
+
+Usage::
+
+    python examples/table2_full.py [fast|full]
+"""
+
+import sys
+
+from repro.analysis.table2 import build_table2, ordering_checks, render_table2
+from repro.sim.accuracy import Table2Settings
+
+
+def main() -> None:
+    preset = sys.argv[1] if len(sys.argv) > 1 else "full"
+    if preset == "fast":
+        settings = Table2Settings.fast()
+        cache = ".table2_fast_cache.json"
+    else:
+        settings = Table2Settings.full()
+        cache = ".table2_full_cache.json"
+
+    print(f"running Table II with the {preset!r} preset "
+          f"(epochs={settings.epochs}, scale={settings.dataset_scale}) ...")
+    data = build_table2(settings=settings, cache_path=cache)
+    print(render_table2(data))
+
+    print("\nqualitative checks (the paper's Table II claims):")
+    for name, holds in ordering_checks(data).items():
+        print(f"  {name:32s}: {'holds' if holds else 'VIOLATED'}")
+
+
+if __name__ == "__main__":
+    main()

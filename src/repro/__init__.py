@@ -1,0 +1,54 @@
+"""OISA reproduction: Optical In-Sensor Accelerator (DATE 2024).
+
+A full-system, device-to-architecture reproduction of Morsali et al.,
+*"OISA: Architecting an Optical In-Sensor Accelerator for Efficient Visual
+Computing"* — see DESIGN.md for the system inventory and EXPERIMENTS.md for
+paper-vs-measured results.
+
+Quick start::
+
+    import numpy as np
+    from repro import OISAAccelerator
+
+    oisa = OISAAccelerator(seed=0)
+    weights = np.random.default_rng(0).normal(size=(64, 3, 3, 3)) * 0.1
+    oisa.program_conv(weights, padding=1)
+    frame = np.random.default_rng(1).uniform(0, 1, (3, 128, 128))
+    result = oisa.process_frame(frame)
+    print(result.features.shape, oisa.performance_summary())
+
+Subpackages
+-----------
+``repro.core``
+    The paper's contribution: config, mapping, OPC, VAM, AWC, VOM,
+    controller, energy model, accelerator facade.
+``repro.photonics`` / ``repro.circuits``
+    Device substrates (microrings, VCSELs, photodiodes; pixels, sense
+    amps, the AWC ladder) replacing Lumerical / Cadence.
+``repro.nn`` / ``repro.datasets``
+    NumPy QAT deep-learning substrate and synthetic dataset stand-ins
+    replacing PyTorch / torchvision.
+``repro.baselines``
+    Crosslight-like, AppCiP-like and DaDianNao-like comparators plus the
+    Table I literature registry.
+``repro.sim`` / ``repro.analysis``
+    The in-house latency/power simulator, the Fig. 7 accuracy loop, and
+    one harness per paper table/figure.
+"""
+
+from repro.core import (
+    OISAAccelerator,
+    OISAConfig,
+    OISAEnergyModel,
+    OpticalProcessingCore,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "OISAAccelerator",
+    "OISAConfig",
+    "OISAEnergyModel",
+    "OpticalProcessingCore",
+    "__version__",
+]

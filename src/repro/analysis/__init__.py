@@ -1,0 +1,34 @@
+"""Experiment harnesses: one module per paper table/figure plus claims.
+
+Each module exposes a ``build_*`` function returning plain data (so tests
+and benchmarks can assert on it) and a ``render_*`` function producing the
+text artifact the paper's table/figure corresponds to.
+"""
+
+from repro.analysis.claims import build_claims, render_claims
+from repro.analysis.fig4 import build_fig4, render_fig4
+from repro.analysis.fig8 import build_fig8, render_fig8
+from repro.analysis.fig9 import build_fig9, render_fig9
+from repro.analysis.report import generate_report, write_report
+from repro.analysis.sweeps import pareto_front, sweep_design_space
+from repro.analysis.table1 import build_table1, render_table1
+from repro.analysis.table2 import build_table2, render_table2
+
+__all__ = [
+    "build_claims",
+    "build_fig4",
+    "build_fig8",
+    "build_fig9",
+    "build_table1",
+    "build_table2",
+    "generate_report",
+    "pareto_front",
+    "render_claims",
+    "render_fig4",
+    "render_fig8",
+    "render_fig9",
+    "render_table1",
+    "render_table2",
+    "sweep_design_space",
+    "write_report",
+]

@@ -1,0 +1,111 @@
+"""The paper's headline textual claims, measured against the model.
+
+Collected from Sections III-B and IV:
+
+* MACs per cycle: 3600 / 2000 / 3920 for K = 3 / 5 / 7;
+* 4000 MRs, 400 arms, 100 weight-mapping iterations;
+* 55.8 ps architecture-wide MAC -> ~7.1 TOp/s peak;
+* 6.68 TOp/s/W efficiency;
+* 1.92 mm^2 area; 1000 FPS;
+* power reductions vs Crosslight / AppCiP / ASIC: 8.3x / 7.9x / 18.4x.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.fig9 import build_fig9
+from repro.core.config import OISAConfig
+from repro.core.energy import OISAEnergyModel, default_plan
+from repro.core.mapping import macs_per_cycle
+from repro.util.tables import format_table
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One paper claim with its measured counterpart."""
+
+    name: str
+    paper_value: float
+    measured_value: float
+    tolerance: float  # relative
+
+    @property
+    def relative_error(self) -> float:
+        """|measured - paper| / |paper|."""
+        if self.paper_value == 0:
+            return abs(self.measured_value)
+        return abs(self.measured_value - self.paper_value) / abs(self.paper_value)
+
+    @property
+    def holds(self) -> bool:
+        """Whether the measurement is within tolerance of the paper."""
+        return self.relative_error <= self.tolerance
+
+
+def build_claims(config: OISAConfig | None = None, include_fig9: bool = True) -> list[Claim]:
+    """Measure every headline claim."""
+    cfg = config or OISAConfig()
+    model = OISAEnergyModel(cfg)
+    claims = [
+        Claim("total MRs", 4000, cfg.total_mrs, 0.0),
+        Claim("total arms", 400, cfg.total_arms, 0.0),
+        Claim("weight mapping iterations", 100, cfg.weight_mapping_iterations, 0.0),
+        Claim("MACs/cycle K=3", 3600, macs_per_cycle(cfg, 3), 0.0),
+        Claim("MACs/cycle K=5", 2000, macs_per_cycle(cfg, 5), 0.0),
+        Claim("MACs/cycle K=7", 3920, macs_per_cycle(cfg, 7), 0.0),
+        Claim("peak throughput [TOp/s]", 7.1, model.peak_throughput_ops() / 1e12, 0.05),
+        Claim("efficiency [TOp/s/W]", 6.68, model.efficiency_tops_per_watt(), 0.05),
+        Claim("area [mm^2]", 1.92, model.area_mm2().total, 0.05),
+        Claim("frame rate [FPS]", 1000, cfg.frame_rate_hz, 0.0),
+    ]
+    plan = default_plan(cfg)
+    electronics_mw = model.electronics_power_w(plan) * 1e3
+    # Paper's Table I power band is 0.12-0.34 mW; compare to the midpoint
+    # with a band-sized tolerance.
+    claims.append(Claim("Table I power [mW]", 0.23, electronics_mw, 0.5))
+    if include_fig9:
+        fig9 = build_fig9(cfg)
+        claims.extend(
+            [
+                Claim(
+                    "power reduction vs Crosslight",
+                    8.3,
+                    fig9.reductions_vs_oisa["Crosslight"],
+                    0.25,
+                ),
+                Claim(
+                    "power reduction vs AppCiP",
+                    7.9,
+                    fig9.reductions_vs_oisa["AppCip"],
+                    0.25,
+                ),
+                Claim(
+                    "power reduction vs ASIC",
+                    18.4,
+                    fig9.reductions_vs_oisa["ASIC"],
+                    0.25,
+                ),
+            ]
+        )
+    return claims
+
+
+def render_claims(claims: list[Claim] | None = None) -> str:
+    """Print the paper-vs-measured claim table."""
+    claims = claims if claims is not None else build_claims()
+    rows = [
+        (
+            claim.name,
+            claim.paper_value,
+            claim.measured_value,
+            f"{claim.relative_error * 100:.1f}%",
+            "yes" if claim.holds else "NO",
+        )
+        for claim in claims
+    ]
+    return format_table(
+        ("claim", "paper", "measured", "rel err", "holds"),
+        rows,
+        title="Headline claims — paper vs measured",
+    )

@@ -1,0 +1,135 @@
+"""Fig. 9: normalized power of OISA / Crosslight / AppCiP / ASIC.
+
+Sweeps the [Weight, Activation] bit-width configurations [1,2]..[4,2] on
+the paper's scenario (1st layer of ResNet-18 behind a 128x128 sensor at
+1000 FPS) and reports per-platform totals plus the component breakdowns the
+figure's two right panels show (ADC/DAC for Crosslight vs AWC/VAM for
+OISA).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import OISAConfig
+from repro.core.energy import OISAEnergyModel, resnet18_first_layer_workload
+from repro.core.mapping import plan_convolution
+from repro.sim.simulator import InHouseSimulator
+from repro.util.tables import format_table
+
+#: The x-axis of Fig. 9.
+BIT_CONFIGS: tuple[tuple[int, int], ...] = ((1, 2), (2, 2), (3, 2), (4, 2))
+
+
+@dataclass(frozen=True)
+class Fig9Data:
+    """Per-platform power series and breakdowns."""
+
+    bit_configs: tuple[tuple[int, int], ...]
+    power_w: dict[str, list[float]]
+    breakdowns: dict[str, list[dict[str, float]]]
+    reductions_vs_oisa: dict[str, float] = field(default_factory=dict)
+
+    def average_reduction(self, platform: str) -> float:
+        """Mean power ratio platform/OISA over the bit sweep."""
+        oisa = np.asarray(self.power_w["OISA"])
+        other = np.asarray(self.power_w[platform])
+        return float(np.mean(other / oisa))
+
+
+def build_fig9(config: OISAConfig | None = None) -> Fig9Data:
+    """Regenerate the Fig. 9 sweep."""
+    cfg = config or OISAConfig()
+    simulator = InHouseSimulator(cfg)
+    workload = resnet18_first_layer_workload(cfg)
+
+    power: dict[str, list[float]] = {
+        "OISA": [],
+        "Crosslight": [],
+        "AppCip": [],
+        "ASIC": [],
+    }
+    breakdowns: dict[str, list[dict[str, float]]] = {
+        name: [] for name in power
+    }
+    for weight_bits, activation_bits in BIT_CONFIGS:
+        oisa = simulator.simulate_oisa_conv(workload, weight_bits)
+        power["OISA"].append(oisa.average_power_w)
+        breakdowns["OISA"].append(dict(oisa.breakdown.components))
+        for platform in ("crosslight", "appcip", "asic"):
+            report = simulator.simulate_baseline(
+                platform, workload, weight_bits, activation_bits
+            )
+            power[report.platform].append(report.average_power_w)
+            breakdowns[report.platform].append(dict(report.breakdown.components))
+
+    data = Fig9Data(
+        bit_configs=BIT_CONFIGS, power_w=power, breakdowns=breakdowns
+    )
+    reductions = {
+        name: data.average_reduction(name)
+        for name in ("Crosslight", "AppCip", "ASIC")
+    }
+    return Fig9Data(
+        bit_configs=BIT_CONFIGS,
+        power_w=power,
+        breakdowns=breakdowns,
+        reductions_vs_oisa=reductions,
+    )
+
+
+def render_fig9(data: Fig9Data | None = None) -> str:
+    """Print the Fig. 9 series (log-scale power) and breakdowns."""
+    data = data or build_fig9()
+    headers = ["platform"] + [f"[{w},{a}] power [mW]" for w, a in data.bit_configs]
+    rows = []
+    for platform, series in data.power_w.items():
+        rows.append([platform] + [value * 1e3 for value in series])
+    table = format_table(
+        headers, rows, title="Fig. 9 — average power, ResNet-18 1st layer @1000 FPS"
+    )
+
+    reduction_rows = [
+        (name, data.reductions_vs_oisa[name], paper)
+        for name, paper in (
+            ("Crosslight", 8.3),
+            ("AppCip", 7.9),
+            ("ASIC", 18.4),
+        )
+    ]
+    reductions = format_table(
+        ("platform", "measured avg reduction vs OISA", "paper"),
+        reduction_rows,
+        title="\nAverage power reduction of OISA",
+    )
+
+    def breakdown_table(platform: str, label: str) -> str:
+        names = sorted(
+            {key for entry in data.breakdowns[platform] for key in entry}
+        )
+        rows = []
+        for name in names:
+            rows.append(
+                [name]
+                + [
+                    entry.get(name, 0.0) * 1e3
+                    for entry in data.breakdowns[platform]
+                ]
+            )
+        return format_table(
+            ["component"] + [f"[{w},{a}] mW" for w, a in data.bit_configs],
+            rows,
+            title=label,
+        )
+
+    oisa_breakdown = breakdown_table(
+        "OISA", "\nOISA breakdown (AWC/VAM replace the converters)"
+    )
+    crosslight_breakdown = breakdown_table(
+        "Crosslight", "\nCrosslight breakdown (ADC/DAC dominate)"
+    )
+    return "\n".join(
+        [table, reductions, oisa_breakdown, crosslight_breakdown]
+    )

@@ -1,0 +1,83 @@
+"""One-shot reproduction report: every artifact in a single document.
+
+``generate_report`` regenerates the cheap artifacts (Fig. 4, Fig. 8,
+Fig. 9, Table I, headline claims) and, when a Table II cache exists, folds
+the accuracy table in too.  The benchmarks write individual artifacts; this
+is the "give me the whole reproduction as one file" entry point.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.analysis.claims import build_claims, render_claims
+from repro.analysis.fig4 import render_fig4
+from repro.analysis.fig8 import render_fig8
+from repro.analysis.fig9 import build_fig9, render_fig9
+from repro.analysis.table1 import render_table1
+from repro.analysis.table2 import build_table2, render_table2
+from repro.sim.accuracy import Table2Settings
+
+
+def generate_report(
+    table2_cache: str | None = None,
+    table2_datasets: tuple[str, ...] | None = None,
+) -> str:
+    """Assemble the full reproduction report as markdown-ish text.
+
+    Parameters
+    ----------
+    table2_cache:
+        Path to a Table II result cache.  When the file exists, the cached
+        accuracy table is included (cells missing from the cache would
+        trigger training, so the section is skipped when the file is
+        absent).
+    table2_datasets:
+        Dataset subset for the Table II section (defaults to all four).
+    """
+    sections = [
+        "# OISA reproduction report",
+        "",
+        "## Headline claims",
+        "",
+        render_claims(build_claims(include_fig9=True)),
+        "",
+        "## Fig. 4(b) — AWC staircase",
+        "",
+        render_fig4(),
+        "",
+        "## Fig. 8 — VAM thresholding",
+        "",
+        render_fig8(),
+        "",
+        "## Fig. 9 — power comparison",
+        "",
+        render_fig9(build_fig9()),
+        "",
+        "## Table I — PIS/PNS comparison",
+        "",
+        render_table1(),
+    ]
+    if table2_cache and os.path.exists(table2_cache):
+        datasets = table2_datasets or ("mnist", "svhn", "cifar10", "cifar100")
+        data = build_table2(
+            settings=Table2Settings.fast(),
+            datasets=datasets,
+            cache_path=table2_cache,
+        )
+        sections.extend(["", "## Table II — accuracy", "", render_table2(data)])
+    return "\n".join(sections)
+
+
+def write_report(
+    path: str,
+    table2_cache: str | None = None,
+    table2_datasets: tuple[str, ...] | None = None,
+) -> str:
+    """Write the report to ``path`` and return the path."""
+    text = generate_report(
+        table2_cache=table2_cache, table2_datasets=table2_datasets
+    )
+    with open(path, "w") as handle:
+        handle.write(text + "\n")
+    return path

@@ -1,0 +1,114 @@
+"""Table I: structural/performance comparison of PIS/PNS units vs OISA.
+
+Literature rows come from :mod:`repro.baselines.literature` (the paper
+reports, not re-simulated); the OISA row is generated live from the
+architecture model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.literature import (
+    LITERATURE_DESIGNS,
+    PAPER_OISA_ROW,
+    LiteratureDesign,
+)
+from repro.core.config import OISAConfig
+from repro.core.energy import OISAEnergyModel, default_plan
+from repro.util.tables import format_table
+
+
+@dataclass(frozen=True)
+class Table1Data:
+    """Literature rows plus the measured OISA row."""
+
+    literature: tuple[LiteratureDesign, ...]
+    oisa_row: dict
+    paper_oisa_row: dict
+
+
+def build_oisa_row(config: OISAConfig | None = None) -> dict:
+    """Compute OISA's Table I entries from the architecture model."""
+    cfg = config or OISAConfig()
+    model = OISAEnergyModel(cfg)
+    plan = default_plan(cfg)
+    electronics_mw = model.electronics_power_w(plan) * 1e3
+    return {
+        "technology_nm": 65,
+        "purpose": "1st-layer CNN",
+        "compute_scheme": "entire-array",
+        "has_memory": True,
+        "has_nvm": False,
+        "pixel_size_um": cfg.pixel_pitch_m * 1e6,
+        "array_size": f"{cfg.pixel_rows}x{cfg.pixel_cols}",
+        "frame_rate_fps": f"{cfg.frame_rate_hz:.0f}",
+        "power_mw": f"{electronics_mw:.4f}",
+        "efficiency_tops_per_watt": f"{model.efficiency_tops_per_watt():.2f}",
+    }
+
+
+def build_table1(config: OISAConfig | None = None) -> Table1Data:
+    """Assemble the full Table I."""
+    return Table1Data(
+        literature=LITERATURE_DESIGNS,
+        oisa_row=build_oisa_row(config),
+        paper_oisa_row=PAPER_OISA_ROW,
+    )
+
+
+def render_table1(data: Table1Data | None = None) -> str:
+    """Print Table I with the measured OISA row appended."""
+    data = data or build_table1()
+    headers = (
+        "design",
+        "tech [nm]",
+        "purpose",
+        "scheme",
+        "mem",
+        "NVM",
+        "pixel [um]",
+        "array",
+        "FPS",
+        "power [mW]",
+        "TOp/s/W",
+    )
+    rows = []
+    for design in data.literature:
+        rows.append(
+            (
+                design.reference,
+                design.technology_nm,
+                design.purpose,
+                design.compute_scheme,
+                "yes" if design.has_memory else "no",
+                "yes" if design.has_nvm else "no",
+                design.pixel_size_um,
+                design.array_size,
+                design.frame_rate_fps,
+                design.power_mw,
+                design.efficiency_tops_per_watt,
+            )
+        )
+    for label, row in (
+        ("OISA (measured)", data.oisa_row),
+        ("OISA (paper)", data.paper_oisa_row),
+    ):
+        rows.append(
+            (
+                label,
+                row["technology_nm"],
+                row["purpose"],
+                row["compute_scheme"],
+                "yes" if row["has_memory"] else "no",
+                "yes" if row["has_nvm"] else "no",
+                row["pixel_size_um"],
+                row["array_size"],
+                row["frame_rate_fps"],
+                row["power_mw"],
+                row["efficiency_tops_per_watt"],
+            )
+        )
+    return format_table(
+        headers, rows, title="Table I — PIS/PNS/PIP comparison"
+    )

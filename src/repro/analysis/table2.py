@@ -1,0 +1,145 @@
+"""Table II: classification accuracy across datasets and [W:A] configs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.accuracy import (
+    PAPER_ACCURACY_ROWS,
+    TABLE2_CONFIGS,
+    TABLE2_DATASETS,
+    AccuracyResult,
+    Table2Settings,
+    run_table2,
+)
+from repro.util.tables import format_table
+
+#: Maps our dataset preset names back to the paper's column names.
+_DATASET_LABELS = {
+    "mnist-like": "mnist",
+    "svhn-like": "svhn",
+    "cifar10-like": "cifar10",
+    "cifar100-like": "cifar100",
+}
+
+
+@dataclass(frozen=True)
+class Table2Data:
+    """Measured cells plus the paper's reported rows."""
+
+    results: list[AccuracyResult]
+    paper_rows: dict
+    settings: Table2Settings
+
+    def cell(self, dataset: str, config_label: str) -> AccuracyResult | None:
+        """Look up one measured cell by paper-style keys."""
+        for result in self.results:
+            if (
+                _DATASET_LABELS.get(result.dataset, result.dataset) == dataset
+                and result.config_label == config_label
+            ):
+                return result
+        return None
+
+    def accuracy_matrix(self) -> dict[str, dict[str, float]]:
+        """{config label: {dataset: accuracy%}} of the measured cells."""
+        matrix: dict[str, dict[str, float]] = {}
+        for result in self.results:
+            dataset = _DATASET_LABELS.get(result.dataset, result.dataset)
+            matrix.setdefault(result.config_label, {})[dataset] = (
+                result.reported_accuracy * 100.0
+            )
+        return matrix
+
+
+def build_table2(
+    settings: Table2Settings | None = None,
+    datasets: tuple[str, ...] = TABLE2_DATASETS,
+    cache_path: str | None = None,
+) -> Table2Data:
+    """Regenerate Table II's measured rows."""
+    settings = settings or Table2Settings.fast()
+    results = run_table2(
+        settings=settings, datasets=datasets, cache_path=cache_path
+    )
+    return Table2Data(
+        results=results, paper_rows=PAPER_ACCURACY_ROWS, settings=settings
+    )
+
+
+def render_table2(data: Table2Data) -> str:
+    """Print Table II: measured rows, then the paper's reported rows."""
+    datasets = []
+    for result in data.results:
+        label = _DATASET_LABELS.get(result.dataset, result.dataset)
+        if label not in datasets:
+            datasets.append(label)
+    matrix = data.accuracy_matrix()
+
+    headers = ["configuration"] + [f"{name} [%]" for name in datasets]
+    order = ["baseline", "[4:2]", "[3:2]", "[2:2]", "[1:2]"]
+    rows = []
+    for label in order:
+        if label not in matrix:
+            continue
+        display = label if label == "baseline" else f"OISA{label}"
+        rows.append(
+            [f"{display} (measured)"]
+            + [matrix[label].get(name, float("nan")) for name in datasets]
+        )
+    for name, paper_row in data.paper_rows.items():
+        rows.append(
+            [f"{name} (paper)"]
+            + [paper_row.get(dataset, "-") for dataset in datasets]
+        )
+    table = format_table(
+        headers,
+        rows,
+        title=(
+            "Table II — accuracy on synthetic dataset stand-ins "
+            f"(epochs={data.settings.epochs}, scale={data.settings.dataset_scale})"
+        ),
+    )
+    return table
+
+
+def ordering_checks(data: Table2Data) -> dict[str, bool]:
+    """The qualitative Table II claims, evaluated on measured cells.
+
+    Single-seed QAT runs are noisy (the paper's own table contains
+    inversions: its [2:2] beats its [3:2] on MNIST and CIFAR-100), so the
+    checks assert the *robust* shape rather than strict per-pair
+    orderings:
+
+    * every quantized config loses accuracy vs. the float baseline on
+      average (the analog path costs accuracy);
+    * the 4th weight bit buys no meaningful accuracy over 3 bits — the
+      AWC's fixed-full-scale error floor has eaten the finer grid;
+    * every config keeps a useful fraction of the baseline's accuracy
+      (no configuration is broken by the hardware model).
+    """
+    matrix = data.accuracy_matrix()
+    datasets = sorted(
+        {name for row in matrix.values() for name in row}
+    )
+
+    def mean(label: str) -> float:
+        values = [matrix[label][d] for d in datasets if d in matrix.get(label, {})]
+        return sum(values) / len(values) if values else float("nan")
+
+    checks = {}
+    quantized_labels = [
+        label for label in ("[4:2]", "[3:2]", "[2:2]", "[1:2]") if label in matrix
+    ]
+    if "baseline" in matrix and quantized_labels:
+        checks["quantized_below_baseline"] = all(
+            mean(label) <= mean("baseline") + 0.5 for label in quantized_labels
+        )
+        checks["configs_retain_half_of_baseline"] = all(
+            mean(label) >= 0.5 * mean("baseline") for label in quantized_labels
+        )
+    if "[4:2]" in matrix and "[3:2]" in matrix:
+        checks["no_meaningful_gain_from_4bit"] = (
+            mean("[4:2]") - mean("[3:2]") <= 5.0
+        )
+    return checks

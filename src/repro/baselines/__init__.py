@@ -1,0 +1,29 @@
+"""Comparator accelerators the paper evaluates against.
+
+* :mod:`repro.baselines.crosslight` — CrossLight-like optical PIS [18]:
+  same MR core geometry but half the MRs carry activations, with per-cycle
+  DAC updates and per-output ADC conversions.
+* :mod:`repro.baselines.appcip` — AppCiP-like electronic PIS [13]:
+  in-pixel analog convolution with folded ADC and non-volatile weights.
+* :mod:`repro.baselines.asic` — DaDianNao-like ASIC [29] fed by a
+  conventional image sensor with column ADCs.
+* :mod:`repro.baselines.literature` — the published PIS/PNS rows of
+  Table I.
+
+All three models share the :class:`BaselinePlatform` protocol so the Fig. 9
+harness can sweep them uniformly.
+"""
+
+from repro.baselines.appcip import AppCipAccelerator
+from repro.baselines.asic import AsicAccelerator
+from repro.baselines.crosslight import CrosslightAccelerator
+from repro.baselines.literature import LITERATURE_DESIGNS, LiteratureDesign, table1_rows
+
+__all__ = [
+    "AppCipAccelerator",
+    "AsicAccelerator",
+    "CrosslightAccelerator",
+    "LITERATURE_DESIGNS",
+    "LiteratureDesign",
+    "table1_rows",
+]

@@ -1,0 +1,121 @@
+"""DaDianNao-like ASIC baseline fed by a conventional image sensor.
+
+The paper's third comparator: an 8x8-tile DaDianNao-class digital
+accelerator (45 nm, synthesized with Design Compiler; eDRAM/SRAM via CACTI)
+attached to a conventional 128x128 sensor whose every pixel is digitised by
+column ADCs.  Its costs are the classic cloud-centric ones OISA's intro
+attacks: full-frame conversion, data movement between sensor and
+accelerator, and a digital MAC + memory hierarchy per operation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.circuits.adc_dac import AdcModel
+from repro.core.energy import PowerBreakdown
+from repro.core.mapping import ConvWorkload
+from repro.memarch.cacti import EdramModel, SramModel
+from repro.util.validation import check_in_range, check_positive
+
+
+@dataclass(frozen=True)
+class AsicConfig:
+    """Component parameters of the ASIC + sensor platform (45 nm)."""
+
+    num_tiles: int = 64  # 8 x 8
+    #: Digital MAC energy at 8x8-bit, 45 nm [J].
+    mac_energy_8x8_j: float = 0.32e-12
+    #: Weight/activation SRAM buffers per tile.
+    sram: SramModel = field(
+        default_factory=lambda: SramModel(capacity_bytes=8192, technology_nm=45)
+    )
+    #: Central eDRAM holding activations/weights.
+    edram: EdramModel = field(
+        default_factory=lambda: EdramModel(
+            capacity_bytes=2 * 1024 * 1024, technology_nm=45
+        )
+    )
+    #: Sensor column ADC (8-bit, one conversion per pixel per frame).
+    sensor_adc: AdcModel = field(default_factory=lambda: AdcModel(bits=8))
+    #: Sensor-to-accelerator link energy per byte [J].
+    link_energy_per_byte_j: float = 3.5e-12
+    #: Accelerator clock/control static power [W].
+    static_power_w: float = 6.0e-3
+    #: Operand reuse factor: register files serve this many MACs per SRAM
+    #: read (DaDianNao's NFU pipelines and wide fetches).
+    sram_reuse_factor: float = 16.0
+    #: Register-file access energy per MAC [J].
+    rf_energy_per_mac_j: float = 60e-15
+
+    def __post_init__(self) -> None:
+        check_positive("num_tiles", self.num_tiles)
+        check_positive("mac_energy_8x8_j", self.mac_energy_8x8_j)
+        check_positive("link_energy_per_byte_j", self.link_energy_per_byte_j)
+        check_positive("static_power_w", self.static_power_w)
+
+
+class AsicAccelerator:
+    """Analytical DaDianNao-like ASIC with a conventional sensor front-end."""
+
+    name = "ASIC"
+
+    def __init__(self, config: AsicConfig | None = None) -> None:
+        self.config = config or AsicConfig()
+
+    def mac_energy_j(self, weight_bits: int, activation_bits: int) -> float:
+        """Digital MAC energy scaled by operand widths (multiplier area)."""
+        scale = (weight_bits * activation_bits) / 64.0
+        return self.config.mac_energy_8x8_j * max(scale, 1.0 / 64.0)
+
+    def average_power_w(
+        self,
+        workload: ConvWorkload,
+        weight_bits: int = 4,
+        activation_bits: int = 2,
+        frame_rate_hz: float = 1000.0,
+    ) -> PowerBreakdown:
+        """Average first-layer power by component at a frame rate."""
+        check_in_range("weight_bits", weight_bits, 1, 8)
+        check_positive("frame_rate_hz", frame_rate_hz)
+        cfg = self.config
+
+        num_pixels = (
+            workload.image_height * workload.image_width * workload.in_channels
+        )
+        total_macs = workload.total_macs
+
+        # Sensor: every pixel converted and shipped over the link.
+        energy = {
+            "adc": cfg.sensor_adc.energy_per_conversion_j() * num_pixels,
+            "link": cfg.link_energy_per_byte_j * num_pixels,  # 1 B/pixel
+        }
+
+        # Datapath: one MAC per scalar op; operands staged through register
+        # files with SRAM refills every ``sram_reuse_factor`` MACs.
+        energy["mac"] = self.mac_energy_j(weight_bits, activation_bits) * total_macs
+        energy["rf"] = cfg.rf_energy_per_mac_j * total_macs
+        sram_reads_per_mac = 2.2 / cfg.sram_reuse_factor
+        energy["sram"] = (
+            cfg.sram.read_energy_j() * sram_reads_per_mac / 4.0
+        ) * total_macs
+        # eDRAM traffic: activations in, features out, weights once.
+        outputs = workload.windows_per_channel * workload.num_kernels
+        edram_words = (num_pixels + outputs) / 8.0  # 64-bit words
+        energy["edram"] = cfg.edram.read_energy_j() * edram_words
+
+        breakdown = PowerBreakdown(energy).scaled(frame_rate_hz)
+        # Static/refresh power is rate-independent.
+        return breakdown.merged(
+            PowerBreakdown(
+                {
+                    "static": cfg.static_power_w,
+                    "edram_refresh": cfg.edram.refresh_power_w(),
+                }
+            )
+        )
+
+    def peak_throughput_macs(self, clock_hz: float = 600e6, lanes_per_tile: int = 256) -> float:
+        """Peak scalar MACs/s of the tile array (DaDianNao-class)."""
+        check_positive("clock_hz", clock_hz)
+        return self.config.num_tiles * lanes_per_tile * clock_hz

@@ -1,0 +1,155 @@
+"""CrossLight-like silicon-photonic PIS baseline (paper reference [18]).
+
+Rebuilt "from scratch using the proposed evaluation framework", as the
+paper does: the same 80-bank x 5-arm x 10-MR geometry, the same VCSEL/BPD
+technologies — but with CrossLight's two defining structural differences:
+
+1. **Separate weight and activation banks** — half the MRs carry
+   activations, halving the MAC capacity per cycle;
+2. **Conventional converters** — every activation update needs a DAC in
+   front of its MR, and every arm output needs an ADC, both absent in OISA.
+
+These two differences are exactly what Fig. 9's breakdown attributes the
+power gap to (ADC/DAC bars vs. OISA's AWC/VAM bars).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.circuits.adc_dac import AdcModel, DacModel
+from repro.core.config import OISAConfig
+from repro.core.energy import OISAEnergyModel, PowerBreakdown
+from repro.core.mapping import ConvWorkload, plan_convolution
+from repro.util.validation import check_in_range, check_positive
+
+
+@dataclass(frozen=True)
+class CrosslightConfig:
+    """Structural knobs of the CrossLight-like platform."""
+
+    base: OISAConfig = field(default_factory=OISAConfig)
+    #: External CW comb laser electrical power while computing [W]
+    #: (wall-plug limited; replaces OISA's per-pixel VCSELs).
+    laser_power_w: float = 0.92
+    #: ADC figure-of-merit [J per conversion step].
+    adc_fom_j_per_step: float = 15e-15
+    #: DAC update energy per bit-scaled update [J] at 8 bits.
+    dac_energy_8bit_j: float = 0.95e-12
+    #: Extra ADC resolution above the weight bit-width (dot-product growth).
+    adc_headroom_bits: int = 1
+
+    def __post_init__(self) -> None:
+        check_positive("laser_power_w", self.laser_power_w)
+        check_positive("adc_fom_j_per_step", self.adc_fom_j_per_step)
+        check_positive("dac_energy_8bit_j", self.dac_energy_8bit_j)
+
+
+class CrosslightAccelerator:
+    """Analytical CrossLight-like platform on the shared framework."""
+
+    name = "Crosslight"
+
+    def __init__(self, config: CrosslightConfig | None = None) -> None:
+        self.config = config or CrosslightConfig()
+        self._oisa_energy = OISAEnergyModel(self.config.base)
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @property
+    def weight_arms(self) -> int:
+        """Arms available for weights (half the array)."""
+        return self.config.base.total_arms // 2
+
+    def kernel_slots(self, kernel_size: int) -> int:
+        """Kernel planes resident at once (half of OISA's)."""
+        base = self.config.base
+        from repro.core.mapping import kernels_per_bank
+
+        return (base.num_banks // 2) * kernels_per_bank(base, kernel_size)
+
+    def macs_per_cycle(self, kernel_size: int) -> int:
+        """Per-cycle MAC capacity — half of OISA's (activation banks)."""
+        from repro.core.mapping import macs_per_cycle
+
+        return macs_per_cycle(self.config.base, kernel_size) // 2
+
+    def compute_cycles(self, workload: ConvWorkload) -> int:
+        """Cycles for one frame's first layer with halved slots."""
+        import math
+
+        planes = workload.num_kernels * workload.in_channels
+        rounds = math.ceil(planes / self.kernel_slots(workload.kernel_size))
+        return workload.windows_per_channel * rounds
+
+    # ------------------------------------------------------------------
+    # Converters
+    # ------------------------------------------------------------------
+    def adc(self, weight_bits: int, activation_bits: int = 2) -> AdcModel:
+        """Output ADC sized for the dot-product precision."""
+        bits = weight_bits + activation_bits + self.config.adc_headroom_bits
+        return AdcModel(bits=bits, fom_j_per_step=self.config.adc_fom_j_per_step)
+
+    def dac_update_energy_j(self, bits: int) -> float:
+        """Energy of one DAC update at ``bits`` resolution."""
+        check_in_range("bits", bits, 1, 12)
+        return self.config.dac_energy_8bit_j * (1 << bits) / (1 << 8)
+
+    # ------------------------------------------------------------------
+    # Power
+    # ------------------------------------------------------------------
+    def average_power_w(
+        self,
+        workload: ConvWorkload,
+        weight_bits: int = 4,
+        activation_bits: int = 2,
+        frame_rate_hz: float = 1000.0,
+    ) -> PowerBreakdown:
+        """Average power at a sustained frame rate, by component."""
+        check_in_range("weight_bits", weight_bits, 1, 8)
+        check_positive("frame_rate_hz", frame_rate_hz)
+        base = self.config.base
+        cycles = self.compute_cycles(workload)
+        compute_s = cycles * base.mac_cycle_s
+
+        # Optical path while computing: laser + both banks' tuning + BPDs.
+        optics_peak = (
+            self.config.laser_power_w
+            + 2.0 * self._oisa_energy.tuning_hold_power_w() / 2.0  # both halves tuned
+            + self._oisa_energy.bpd_power_w() / 2.0
+            + OISAEnergyModel.CONTROL_POWER_W
+        )
+        energy = {
+            "laser": self.config.laser_power_w * compute_s,
+            "ted": self._oisa_energy.tuning_hold_power_w() * compute_s,
+            "bpd": (self._oisa_energy.bpd_power_w() / 2.0) * compute_s,
+            "control": OISAEnergyModel.CONTROL_POWER_W * compute_s,
+        }
+        del optics_peak  # folded into the explicit entries above
+
+        # ADC: one conversion per weight-arm output per cycle.
+        conversions = self.weight_arms * cycles
+        adc = self.adc(weight_bits, activation_bits)
+        energy["adc"] = adc.energy_per_conversion_j() * conversions
+
+        # DAC: activations re-programmed every cycle (per active window
+        # wavelength on the activation banks); weights amortized over the
+        # mapping (one update per MR per kernel-set).
+        activation_updates = (
+            (base.num_banks // 2) * workload.kernel_size**2 * cycles
+        )
+        # Activation MRs are driven at an internal precision well above the
+        # 2-bit symbol (CrossLight tunes analog transmission): 8-bit DACs.
+        energy["dac"] = self.dac_update_energy_j(8) * activation_updates
+        weight_updates = base.total_mrs // 2
+        energy["dac"] += self.dac_update_energy_j(max(weight_bits + 4, 8)) * (
+            weight_updates / 30.0  # kernel set reused across ~30 frames
+        )
+
+        energy["misc"] = 0.08e-6  # bias distribution, clocking residue [J]
+        return PowerBreakdown(energy).scaled(frame_rate_hz)
+
+    def peak_throughput_ops(self) -> float:
+        """Arm-level results per second (half of OISA's arms do MACs)."""
+        return self.weight_arms / self.config.base.mac_cycle_s

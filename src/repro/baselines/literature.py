@@ -1,0 +1,200 @@
+"""Published PIS/PNS/PIP designs — the comparison rows of Table I.
+
+Every row reproduces the paper's Table I verbatim (these are *reported*
+numbers from the cited publications, not simulated here); the OISA row is
+generated live from our architecture model by
+:func:`repro.analysis.table1.build_table1`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LiteratureDesign:
+    """One row of Table I."""
+
+    key: str
+    reference: str
+    technology_nm: int | str
+    purpose: str
+    compute_scheme: str
+    has_memory: bool
+    has_nvm: bool
+    pixel_size_um: float
+    array_size: str
+    frame_rate_fps: str
+    power_mw: str
+    efficiency_tops_per_watt: str
+
+    def efficiency_upper(self) -> float:
+        """Upper end of the reported TOp/s/W range (for ranking)."""
+        text = self.efficiency_tops_per_watt.replace(" ", "")
+        part = text.split("-")[-1]
+        return float(part)
+
+
+#: Table I rows for the cited designs (paper's reported values).
+LITERATURE_DESIGNS: tuple[LiteratureDesign, ...] = (
+    LiteratureDesign(
+        key="park_optic_flow",
+        reference="[31] Park et al., ISSCC 2014",
+        technology_nm=180,
+        purpose="2D optic flow est.",
+        compute_scheme="row-wise",
+        has_memory=True,
+        has_nvm=False,
+        pixel_size_um=28.8,
+        array_size="64x64",
+        frame_rate_fps="30",
+        power_mw="0.029",
+        efficiency_tops_per_watt="0.0041",
+    ),
+    LiteratureDesign(
+        key="hsu_feature_extraction",
+        reference="[8] Hsu et al., JSSC 2020",
+        technology_nm=180,
+        purpose="edge/blur/sharpen/1st-layer CNN",
+        compute_scheme="row-wise",
+        has_memory=False,
+        has_nvm=False,
+        pixel_size_um=7.6,
+        array_size="128x128",
+        frame_rate_fps="480",
+        power_mw="sensing: 77 / processing: 91",
+        efficiency_tops_per_watt="0.777",
+    ),
+    LiteratureDesign(
+        key="yamazaki_stp",
+        reference="[9] Yamazaki et al., ISSCC 2017",
+        technology_nm="60/90",
+        purpose="spatial-temporal processing",
+        compute_scheme="row-wise",
+        has_memory=True,
+        has_nvm=False,
+        pixel_size_um=3.5,
+        array_size="1296x976",
+        frame_rate_fps="1000",
+        power_mw="sensing: 230 / processing: 363",
+        efficiency_tops_per_watt="0.386",
+    ),
+    LiteratureDesign(
+        key="macsen",
+        reference="[2] Xu et al. (MACSEN), TCAS-II 2020",
+        technology_nm=180,
+        purpose="1st-layer BNN",
+        compute_scheme="entire-array",
+        has_memory=True,
+        has_nvm=False,
+        pixel_size_um=110.0,
+        array_size="32x32",
+        frame_rate_fps="1000",
+        power_mw="0.0121",
+        efficiency_tops_per_watt="1.32",
+    ),
+    LiteratureDesign(
+        key="scamp_simd",
+        reference="[32] Carey et al., VLSI 2013",
+        technology_nm=180,
+        purpose="edge/thresholding median filter",
+        compute_scheme="row-wise",
+        has_memory=True,
+        has_nvm=False,
+        pixel_size_um=32.6,
+        array_size="256x256",
+        frame_rate_fps="100000",
+        power_mw="1230",
+        efficiency_tops_per_watt="0.535",
+    ),
+    LiteratureDesign(
+        key="pisa",
+        reference="[3] Angizi et al. (PISA), TETC 2023",
+        technology_nm=65,
+        purpose="1st-layer BNN",
+        compute_scheme="entire-array",
+        has_memory=True,
+        has_nvm=True,
+        pixel_size_um=55.0,
+        array_size="128x128",
+        frame_rate_fps="1000",
+        power_mw="sensing: 0.025 / processing: 0.0088",
+        efficiency_tops_per_watt="1.745",
+    ),
+    LiteratureDesign(
+        key="senputing",
+        reference="[12] Xu et al. (Senputing), TCAS-I 2021",
+        technology_nm=180,
+        purpose="1st-layer BNN",
+        compute_scheme="entire-array",
+        has_memory=True,
+        has_nvm=False,
+        pixel_size_um=35.0,
+        array_size="32x32",
+        frame_rate_fps="156",
+        power_mw="0.00014 - 0.00053",
+        efficiency_tops_per_watt="9.4-34.6",
+    ),
+    LiteratureDesign(
+        key="lefebvre_imager",
+        reference="[21] Lefebvre et al., ISSCC 2021",
+        technology_nm=65,
+        purpose="2-64 conv / ROI detection",
+        compute_scheme="row-wise",
+        has_memory=False,
+        has_nvm=False,
+        pixel_size_um=9.0,
+        array_size="160x128",
+        frame_rate_fps="96 - 1072",
+        power_mw="0.042 - 0.206",
+        efficiency_tops_per_watt="0.15-3.64",
+    ),
+    LiteratureDesign(
+        key="song_reconfigurable",
+        reference="[1] Song et al., TCSVT 2022",
+        technology_nm=180,
+        purpose="1st-layer CNN",
+        compute_scheme="entire-array",
+        has_memory=False,
+        has_nvm=False,
+        pixel_size_um=10.0,
+        array_size="128x128",
+        frame_rate_fps="3840",
+        power_mw="0.45 - 1.83",
+        efficiency_tops_per_watt="1.41-3.37",
+    ),
+    LiteratureDesign(
+        key="appcip",
+        reference="[13] Tabrizchi et al. (AppCiP), JETCAS 2023",
+        technology_nm=45,
+        purpose="1st-layer CNN",
+        compute_scheme="entire-array",
+        has_memory=True,
+        has_nvm=True,
+        pixel_size_um=38.0,
+        array_size="32x32",
+        frame_rate_fps="3000",
+        power_mw="0.00096 - 0.0028",
+        efficiency_tops_per_watt="1.37-4.12",
+    ),
+)
+
+
+def table1_rows() -> list[LiteratureDesign]:
+    """All literature rows in the paper's print order."""
+    return list(LITERATURE_DESIGNS)
+
+
+#: The paper's OISA row, kept for paper-vs-measured comparison.
+PAPER_OISA_ROW = {
+    "technology_nm": 65,
+    "purpose": "1st-layer CNN",
+    "compute_scheme": "entire-array",
+    "has_memory": True,
+    "has_nvm": False,
+    "pixel_size_um": 4.5,
+    "array_size": "128x128",
+    "frame_rate_fps": "1000",
+    "power_mw": "0.00012 - 0.00034",
+    "efficiency_tops_per_watt": "6.68",
+}

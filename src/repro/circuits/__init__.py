@@ -1,0 +1,47 @@
+"""Behavioral CMOS circuit substrate (replaces Cadence Spectre / HSPICE).
+
+The paper validates OISA's mixed-signal front-end with SPICE transients on
+the 45 nm NCSU PDK.  This package reproduces the *behaviour* those
+simulations demonstrate with first-order analytic device models driven by a
+fixed-step transient engine:
+
+* :mod:`repro.circuits.transient` — waveform sources, RC dynamics, traces.
+* :mod:`repro.circuits.pixel` — 3T + photodiode active pixel (Fig. 3b).
+* :mod:`repro.circuits.sense_amp` — clocked comparator (Fig. 3c).
+* :mod:`repro.circuits.vam` — full VCSEL Activation Modulator (Fig. 3a/d)
+  producing the Fig. 8 waveforms.
+* :mod:`repro.circuits.awc` — Approximate Weight Converter current ladder
+  producing the Fig. 4(b) staircase.
+* :mod:`repro.circuits.adc_dac` — ADC/DAC energy/area models used only by
+  the *baseline* accelerators (OISA's point is to eliminate them).
+"""
+
+from repro.circuits.adc_dac import AdcModel, DacModel
+from repro.circuits.awc import AwcCircuit, AwcDesign
+from repro.circuits.pixel import PixelDesign, ThreeTransistorPixel
+from repro.circuits.sense_amp import SenseAmplifier
+from repro.circuits.transient import (
+    TransientResult,
+    clock_wave,
+    pulse_wave,
+    rc_settle,
+    time_grid,
+)
+from repro.circuits.vam import VamCircuit, VamDesign
+
+__all__ = [
+    "AdcModel",
+    "AwcCircuit",
+    "AwcDesign",
+    "DacModel",
+    "PixelDesign",
+    "SenseAmplifier",
+    "ThreeTransistorPixel",
+    "TransientResult",
+    "VamCircuit",
+    "VamDesign",
+    "clock_wave",
+    "pulse_wave",
+    "rc_settle",
+    "time_grid",
+]

@@ -1,0 +1,110 @@
+"""ADC / DAC energy, latency and area models — used by *baselines* only.
+
+OISA's central claim is eliminating these converters; the comparison
+platforms (CrossLight-like optical PIS, AppCiP-like electronic PIS, the
+DaDianNao-like ASIC with a conventional sensor) all pay for them.  The
+models follow the standard Walden/Murmann figure-of-merit formulation:
+
+``E_conv = FOM * 2^bits`` per conversion,
+
+with FOM values typical of 45–65 nm SAR converters at sensor-class speeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class AdcModel:
+    """SAR-style ADC energy/latency/area model.
+
+    Defaults are a mid-rate 45 nm SAR: FOM ~ 40 fJ/conversion-step,
+    20 MS/s, with area scaling roughly linearly in 2^bits.
+    """
+
+    bits: int = 8
+    fom_j_per_step: float = 40e-15
+    sample_rate_hz: float = 20e6
+    base_area_um2: float = 1200.0
+    area_per_level_um2: float = 9.0
+    static_power_w: float = 18e-6
+
+    def __post_init__(self) -> None:
+        if self.bits < 1:
+            raise ValueError(f"bits must be >= 1, got {self.bits}")
+        check_positive("fom_j_per_step", self.fom_j_per_step)
+        check_positive("sample_rate_hz", self.sample_rate_hz)
+        check_non_negative("base_area_um2", self.base_area_um2)
+        check_non_negative("area_per_level_um2", self.area_per_level_um2)
+        check_non_negative("static_power_w", self.static_power_w)
+
+    @property
+    def levels(self) -> int:
+        """Quantization levels (2^bits)."""
+        return 1 << self.bits
+
+    def energy_per_conversion_j(self) -> float:
+        """Energy of one conversion [J] (Walden FOM)."""
+        return self.fom_j_per_step * self.levels
+
+    def conversion_time_s(self) -> float:
+        """Time per conversion [s] at the rated sample rate."""
+        return 1.0 / self.sample_rate_hz
+
+    def power_w(self, conversion_rate_hz: float) -> float:
+        """Average power at ``conversion_rate_hz`` conversions per second."""
+        check_non_negative("conversion_rate_hz", conversion_rate_hz)
+        if conversion_rate_hz > self.sample_rate_hz:
+            raise ValueError(
+                f"requested rate {conversion_rate_hz:.3g} Hz exceeds the "
+                f"ADC sample rate {self.sample_rate_hz:.3g} Hz"
+            )
+        return self.static_power_w + self.energy_per_conversion_j() * conversion_rate_hz
+
+    def area_um2(self) -> float:
+        """Layout area estimate [um^2]."""
+        return self.base_area_um2 + self.area_per_level_um2 * self.levels
+
+
+@dataclass(frozen=True)
+class DacModel:
+    """Current-steering DAC model (weight programming in optical baselines).
+
+    CrossLight-style accelerators need one DAC per MR tuning signal; that is
+    precisely the cost OISA's AWC removes (the AWC is ~an order of magnitude
+    cheaper per update because it never builds a full R-2R/current-steering
+    array).
+    """
+
+    bits: int = 8
+    energy_per_update_j: float = 650e-15
+    update_time_s: float = 5e-9
+    base_area_um2: float = 700.0
+    area_per_level_um2: float = 4.0
+    static_power_w: float = 9e-6
+
+    def __post_init__(self) -> None:
+        if self.bits < 1:
+            raise ValueError(f"bits must be >= 1, got {self.bits}")
+        check_positive("energy_per_update_j", self.energy_per_update_j)
+        check_positive("update_time_s", self.update_time_s)
+        check_non_negative("base_area_um2", self.base_area_um2)
+        check_non_negative("area_per_level_um2", self.area_per_level_um2)
+        check_non_negative("static_power_w", self.static_power_w)
+
+    @property
+    def levels(self) -> int:
+        """Output levels (2^bits)."""
+        return 1 << self.bits
+
+    def power_w(self, update_rate_hz: float) -> float:
+        """Average power at ``update_rate_hz`` updates per second."""
+        check_non_negative("update_rate_hz", update_rate_hz)
+        return self.static_power_w + self.energy_per_update_j * update_rate_hz
+
+    def area_um2(self) -> float:
+        """Layout area estimate [um^2]."""
+        return self.base_area_um2 + self.area_per_level_um2 * self.levels

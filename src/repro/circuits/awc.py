@@ -1,0 +1,213 @@
+"""Approximate Weight Converter circuit (paper Fig. 4).
+
+The AWC replaces a per-weight DAC with four binary-width-ratioed PMOS
+branches: weight bit ``w_i`` gates a transistor of width ``2^i * W_unit``,
+and the branch currents sum at the source node, producing up to 16 current
+levels (Fig. 4b) that tune an MR.
+
+Two non-idealities matter to the architecture (and explain the paper's
+observation that the [4:2] configuration is *not* more accurate than
+[3:2]):
+
+* **Branch mismatch** — Pelgrom-style width-dependent random mismatch,
+  frozen per instance (a given chip's AWC always makes the same error).
+* **Level compression** — the summed current saturates slightly at high
+  codes because the shared source node's voltage headroom shrinks, modelled
+  as a quadratic compression term.
+
+Both shrink the usable separation between adjacent levels as the bit count
+grows; at 4 bits neighbouring levels begin to overlap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.circuits.transient import TransientResult, integrate_rc, time_grid
+from repro.util.rng import derive_rng
+from repro.util.units import UA
+from repro.util.validation import check_in_range, check_non_negative, check_positive
+
+#: Maximum weight bit-width the AWC supports (paper: n <= 4).
+MAX_WEIGHT_BITS = 4
+
+
+@dataclass(frozen=True)
+class AwcDesign:
+    """Electrical design parameters of the AWC ladder.
+
+    The MR tuning range pins the *full-scale* current: every bit-width
+    configuration must span the same ~400 uA swing, so an ``n``-bit ladder
+    divides that fixed range into ``2^n`` levels.  This is why higher bit
+    counts are harder: the level spacing shrinks while the absolute error
+    sources (``offset_sigma_a``: switch charge injection and settling
+    residue; branch mismatch; compression) stay put.
+    """
+
+    full_scale_current_a: float = 397.5 * UA
+    num_bits: int = MAX_WEIGHT_BITS
+    mismatch_sigma: float = 0.03
+    offset_sigma_a: float = 3.0 * UA
+    compression_alpha: float = 0.05
+    settle_tau_s: float = 0.18e-9
+    vdd_v: float = 1.0
+    static_power_w: float = 0.9e-6
+    energy_per_update_j: float = 45e-15
+
+    def __post_init__(self) -> None:
+        check_positive("full_scale_current_a", self.full_scale_current_a)
+        check_in_range("num_bits", self.num_bits, 1, MAX_WEIGHT_BITS)
+        check_non_negative("mismatch_sigma", self.mismatch_sigma)
+        check_non_negative("offset_sigma_a", self.offset_sigma_a)
+        check_non_negative("compression_alpha", self.compression_alpha)
+        check_positive("settle_tau_s", self.settle_tau_s)
+        check_positive("vdd_v", self.vdd_v)
+        check_non_negative("static_power_w", self.static_power_w)
+        check_non_negative("energy_per_update_j", self.energy_per_update_j)
+
+    @property
+    def num_levels(self) -> int:
+        """Number of distinct output levels (2^n)."""
+        return 1 << self.num_bits
+
+    @property
+    def unit_current_a(self) -> float:
+        """LSB current: the fixed full-scale split across 2^n - 1 steps."""
+        return self.full_scale_current_a / (self.num_levels - 1)
+
+
+class AwcCircuit:
+    """One AWC instance with frozen per-branch mismatch.
+
+    Parameters
+    ----------
+    design:
+        Ladder design; ``num_bits`` branches with widths ``2^i``.
+    seed:
+        Seeds the mismatch pattern.  Two instances with the same seed are
+        identical devices; different seeds model die-to-die variation.
+    """
+
+    def __init__(self, design: AwcDesign | None = None, seed: int | None = None) -> None:
+        self.design = design or AwcDesign()
+        rng = derive_rng(seed, "awc-branch-mismatch")
+        widths = 2.0 ** np.arange(self.design.num_bits)
+        # Pelgrom: sigma(dI/I) ~ 1/sqrt(W); wider branches match better.
+        sigmas = self.design.mismatch_sigma / np.sqrt(widths)
+        self._branch_gain = 1.0 + rng.normal(0.0, 1.0, self.design.num_bits) * sigmas
+        self._branch_current_a = self.design.unit_current_a * widths * self._branch_gain
+        # Per-code absolute error: charge injection / settling residue of
+        # the specific switch pattern, frozen per device.  Code 0 draws no
+        # current and has no switches toggling, so it stays exact.
+        offsets = rng.normal(0.0, self.design.offset_sigma_a, self.design.num_levels)
+        offsets[0] = 0.0
+        self._level_offset_a = offsets
+
+    # ------------------------------------------------------------------
+    # Static levels
+    # ------------------------------------------------------------------
+    @property
+    def branch_currents_a(self) -> np.ndarray:
+        """Per-branch ON currents [A], including mismatch (LSB first)."""
+        view = self._branch_current_a.view()
+        view.flags.writeable = False
+        return view
+
+    def ideal_level_a(self, code: np.ndarray | int) -> np.ndarray:
+        """Ideal (mismatch-free, uncompressed) level current [A]."""
+        code = self._check_code(code)
+        return np.asarray(code * self.design.unit_current_a)
+
+    def level_current_a(self, code: np.ndarray | int) -> np.ndarray:
+        """Actual output current [A] for digital ``code``.
+
+        Sums the enabled branch currents then applies the compression
+        nonlinearity ``I_out = I (1 - alpha * I / I_fs)``.
+        """
+        code = self._check_code(code)
+        bits = (code[..., None] >> np.arange(self.design.num_bits)) & 1
+        raw = (bits * self._branch_current_a).sum(axis=-1)
+        full_scale = self.design.full_scale_current_a
+        compressed = raw * (1.0 - self.design.compression_alpha * raw / full_scale)
+        return np.asarray(compressed + self._level_offset_a[code])
+
+    def all_levels_a(self) -> np.ndarray:
+        """The full staircase: output current for every code."""
+        return self.level_current_a(np.arange(self.design.num_levels))
+
+    # ------------------------------------------------------------------
+    # Converter-quality metrics
+    # ------------------------------------------------------------------
+    def dnl_lsb(self) -> np.ndarray:
+        """Differential nonlinearity per code step, in LSB units."""
+        levels = self.all_levels_a()
+        lsb = (levels[-1] - levels[0]) / (self.design.num_levels - 1)
+        return np.diff(levels) / lsb - 1.0
+
+    def inl_lsb(self) -> np.ndarray:
+        """Integral nonlinearity per code, in LSB (endpoint-fit)."""
+        levels = self.all_levels_a()
+        codes = np.arange(self.design.num_levels)
+        lsb = (levels[-1] - levels[0]) / (self.design.num_levels - 1)
+        ideal = levels[0] + codes * lsb
+        return (levels - ideal) / lsb
+
+    def monotonic(self) -> bool:
+        """Whether the staircase is strictly increasing (no missing code)."""
+        return bool(np.all(np.diff(self.all_levels_a()) > 0.0))
+
+    def min_level_separation_a(self) -> float:
+        """Smallest gap between adjacent output levels [A]."""
+        return float(np.min(np.diff(np.sort(self.all_levels_a()))))
+
+    # ------------------------------------------------------------------
+    # Transient (Fig. 4b)
+    # ------------------------------------------------------------------
+    def staircase_transient(
+        self,
+        codes: np.ndarray | None = None,
+        dwell_s: float = 1e-9,
+        dt_s: float = 0.01e-9,
+    ) -> TransientResult:
+        """Reproduce Fig. 4(b): sweep codes and record the settling current.
+
+        By default sweeps all 16 codes in the paper's printed order (which
+        walks through every level), holding each for 1 ns over a 16 ns
+        window.
+        """
+        if codes is None:
+            codes = np.arange(self.design.num_levels)
+        codes = np.asarray(codes, dtype=int)
+        duration = dwell_s * len(codes)
+        times = time_grid(duration, dt_s)
+        index = np.minimum((times / dwell_s).astype(int), len(codes) - 1)
+        target = self.level_current_a(codes[index])
+        current = integrate_rc(times, target, self.design.settle_tau_s, initial_v=0.0)
+        result = TransientResult(times_s=times)
+        result.add("code", codes[index].astype(float))
+        result.add("Ituning", current)
+        result.add("Itarget", target)
+        return result
+
+    # ------------------------------------------------------------------
+    # Power accounting
+    # ------------------------------------------------------------------
+    def update_energy_j(self) -> float:
+        """Energy of reprogramming the ladder to a new code."""
+        return self.design.energy_per_update_j
+
+    def average_power_w(self, update_rate_hz: float) -> float:
+        """Static + dynamic power at a given code-update rate."""
+        check_non_negative("update_rate_hz", update_rate_hz)
+        return self.design.static_power_w + self.design.energy_per_update_j * update_rate_hz
+
+    # ------------------------------------------------------------------
+    def _check_code(self, code: np.ndarray | int) -> np.ndarray:
+        code = np.asarray(code, dtype=int)
+        if code.size and (code.min() < 0 or code.max() >= self.design.num_levels):
+            raise ValueError(
+                f"code out of range [0, {self.design.num_levels - 1}]"
+            )
+        return code

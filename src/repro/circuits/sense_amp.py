@@ -1,0 +1,101 @@
+"""Clocked sense amplifier / comparator (paper Fig. 3c).
+
+The VAM uses two StrongARM-style sense amplifiers per pixel column, each
+with its own reference voltage.  On every evaluation edge (``Clk`` low in
+the paper's Fig. 8 convention) the SA regenerates and latches ``VDD`` when
+the input exceeds the reference, otherwise 0.  Between evaluations the
+output holds its last latched value.  A small input-referred offset models
+comparator mismatch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.validation import check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class SenseAmplifier:
+    """Behavioral clocked comparator.
+
+    Parameters
+    ----------
+    reference_v:
+        Threshold the input is compared against.
+    vdd_v:
+        Logic-high output level.
+    offset_v:
+        Static input-referred offset (mismatch); added to the reference.
+    regeneration_time_s:
+        Delay between the evaluation edge and a valid output.
+    energy_per_decision_j:
+        Dynamic energy of one evaluation (used by the power model).
+    """
+
+    reference_v: float
+    vdd_v: float = 1.0
+    offset_v: float = 0.0
+    regeneration_time_s: float = 50e-12
+    energy_per_decision_j: float = 4e-15
+
+    def __post_init__(self) -> None:
+        check_non_negative("reference_v", self.reference_v)
+        check_positive("vdd_v", self.vdd_v)
+        check_positive("regeneration_time_s", self.regeneration_time_s)
+        check_non_negative("energy_per_decision_j", self.energy_per_decision_j)
+
+    def decide(self, input_v: float) -> int:
+        """Single comparison: 1 when ``input_v`` exceeds the threshold."""
+        return int(input_v > self.reference_v + self.offset_v)
+
+    def latch_trace(
+        self,
+        times_s: np.ndarray,
+        input_v: np.ndarray,
+        clk_v: np.ndarray,
+        clk_threshold_v: float = 0.5,
+    ) -> np.ndarray:
+        """Latched output waveform for an input/clock pair.
+
+        The comparator evaluates while ``clk`` is *low* (matching the
+        paper's Fig. 8 timing) and holds while ``clk`` is high.  Output
+        transitions lag the evaluation edge by ``regeneration_time_s``.
+        """
+        times_s = np.asarray(times_s, dtype=float)
+        input_v = np.asarray(input_v, dtype=float)
+        clk_v = np.asarray(clk_v, dtype=float)
+        if not (times_s.shape == input_v.shape == clk_v.shape):
+            raise ValueError("times, input and clk traces must share a shape")
+
+        output = np.zeros_like(input_v)
+        state = 0.0
+        pending_value: float | None = None
+        pending_time = 0.0
+        evaluating_prev = False
+        for index, (t, vin, vclk) in enumerate(zip(times_s, input_v, clk_v)):
+            evaluating = vclk < clk_threshold_v
+            if evaluating and not evaluating_prev:
+                # Falling clock edge: start a regeneration window.
+                pending_value = self.vdd_v * self.decide(vin)
+                pending_time = t + self.regeneration_time_s
+            if evaluating:
+                # Track the input during the low phase (transparent-ish
+                # behaviour, re-evaluating as the input moves).
+                refreshed = self.vdd_v * self.decide(vin)
+                if pending_value is not None and refreshed != pending_value:
+                    pending_value = refreshed
+                    pending_time = t + self.regeneration_time_s
+            if pending_value is not None and t >= pending_time:
+                state = pending_value
+                pending_value = None
+            evaluating_prev = evaluating
+            output[index] = state
+        return output
+
+    def decisions_per_second_power_w(self, rate_hz: float) -> float:
+        """Average power [W] when evaluating at ``rate_hz``."""
+        check_non_negative("rate_hz", rate_hz)
+        return self.energy_per_decision_j * rate_hz

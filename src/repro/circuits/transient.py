@@ -1,0 +1,163 @@
+"""Fixed-step transient simulation primitives.
+
+A deliberately small toolkit: uniform time grids, ideal digital waveform
+generators (clocks and pulses), first-order RC settling, and a result
+container that behaves like a named bundle of traces.  The component models
+(pixel, sense amp, VAM, AWC) build their transients from these pieces, which
+keeps every waveform reproducible and fast enough for property-based tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.util.validation import check_positive
+
+
+def time_grid(duration_s: float, dt_s: float) -> np.ndarray:
+    """Uniform time axis from 0 to ``duration_s`` (inclusive of start).
+
+    The grid contains ``floor(duration/dt) + 1`` points so that waveforms
+    sampled on it cover the full window.
+    """
+    check_positive("duration_s", duration_s)
+    check_positive("dt_s", dt_s)
+    if dt_s > duration_s:
+        raise ValueError(f"dt ({dt_s}) must not exceed duration ({duration_s})")
+    steps = int(round(duration_s / dt_s))
+    return np.arange(steps + 1) * dt_s
+
+
+def clock_wave(
+    times: np.ndarray,
+    period_s: float,
+    high_v: float = 1.0,
+    low_v: float = 0.0,
+    duty: float = 0.5,
+    phase_s: float = 0.0,
+) -> np.ndarray:
+    """Ideal square clock sampled on ``times``."""
+    check_positive("period_s", period_s)
+    if not (0.0 < duty < 1.0):
+        raise ValueError(f"duty must be in (0, 1), got {duty}")
+    phase = np.mod(np.asarray(times, dtype=float) - phase_s, period_s) / period_s
+    return np.where(phase < duty, high_v, low_v)
+
+
+def pulse_wave(
+    times: np.ndarray,
+    start_s: float,
+    stop_s: float,
+    high_v: float = 1.0,
+    low_v: float = 0.0,
+) -> np.ndarray:
+    """Single rectangular pulse active on ``[start_s, stop_s)``."""
+    if stop_s <= start_s:
+        raise ValueError(f"pulse stop ({stop_s}) must follow start ({start_s})")
+    times = np.asarray(times, dtype=float)
+    return np.where((times >= start_s) & (times < stop_s), high_v, low_v)
+
+
+def periodic_pulse_wave(
+    times: np.ndarray,
+    period_s: float,
+    start_s: float,
+    width_s: float,
+    high_v: float = 1.0,
+    low_v: float = 0.0,
+) -> np.ndarray:
+    """Rectangular pulse of ``width_s`` repeated every ``period_s``."""
+    check_positive("period_s", period_s)
+    check_positive("width_s", width_s)
+    if width_s > period_s:
+        raise ValueError("pulse width must not exceed the period")
+    phase = np.mod(np.asarray(times, dtype=float) - start_s, period_s)
+    return np.where(phase < width_s, high_v, low_v)
+
+
+def rc_settle(
+    times: np.ndarray,
+    initial_v: float,
+    target_v: float,
+    tau_s: float,
+    start_s: float = 0.0,
+) -> np.ndarray:
+    """First-order exponential settling from ``initial_v`` to ``target_v``.
+
+    Before ``start_s`` the trace holds ``initial_v``.
+    """
+    check_positive("tau_s", tau_s)
+    times = np.asarray(times, dtype=float)
+    elapsed = np.clip(times - start_s, 0.0, None)
+    value = target_v + (initial_v - target_v) * np.exp(-elapsed / tau_s)
+    return np.where(times < start_s, initial_v, value)
+
+
+def integrate_rc(
+    times: np.ndarray,
+    target: np.ndarray,
+    tau_s: float,
+    initial_v: float = 0.0,
+) -> np.ndarray:
+    """Numerically track a time-varying target through an RC time constant.
+
+    Forward-Euler integration of ``dv/dt = (target - v) / tau``; used when a
+    node follows a waveform (e.g. the AWC output settling to a changing
+    current level) rather than a single constant.
+    """
+    check_positive("tau_s", tau_s)
+    times = np.asarray(times, dtype=float)
+    target = np.asarray(target, dtype=float)
+    if target.shape != times.shape:
+        raise ValueError("target waveform must match the time grid shape")
+    output = np.empty_like(target)
+    value = initial_v
+    previous_t = times[0]
+    for index, (t, goal) in enumerate(zip(times, target)):
+        dt = t - previous_t
+        if dt > 0:
+            alpha = 1.0 - np.exp(-dt / tau_s)
+            value = value + (goal - value) * alpha
+        output[index] = value
+        previous_t = t
+    return output
+
+
+@dataclass
+class TransientResult:
+    """Named bundle of waveforms on a shared time grid."""
+
+    times_s: np.ndarray
+    signals: dict[str, np.ndarray] = field(default_factory=dict)
+
+    def add(self, name: str, waveform: np.ndarray) -> None:
+        """Attach a waveform; it must match the time-grid length."""
+        waveform = np.asarray(waveform)
+        if waveform.shape != self.times_s.shape:
+            raise ValueError(
+                f"waveform {name!r} has shape {waveform.shape}, "
+                f"expected {self.times_s.shape}"
+            )
+        self.signals[name] = waveform
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self.signals[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.signals
+
+    def names(self) -> list[str]:
+        """Signal names in insertion order."""
+        return list(self.signals)
+
+    def sample(self, name: str, time_s: float) -> float:
+        """Value of ``name`` at the grid point nearest ``time_s``."""
+        index = int(np.argmin(np.abs(self.times_s - time_s)))
+        return float(self.signals[name][index])
+
+    def window(self, name: str, start_s: float, stop_s: float) -> np.ndarray:
+        """Slice of ``name`` over ``[start_s, stop_s)``."""
+        mask = (self.times_s >= start_s) & (self.times_s < stop_s)
+        return self.signals[name][mask]

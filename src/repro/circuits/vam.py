@@ -1,0 +1,176 @@
+"""VCSEL Activation Modulator circuit (paper Fig. 3a/3d, waveforms Fig. 8).
+
+The VAM chains together:
+
+* a :class:`~repro.circuits.pixel.ThreeTransistorPixel` whose output voltage
+  encodes absorbed light,
+* two :class:`~repro.circuits.sense_amp.SenseAmplifier` instances with
+  references ``V_ref1 = 0.16 V`` and ``V_ref2 = 0.32 V`` producing outputs
+  ``t1``/``t2``,
+* a VCSEL driver in which ``t1``/``t2`` switch the S1/S2 current branches on
+  top of an always-on bias branch (non-return-to-zero operation).
+
+The ternary symbol is ``t1 + t2``: 0 (dark), 1 (mid), 2 (bright) — exactly
+the three states enumerated in Section III-A.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.circuits.pixel import PixelDesign, ThreeTransistorPixel
+from repro.circuits.sense_amp import SenseAmplifier
+from repro.circuits.transient import TransientResult, clock_wave, integrate_rc
+from repro.photonics.vcsel import TernaryVcselEncoder
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class VamDesign:
+    """Reference voltages and timing of the VAM front-end."""
+
+    vref_low_v: float = 0.16
+    vref_high_v: float = 0.32
+    clk_period_s: float = 8e-9
+    driver_tau_s: float = 0.15e-9
+    sa_energy_per_decision_j: float = 4e-15
+    driver_energy_per_symbol_j: float = 12e-15
+
+    def __post_init__(self) -> None:
+        check_positive("vref_low_v", self.vref_low_v)
+        if self.vref_high_v <= self.vref_low_v:
+            raise ValueError(
+                "vref_high_v must exceed vref_low_v "
+                f"({self.vref_high_v} <= {self.vref_low_v})"
+            )
+        check_positive("clk_period_s", self.clk_period_s)
+        check_positive("driver_tau_s", self.driver_tau_s)
+
+
+@dataclass
+class VamCircuit:
+    """Behavioral VAM: pixel voltage -> ternary symbol -> VCSEL current."""
+
+    design: VamDesign = field(default_factory=VamDesign)
+    pixel: ThreeTransistorPixel = field(
+        default_factory=lambda: ThreeTransistorPixel(PixelDesign())
+    )
+    encoder: TernaryVcselEncoder = field(default_factory=TernaryVcselEncoder)
+
+    def __post_init__(self) -> None:
+        self.sense_amp_low = SenseAmplifier(
+            reference_v=self.design.vref_low_v,
+            energy_per_decision_j=self.design.sa_energy_per_decision_j,
+        )
+        self.sense_amp_high = SenseAmplifier(
+            reference_v=self.design.vref_high_v,
+            energy_per_decision_j=self.design.sa_energy_per_decision_j,
+        )
+
+    # ------------------------------------------------------------------
+    # Static (symbol-level) behaviour — used by the architecture model
+    # ------------------------------------------------------------------
+    def ternary_symbol(self, pixel_output_v: float) -> int:
+        """Threshold a pixel output voltage into a ternary symbol {0,1,2}."""
+        t1 = self.sense_amp_low.decide(pixel_output_v)
+        t2 = self.sense_amp_high.decide(pixel_output_v)
+        return t1 + t2
+
+    def encode_frame(
+        self, pixel_output_v: np.ndarray
+    ) -> np.ndarray:
+        """Vectorised ternary encoding of a whole pixel-voltage frame."""
+        voltages = np.asarray(pixel_output_v, dtype=float)
+        low = voltages > self.design.vref_low_v
+        high = voltages > self.design.vref_high_v
+        return low.astype(np.int8) + high.astype(np.int8)
+
+    def optical_power_w(self, pixel_output_v: np.ndarray) -> np.ndarray:
+        """Optical power [W] emitted for a frame of pixel voltages."""
+        return self.encoder.optical_power_w(self.encode_frame(pixel_output_v))
+
+    def symbol_energy_j(self, symbol_time_s: float) -> float:
+        """Energy of producing one ternary optical symbol.
+
+        Two SA decisions + driver switching + mean VCSEL electrical energy
+        over a uniform symbol distribution.
+        """
+        sa = 2.0 * self.design.sa_energy_per_decision_j
+        driver = self.design.driver_energy_per_symbol_j
+        vcsel = self.encoder.mean_symbol_power_w() * symbol_time_s
+        return sa + driver + vcsel
+
+    # ------------------------------------------------------------------
+    # Transient behaviour — reproduces the paper's Fig. 8
+    # ------------------------------------------------------------------
+    def threshold_transient(
+        self,
+        illuminances_lux: tuple[float, ...] = (13000.0, 6500.0, 2000.0),
+        duration_s: float = 40e-9,
+        dt_s: float = 0.02e-9,
+        exposure_window_s: float = 30e-9,
+    ) -> TransientResult:
+        """Simulate Fig. 8: three pixels with distinct illuminations.
+
+        Returns traces ``Rst``, ``Dcharge``, ``Clk`` plus, per pixel *k*
+        (1-based), ``Out{k}`` (pixel voltage), ``Out{k}t1``/``Out{k}t2``
+        (latched SA outputs) and ``I{k}`` (VCSEL drive current).
+        """
+        if not illuminances_lux:
+            raise ValueError("need at least one pixel illuminance")
+        base = self.pixel.transient(
+            illuminances_lux[0],
+            duration_s=duration_s,
+            dt_s=dt_s,
+            discharge_start_s=exposure_window_s + 4e-9,
+        )
+        times = base.times_s
+        clk = clock_wave(times, self.design.clk_period_s, duty=0.875)
+
+        result = TransientResult(times_s=times)
+        result.add("Rst", base["Rst"])
+        result.add("Dcharge", base["Dcharge"])
+        result.add("Clk", clk)
+
+        for pixel_index, lux in enumerate(illuminances_lux, start=1):
+            pixel_result = self.pixel.transient(
+                lux,
+                duration_s=duration_s,
+                dt_s=dt_s,
+                discharge_start_s=exposure_window_s + 4e-9,
+            )
+            out = pixel_result["Out"]
+            t1 = self.sense_amp_low.latch_trace(times, out, clk)
+            t2 = self.sense_amp_high.latch_trace(times, out, clk)
+            symbols = (t1 > 0.5).astype(int) + (t2 > 0.5).astype(int)
+            target_current = self.encoder.drive_current_a(symbols)
+            current = integrate_rc(
+                times,
+                target_current,
+                self.design.driver_tau_s,
+                initial_v=float(self.encoder.bias_current_a),
+            )
+            result.add(f"Out{pixel_index}", out)
+            result.add(f"Out{pixel_index}t1", t1)
+            result.add(f"Out{pixel_index}t2", t2)
+            result.add(f"I{pixel_index}", current)
+        return result
+
+    def classify_transient(
+        self, result: TransientResult, sample_time_s: float = 16.5e-9
+    ) -> list[int]:
+        """Read back the ternary symbols latched at ``sample_time_s``.
+
+        Mirrors the paper's observation window (16–17 ns) where the Fig. 8
+        outputs are valid.
+        """
+        symbols = []
+        pixel_index = 1
+        while f"Out{pixel_index}t1" in result:
+            t1 = result.sample(f"Out{pixel_index}t1", sample_time_s)
+            t2 = result.sample(f"Out{pixel_index}t2", sample_time_s)
+            symbols.append(int(t1 > 0.5) + int(t2 > 0.5))
+            pixel_index += 1
+        return symbols

@@ -1,0 +1,137 @@
+"""Command-line interface: regenerate any paper artifact from the shell.
+
+Usage::
+
+    python -m repro.cli summary            # headline performance counters
+    python -m repro.cli claims             # paper-vs-measured claim table
+    python -m repro.cli fig4 | fig8 | fig9 # figure regenerations
+    python -m repro.cli table1             # Table I
+    python -m repro.cli table2 [--fast]    # Table II (trains networks!)
+    python -m repro.cli compare            # platform comparison report
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_summary(_args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.core.accelerator import OISAAccelerator
+
+    oisa = OISAAccelerator(seed=0)
+    weights = np.random.default_rng(0).normal(size=(64, 3, 3, 3)) * 0.1
+    oisa.program_conv(weights, padding=1)
+    for key, value in oisa.performance_summary().items():
+        print(f"{key:28s}: {value:.6g}")
+    return 0
+
+
+def _cmd_claims(_args: argparse.Namespace) -> int:
+    from repro.analysis.claims import build_claims, render_claims
+
+    claims = build_claims(include_fig9=True)
+    print(render_claims(claims))
+    return 0 if all(claim.holds for claim in claims) else 1
+
+
+def _cmd_fig4(_args: argparse.Namespace) -> int:
+    from repro.analysis.fig4 import render_fig4
+
+    print(render_fig4())
+    return 0
+
+
+def _cmd_fig8(_args: argparse.Namespace) -> int:
+    from repro.analysis.fig8 import render_fig8
+
+    print(render_fig8())
+    return 0
+
+
+def _cmd_fig9(_args: argparse.Namespace) -> int:
+    from repro.analysis.fig9 import render_fig9
+
+    print(render_fig9())
+    return 0
+
+
+def _cmd_table1(_args: argparse.Namespace) -> int:
+    from repro.analysis.table1 import render_table1
+
+    print(render_table1())
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    from repro.analysis.table2 import build_table2, ordering_checks, render_table2
+    from repro.sim.accuracy import Table2Settings
+
+    settings = Table2Settings.fast() if args.fast else Table2Settings.full()
+    data = build_table2(settings=settings, cache_path=args.cache)
+    print(render_table2(data))
+    checks = ordering_checks(data)
+    for name, holds in checks.items():
+        print(f"{name:32s}: {'holds' if holds else 'VIOLATED'}")
+    return 0 if all(checks.values()) else 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.report import write_report
+
+    path = write_report(args.output, table2_cache=args.table2_cache)
+    print(f"report written to {path}")
+    return 0
+
+
+def _cmd_compare(_args: argparse.Namespace) -> int:
+    from repro.core.energy import resnet18_first_layer_workload
+    from repro.sim.reports import render_report
+    from repro.sim.simulator import InHouseSimulator
+
+    simulator = InHouseSimulator()
+    workload = resnet18_first_layer_workload()
+    reports = simulator.compare_all(workload, weight_bits=4)
+    print(render_report(reports, title="Platform comparison — ResNet-18 first layer"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="OISA (DATE 2024) reproduction — regenerate paper artifacts",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    for name, handler, help_text in (
+        ("summary", _cmd_summary, "headline performance counters"),
+        ("claims", _cmd_claims, "paper-vs-measured claim table"),
+        ("fig4", _cmd_fig4, "AWC staircase (Fig. 4b)"),
+        ("fig8", _cmd_fig8, "VAM thresholding (Fig. 8)"),
+        ("fig9", _cmd_fig9, "power comparison (Fig. 9)"),
+        ("table1", _cmd_table1, "PIS/PNS comparison (Table I)"),
+        ("compare", _cmd_compare, "in-house simulator platform report"),
+    ):
+        sub = subparsers.add_parser(name, help=help_text)
+        sub.set_defaults(handler=handler)
+    table2 = subparsers.add_parser("table2", help="accuracy table (Table II)")
+    table2.add_argument("--fast", action="store_true", help="fast preset")
+    table2.add_argument("--cache", default=".table2_cli_cache.json")
+    table2.set_defaults(handler=_cmd_table2)
+    report = subparsers.add_parser("report", help="write the full reproduction report")
+    report.add_argument("--output", default="REPORT.md")
+    report.add_argument("--table2-cache", default=".table2_bench_cache.json")
+    report.set_defaults(handler=_cmd_report)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,187 @@
+"""The OISA facade: program weights, process frames, report performance.
+
+Ties together the imager/VAM front-end, the OPC, the mapping planner, the
+timing controller and the energy model behind one object — the API a
+downstream user touches first (see ``examples/quickstart.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import OISAConfig
+from repro.core.controller import FrameTiming, TimingController
+from repro.core.energy import OISAEnergyModel, PowerBreakdown
+from repro.core.mapping import ConvWorkload, MappingPlan, plan_convolution
+from repro.core.opc import OpticalProcessingCore, ProgrammedWeights
+from repro.core.vam import ActivationModulator
+from repro.nn.quant import UniformWeightQuantizer
+
+
+@dataclass(frozen=True)
+class FrameResult:
+    """Output of processing one frame through the first layer."""
+
+    features: np.ndarray
+    symbols: np.ndarray
+    timing: FrameTiming
+    energy: PowerBreakdown
+
+    @property
+    def average_power_w(self) -> float:
+        """Frame energy over the pipelined frame period."""
+        return self.energy.total / self.timing.pipelined_s
+
+
+class OISAAccelerator:
+    """One OISA node: ADC-less imager + VAM + OPC + controller.
+
+    Parameters
+    ----------
+    config:
+        Architecture configuration (defaults to the paper's).
+    seed:
+        Die seed — freezes AWC mismatch and noise streams so two
+        accelerators with the same seed are the same chip.
+    """
+
+    def __init__(
+        self,
+        config: OISAConfig | None = None,
+        seed: int | None = None,
+        enable_noise: bool = True,
+    ) -> None:
+        self.config = config or OISAConfig()
+        self.seed = seed
+        self.vam = ActivationModulator(
+            design=self.config.vam_design, encoder=self.config.vcsel_encoder
+        )
+        self.opc = OpticalProcessingCore(
+            self.config,
+            seed=seed,
+            enable_crosstalk=enable_noise,
+            enable_read_noise=enable_noise,
+        )
+        self.controller = TimingController(self.config)
+        self.energy_model = OISAEnergyModel(self.config)
+        self._plan: MappingPlan | None = None
+        self._stride = 1
+        self._padding = 0
+        self._needs_mapping = True
+
+    # ------------------------------------------------------------------
+    # Programming
+    # ------------------------------------------------------------------
+    def program_conv(
+        self,
+        weights: np.ndarray,
+        stride: int = 1,
+        padding: int = 0,
+        image_shape: tuple[int, int] | None = None,
+    ) -> ProgrammedWeights:
+        """Quantize and map a (F, C, K, K) conv weight tensor onto the OPC.
+
+        Returns the programming record, including the realized (non-ideal)
+        weights and the tuning budget.
+        """
+        weights = np.asarray(weights, dtype=float)
+        if weights.ndim != 4 or weights.shape[2] != weights.shape[3]:
+            raise ValueError(
+                f"expected (F, C, K, K) conv weights, got shape {weights.shape}"
+            )
+        quantizer = UniformWeightQuantizer(self.config.weight_bits)
+        quantized = quantizer.quantize(weights)
+        scale = quantizer.scale(weights)
+        programmed = self.opc.program(quantized, scale)
+
+        rows, cols = image_shape if image_shape else (
+            self.config.pixel_rows,
+            self.config.pixel_cols,
+        )
+        workload = ConvWorkload(
+            kernel_size=weights.shape[2],
+            num_kernels=weights.shape[0],
+            in_channels=weights.shape[1],
+            image_height=rows,
+            image_width=cols,
+            stride=stride,
+            padding=padding,
+        )
+        self._plan = plan_convolution(self.config, workload)
+        self._stride = stride
+        self._padding = padding
+        self._needs_mapping = True
+        return programmed
+
+    @property
+    def plan(self) -> MappingPlan:
+        """The active mapping plan (raises when nothing is programmed)."""
+        if self._plan is None:
+            raise RuntimeError("no kernels programmed; call program_conv() first")
+        return self._plan
+
+    # ------------------------------------------------------------------
+    # Frame processing
+    # ------------------------------------------------------------------
+    def process_frame(self, frame: np.ndarray) -> FrameResult:
+        """Run one normalised frame through sense -> modulate -> OPC.
+
+        ``frame`` is (C, H, W) or (N, C, H, W) with intensities in [0, 1].
+        The first call after programming pays the weight-mapping phase; the
+        paper's steady-state numbers then apply to subsequent frames.
+        """
+        plan = self.plan
+        frame = np.asarray(frame, dtype=float)
+        batched = frame.ndim == 4
+        batch = frame if batched else frame[None]
+        if batch.shape[1] != plan.workload.in_channels:
+            raise ValueError(
+                f"frame has {batch.shape[1]} channels, kernels expect "
+                f"{plan.workload.in_channels}"
+            )
+
+        symbols = self.vam.encode(batch)
+        activations = symbols.astype(float) / 2.0  # optical levels on unit scale
+        features = self.opc.convolve(activations, self._stride, self._padding)
+
+        remap = self._needs_mapping
+        tuning_latency = self.opc.programmed.tuning.latency_s if remap else 0.0
+        timing = self.controller.frame_timing(
+            plan, remap_weights=remap, tuning_latency_s=tuning_latency
+        )
+        energy = self.energy_model.frame_energy_j(
+            plan,
+            include_mapping=remap,
+            mapping_energy_j=self.opc.programmed.tuning.energy_j if remap else 0.0,
+        )
+        self._needs_mapping = False
+        return FrameResult(
+            features=features if batched else features[0],
+            symbols=symbols if batched else symbols[0],
+            timing=timing,
+            energy=energy,
+        )
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def performance_summary(self) -> dict[str, float]:
+        """Headline metrics for the programmed workload."""
+        plan = self.plan
+        peak = self.energy_model.peak_power_w(plan.workload.kernel_size)
+        average = self.energy_model.average_power_w(plan)
+        return {
+            "peak_throughput_tops": self.energy_model.peak_throughput_ops() / 1e12,
+            "peak_power_w": peak.total,
+            "efficiency_tops_per_watt": self.energy_model.efficiency_tops_per_watt(
+                plan.workload.kernel_size
+            ),
+            "average_power_w": average.total,
+            "electronics_power_w": self.energy_model.electronics_power_w(plan),
+            "macs_per_cycle": float(plan.macs_per_cycle),
+            "compute_cycles_per_frame": float(plan.compute_cycles),
+            "area_mm2": self.energy_model.area_mm2().total,
+            "frame_rate_fps": self.config.frame_rate_hz,
+        }

@@ -1,0 +1,145 @@
+"""Behavioral Approximate Weight Converter bank (architecture view).
+
+Bridges the circuit-level :class:`~repro.circuits.awc.AwcCircuit` to the
+weight domain the neural network lives in.  Each of the OPC's 40 AWC units
+is an independent physical ladder with its own frozen mismatch; quantized
+integer weight codes are realised as (slightly wrong) currents, and the
+ratio ``I_actual / I_lsb_ideal`` is the *effective* weight level the MR ends
+up programmed to.
+
+This is the mechanism behind the paper's Table II observation that
+``OISA[4:2]`` is **not** more accurate than ``OISA[3:2]``: at 4 bits the
+ideal level spacing shrinks below the ladder's static error, so the extra
+quantization resolution buys nothing (and can hurt).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.circuits.awc import AwcCircuit, AwcDesign
+from repro.util.rng import spawn_seeds
+from repro.util.validation import check_positive
+
+
+class AwcWeightMapper:
+    """A bank of AWC units realising signed integer weight codes.
+
+    Parameters
+    ----------
+    design:
+        Ladder electrical design; ``design.num_bits`` sets the weight
+        bit-width (1..4).
+    num_units:
+        Physical AWC instances (40 in the paper).  MRs are assigned to
+        units round-robin, so each weight consistently sees *its* unit's
+        mismatch pattern.
+    seed:
+        Die seed; different seeds are different chips.
+    """
+
+    def __init__(
+        self,
+        design: AwcDesign | None = None,
+        num_units: int = 40,
+        seed: int | None = None,
+    ) -> None:
+        check_positive("num_units", num_units)
+        self.design = design or AwcDesign()
+        self.num_units = int(num_units)
+        unit_seeds = spawn_seeds(seed, self.num_units)
+        self.units = [
+            AwcCircuit(self.design, seed=unit_seed) for unit_seed in unit_seeds
+        ]
+        # Per-unit realized level tables in *weight-level* units:
+        # table[u, c] ~ c for an ideal converter.
+        levels = np.stack([unit.all_levels_a() for unit in self.units])
+        self._level_table = levels / self.design.unit_current_a
+
+    @property
+    def num_levels(self) -> int:
+        """Distinct magnitude levels per unit (2^bits)."""
+        return self.design.num_levels
+
+    @property
+    def level_table(self) -> np.ndarray:
+        """(num_units, num_levels) realized levels in LSB units (read-only)."""
+        view = self._level_table.view()
+        view.flags.writeable = False
+        return view
+
+    def realize_codes(
+        self, codes: np.ndarray, unit_assignment: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Realize signed integer codes as effective weight levels.
+
+        Parameters
+        ----------
+        codes:
+            Signed integers with ``|code| < 2**bits``; sign selects the
+            positive or negative waveguide rail.
+        unit_assignment:
+            Which AWC unit programs each element (same shape as ``codes``).
+            Defaults to a round-robin assignment in flat index order —
+            exactly how the controller walks MRs during mapping iterations.
+        """
+        codes = np.asarray(codes)
+        if codes.size == 0:
+            return np.zeros_like(codes, dtype=float)
+        magnitude = np.abs(codes).astype(int)
+        if magnitude.max() >= self.num_levels:
+            raise ValueError(
+                f"|code| must be < {self.num_levels}, got {magnitude.max()}"
+            )
+        if unit_assignment is None:
+            flat = np.arange(codes.size) % self.num_units
+            unit_assignment = flat.reshape(codes.shape)
+        else:
+            unit_assignment = np.asarray(unit_assignment, dtype=int)
+            if unit_assignment.shape != codes.shape:
+                raise ValueError("unit_assignment must match the codes shape")
+            if unit_assignment.min() < 0 or unit_assignment.max() >= self.num_units:
+                raise ValueError("unit_assignment out of range")
+        realized = self._level_table[unit_assignment, magnitude]
+        return np.sign(codes) * realized
+
+    def realize_quantized_weights(
+        self, quantized: np.ndarray, scale: float
+    ) -> np.ndarray:
+        """Realize fake-quantized float weights (``codes * scale``).
+
+        The inverse of :meth:`UniformWeightQuantizer.quantize
+        <repro.nn.quant.UniformWeightQuantizer.quantize>`: recover the
+        integer codes, push them through the ladders, rescale.
+        """
+        check_positive("scale", scale)
+        quantized = np.asarray(quantized, dtype=float)
+        codes = np.round(quantized / scale).astype(int)
+        return self.realize_codes(codes) * scale
+
+    def worst_case_level_error_lsb(self) -> float:
+        """Largest deviation |realized - ideal| across units, in LSBs."""
+        ideal = np.arange(self.num_levels)
+        return float(np.max(np.abs(self._level_table - ideal)))
+
+    def mean_level_error_lsb(self) -> float:
+        """Mean |realized - ideal| across units and codes, in LSBs."""
+        ideal = np.arange(self.num_levels)
+        return float(np.mean(np.abs(self._level_table - ideal)))
+
+    def level_separability(self) -> float:
+        """Min gap between adjacent realized levels / ideal spacing.
+
+        Values near 1 mean the converter resolves every code cleanly;
+        values near 0 mean adjacent codes collide (the 4-bit failure mode).
+        """
+        gaps = np.diff(np.sort(self._level_table, axis=1), axis=1)
+        return float(gaps.min())
+
+    def with_bits(self, bits: int, seed: int | None = None) -> "AwcWeightMapper":
+        """A new mapper at a different bit-width (same geometry)."""
+        return AwcWeightMapper(
+            replace(self.design, num_bits=bits), num_units=self.num_units, seed=seed
+        )

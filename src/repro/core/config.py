@@ -1,0 +1,141 @@
+"""OISA architecture configuration.
+
+All structural constants of Section III live here, with the paper's values
+as defaults:
+
+* a 128x128 ADC-less global-shutter imager,
+* an Optical Processing Core of **80 banks x 5 arms x 10 MRs = 4000 MRs**,
+  banks grouped in 4 columns, 40 AWC units (hence 4000 / 40 = **100 weight
+  mapping iterations** for a full reprogram),
+* ternary (2-bit) activations and 1-to-4-bit weights,
+* a 55.8 ps architecture-wide MAC cycle and a 1000 FPS frame budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.circuits.awc import AwcDesign
+from repro.circuits.pixel import PixelDesign
+from repro.circuits.vam import VamDesign
+from repro.photonics.microring import MicroringDesign
+from repro.photonics.photodiode import BalancedPhotodiode
+from repro.photonics.tuning import HybridTuning
+from repro.photonics.vcsel import TernaryVcselEncoder
+from repro.photonics.waveguide import ArmLossBudget
+from repro.photonics.wdm import WdmGrid
+from repro.util.units import PS, UM
+from repro.util.validation import check_in_range, check_positive
+
+#: Kernel sizes the OPC mapping natively supports (Section III-B).
+SUPPORTED_KERNEL_SIZES = (3, 5, 7)
+
+
+@dataclass(frozen=True)
+class OISAConfig:
+    """Structural + device configuration of one OISA node."""
+
+    # --- Imager -------------------------------------------------------
+    pixel_rows: int = 128
+    pixel_cols: int = 128
+    pixel_pitch_m: float = 4.5 * UM
+    frame_rate_hz: float = 1000.0
+
+    # --- Optical Processing Core --------------------------------------
+    num_banks: int = 80
+    arms_per_bank: int = 5
+    mrs_per_arm: int = 10
+    bank_columns: int = 4
+    num_awc_units: int = 40
+
+    # --- Numerics ------------------------------------------------------
+    weight_bits: int = 4
+    activation_levels: int = 3  # ternary
+
+    # --- Timing ----------------------------------------------------------
+    mac_cycle_s: float = 55.8 * PS
+
+    # --- Device models ---------------------------------------------------
+    microring: MicroringDesign = field(default_factory=MicroringDesign)
+    wdm: WdmGrid = field(default_factory=WdmGrid)
+    vcsel_encoder: TernaryVcselEncoder = field(default_factory=TernaryVcselEncoder)
+    bpd: BalancedPhotodiode = field(default_factory=BalancedPhotodiode)
+    arm_loss: ArmLossBudget = field(default_factory=ArmLossBudget)
+    tuning: HybridTuning = field(default_factory=HybridTuning)
+    awc_design: AwcDesign = field(default_factory=AwcDesign)
+    pixel_design: PixelDesign = field(default_factory=PixelDesign)
+    vam_design: VamDesign = field(default_factory=VamDesign)
+
+    #: Additive BPD read-noise sigma, as a fraction of one arm's full-scale
+    #: MAC value (calibrated from the BPD SNR at the arm's optical budget).
+    bpd_read_noise_fraction: float = 0.01
+
+    def __post_init__(self) -> None:
+        check_positive("pixel_rows", self.pixel_rows)
+        check_positive("pixel_cols", self.pixel_cols)
+        check_positive("pixel_pitch_m", self.pixel_pitch_m)
+        check_positive("frame_rate_hz", self.frame_rate_hz)
+        check_positive("num_banks", self.num_banks)
+        check_positive("arms_per_bank", self.arms_per_bank)
+        check_positive("mrs_per_arm", self.mrs_per_arm)
+        check_positive("bank_columns", self.bank_columns)
+        check_positive("num_awc_units", self.num_awc_units)
+        check_in_range("weight_bits", self.weight_bits, 1, 4)
+        if self.activation_levels != 3:
+            raise ValueError("OISA's VAM is ternary; activation_levels must be 3")
+        check_positive("mac_cycle_s", self.mac_cycle_s)
+        check_in_range("bpd_read_noise_fraction", self.bpd_read_noise_fraction, 0.0, 1.0)
+        if self.num_banks % self.bank_columns != 0:
+            raise ValueError(
+                f"num_banks ({self.num_banks}) must divide evenly into "
+                f"{self.bank_columns} columns"
+            )
+        if self.wdm.num_channels < self.mrs_per_arm:
+            raise ValueError(
+                "the WDM grid must provide at least one channel per arm MR"
+            )
+
+    # --- Derived structural quantities -----------------------------------
+    @property
+    def num_pixels(self) -> int:
+        """Total pixel count of the imager."""
+        return self.pixel_rows * self.pixel_cols
+
+    @property
+    def total_arms(self) -> int:
+        """Arms across the whole OPC."""
+        return self.num_banks * self.arms_per_bank
+
+    @property
+    def mrs_per_bank(self) -> int:
+        """MRs per bank (5 arms x 10 MRs = 50 in the paper)."""
+        return self.arms_per_bank * self.mrs_per_arm
+
+    @property
+    def total_mrs(self) -> int:
+        """Total MR count (4000 in the paper)."""
+        return self.num_banks * self.mrs_per_bank
+
+    @property
+    def banks_per_column(self) -> int:
+        """Banks stacked in each of the 4 columns."""
+        return self.num_banks // self.bank_columns
+
+    @property
+    def weight_mapping_iterations(self) -> int:
+        """AWC iterations to program every MR (4000 / 40 = 100)."""
+        return -(-self.total_mrs // self.num_awc_units)  # ceil division
+
+    @property
+    def macs_per_arm(self) -> int:
+        """MAC capacity of one arm for 3x3 kernels (9 of the 10 MRs)."""
+        return self.mrs_per_arm - 1
+
+    def with_weight_bits(self, bits: int) -> "OISAConfig":
+        """Copy of this config at a different weight bit-width."""
+        awc = replace(self.awc_design, num_bits=bits)
+        return replace(self, weight_bits=bits, awc_design=awc)
+
+
+#: The configuration evaluated throughout the paper.
+PAPER_CONFIG = OISAConfig()

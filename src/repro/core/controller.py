@@ -1,0 +1,111 @@
+"""Frame-level timing controller.
+
+Sequences the phases of one OISA frame (Section III, component (vi)):
+
+1. **exposure** — global-shutter integration on the pixel array;
+2. **mapping** — AWC sweeps + MR retunes, only when a new kernel set is
+   loaded (steady-state video bypasses it);
+3. **compute** — OPC cycles at ``mac_cycle_s``;
+4. **transmit** — shipping first-layer features to the off-chip processor
+   over the output optical transmitter.
+
+The frame rate claim (1000 FPS) holds when exposure dominates and the
+compute pipeline hides under the next frame's exposure; ``FrameTiming``
+exposes both the sequential and pipelined readings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import OISAConfig
+from repro.core.mapping import MappingPlan
+from repro.util.validation import check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class FrameTiming:
+    """Durations of one frame's phases [s]."""
+
+    exposure_s: float
+    mapping_s: float
+    compute_s: float
+    transmit_s: float
+
+    @property
+    def sequential_s(self) -> float:
+        """Total latency when phases run back-to-back."""
+        return self.exposure_s + self.mapping_s + self.compute_s + self.transmit_s
+
+    @property
+    def pipelined_s(self) -> float:
+        """Frame period when compute/transmit overlap the next exposure."""
+        return max(self.exposure_s, self.mapping_s + self.compute_s + self.transmit_s)
+
+    @property
+    def pipelined_fps(self) -> float:
+        """Sustained frame rate with pipelining."""
+        return 1.0 / self.pipelined_s
+
+    @property
+    def compute_duty(self) -> float:
+        """Fraction of the frame period the OPC is active."""
+        return self.compute_s / self.pipelined_s
+
+
+class TimingController:
+    """Derives frame timings from a mapping plan."""
+
+    #: Bits shipped per first-layer output value (the BPD result is
+    #: re-modulated and sent as a 4-bit magnitude + sign symbol).
+    OUTPUT_BITS_PER_VALUE = 5
+    #: Output optical transmitter line rate [bit/s] (10 Gb/s class).
+    TRANSMIT_RATE_BPS = 10e9
+
+    def __init__(self, config: OISAConfig | None = None) -> None:
+        self.config = config or OISAConfig()
+
+    def exposure_time_s(self, frame_rate_hz: float | None = None) -> float:
+        """Exposure budget at the target frame rate (global shutter)."""
+        rate = frame_rate_hz if frame_rate_hz is not None else self.config.frame_rate_hz
+        check_positive("frame_rate_hz", rate)
+        return 1.0 / rate
+
+    def mapping_time_s(self, tuning_latency_s: float = 0.0) -> float:
+        """Weight (re)mapping latency: AWC sweeps + slowest MR settle.
+
+        The AWC units walk all MRs in ``weight_mapping_iterations``
+        sequential sweeps; each sweep settles in the ladder's RC constant,
+        and the thermo-optic retune (when needed) dominates.
+        """
+        check_non_negative("tuning_latency_s", tuning_latency_s)
+        sweeps = self.config.weight_mapping_iterations
+        awc_settle = self.config.awc_design.settle_tau_s * 5.0  # 5 tau to 99%
+        return sweeps * awc_settle + tuning_latency_s
+
+    def compute_time_s(self, plan: MappingPlan) -> float:
+        """OPC compute time for one frame."""
+        return plan.compute_cycles * self.config.mac_cycle_s
+
+    def transmit_time_s(self, plan: MappingPlan) -> float:
+        """Time to ship the first-layer output features off-chip."""
+        outputs = (
+            plan.workload.windows_per_channel * plan.workload.num_kernels
+        )
+        bits = outputs * self.OUTPUT_BITS_PER_VALUE
+        return bits / self.TRANSMIT_RATE_BPS
+
+    def frame_timing(
+        self,
+        plan: MappingPlan,
+        remap_weights: bool = False,
+        tuning_latency_s: float = 0.0,
+        frame_rate_hz: float | None = None,
+    ) -> FrameTiming:
+        """Assemble the full frame timing."""
+        return FrameTiming(
+            exposure_s=self.exposure_time_s(frame_rate_hz),
+            mapping_s=self.mapping_time_s(tuning_latency_s) if remap_weights else 0.0,
+            compute_s=self.compute_time_s(plan),
+            transmit_s=self.transmit_time_s(plan),
+        )

@@ -1,0 +1,306 @@
+"""Power, energy and area accounting for OISA.
+
+Conventions (documented in EXPERIMENTS.md):
+
+* **Peak throughput** follows the paper's op definition: one *arm-level*
+  MAC result per cycle, i.e. ``total_arms / mac_cycle_s``; with 400 arms at
+  55.8 ps this is the paper's ~7.1 TOp/s.
+* **Peak power** is drawn while the OPC computes: active VCSELs, MR tuning
+  hold (the "TED" bars of Fig. 9), BPD+TIA front-ends, sense amps clocked
+  at the cycle rate, AWC static, control.  Efficiency = peak throughput /
+  peak power (paper: 6.68 TOp/s/W).
+* **Average power** duty-cycles the peak over a frame period (compute
+  occupies ~1 us of a 1 ms frame at 1000 FPS) and adds the per-frame
+  electronic costs; this is the Fig. 9 / Table I quantity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import OISAConfig
+from repro.core.mapping import ConvWorkload, MappingPlan, plan_convolution
+from repro.memarch.cacti import SramModel
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class PowerBreakdown:
+    """Named per-component powers [W] (or energies [J]; see context)."""
+
+    components: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total(self) -> float:
+        """Sum of all components."""
+        return float(sum(self.components.values()))
+
+    def fraction(self, name: str) -> float:
+        """Share of one component in the total."""
+        total = self.total
+        return self.components.get(name, 0.0) / total if total > 0 else 0.0
+
+    def scaled(self, factor: float) -> "PowerBreakdown":
+        """Every component multiplied by ``factor``."""
+        return PowerBreakdown(
+            {name: value * factor for name, value in self.components.items()}
+        )
+
+    def merged(self, other: "PowerBreakdown") -> "PowerBreakdown":
+        """Component-wise sum with another breakdown."""
+        merged = dict(self.components)
+        for name, value in other.components.items():
+            merged[name] = merged.get(name, 0.0) + value
+        return PowerBreakdown(merged)
+
+
+@dataclass(frozen=True)
+class AreaBreakdown:
+    """Named component areas [mm^2]."""
+
+    components: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total(self) -> float:
+        """Total area [mm^2]."""
+        return float(sum(self.components.values()))
+
+
+class OISAEnergyModel:
+    """Bottom-up power/energy/area model of one OISA node."""
+
+    #: Control / clock-distribution / command-decode power while computing.
+    CONTROL_POWER_W = 0.040
+    #: TIA + comparator power per arm read chain.
+    TIA_POWER_PER_ARM_W = 250e-6
+    #: Energy per VOM partial-sum combine (driver + modulator).
+    VOM_ENERGY_PER_COMBINE_J = 60e-15
+    #: Output optical transmitter energy per feature value shipped off-chip.
+    TRANSMIT_ENERGY_PER_VALUE_J = 90e-15
+    #: Average resonance shift per mapped weight (fraction of one FWHM),
+    #: used for the tuning-hold estimate when no weights are given.
+    TYPICAL_SHIFT_FWHM = 0.8
+
+    def __init__(self, config: OISAConfig | None = None) -> None:
+        self.config = config or OISAConfig()
+        # Kernel banks (the paper sizes them with CACTI): one word per MR
+        # weight, read once per mapping sweep.
+        capacity = max(self.config.total_mrs * self.config.weight_bits // 8, 64)
+        self.kernel_bank = SramModel(
+            capacity_bytes=capacity, word_bits=8, technology_nm=65
+        )
+
+    # ------------------------------------------------------------------
+    # Peak (while-computing) power
+    # ------------------------------------------------------------------
+    def active_vcsels_per_cycle(self, kernel_size: int = 3) -> int:
+        """VCSELs firing in one cycle.
+
+        Each bank processes one stride window; the kernels co-resident in a
+        bank share that window's activation light through splitters, so the
+        distinct modulated wavelengths per bank equal the window size.
+        """
+        return self.config.num_banks * kernel_size**2
+
+    def vcsel_power_w(self, kernel_size: int = 3) -> float:
+        """Electrical power of all active VCSELs during compute."""
+        per_vcsel = self.config.vcsel_encoder.mean_symbol_power_w()
+        return self.active_vcsels_per_cycle(kernel_size) * per_vcsel
+
+    def tuning_hold_power_w(self) -> float:
+        """Thermo-optic holding power across all mapped MRs ("TED")."""
+        ring_fwhm_m = 3.1e-10  # ~FWHM of the Q=5000 design at 1550 nm
+        mean_shift_m = self.TYPICAL_SHIFT_FWHM * ring_fwhm_m
+        per_mr = self.config.tuning.to_power_per_nm_w * (mean_shift_m / 1e-9)
+        return self.config.total_mrs * per_mr
+
+    def bpd_power_w(self) -> float:
+        """BPD + TIA front-end power across all arms."""
+        return self.config.total_arms * self.TIA_POWER_PER_ARM_W
+
+    def sense_amp_power_w(self, kernel_size: int = 3) -> float:
+        """SA evaluation power at the compute cycle rate.
+
+        Each cycle thresholds a fresh window of pixels (two SAs per pixel).
+        """
+        pixels_per_cycle = self.active_vcsels_per_cycle(kernel_size)
+        decisions_per_s = 2.0 * pixels_per_cycle / self.config.mac_cycle_s
+        return self.config.vam_design.sa_energy_per_decision_j * decisions_per_s
+
+    def awc_static_power_w(self) -> float:
+        """Static bias power of the AWC ladders."""
+        return self.config.num_awc_units * self.config.awc_design.static_power_w
+
+    def peak_power_w(self, kernel_size: int = 3) -> PowerBreakdown:
+        """Component power draw while the OPC is computing."""
+        return PowerBreakdown(
+            {
+                "vcsel": self.vcsel_power_w(kernel_size),
+                "ted": self.tuning_hold_power_w(),
+                "bpd": self.bpd_power_w(),
+                "sense_amp": self.sense_amp_power_w(kernel_size),
+                "awc": self.awc_static_power_w(),
+                "control": self.CONTROL_POWER_W,
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # Throughput / efficiency
+    # ------------------------------------------------------------------
+    def peak_throughput_ops(self) -> float:
+        """Arm-level MAC results per second (the paper's op definition)."""
+        return self.config.total_arms / self.config.mac_cycle_s
+
+    def peak_throughput_scalar_macs(self, kernel_size: int = 3) -> float:
+        """Scalar multiply-accumulates per second (f * n * K^2 per cycle)."""
+        from repro.core.mapping import macs_per_cycle
+
+        return macs_per_cycle(self.config, kernel_size) / self.config.mac_cycle_s
+
+    def efficiency_tops_per_watt(self, kernel_size: int = 3) -> float:
+        """Peak efficiency in TOp/s/W (paper: 6.68)."""
+        power = self.peak_power_w(kernel_size).total
+        return (self.peak_throughput_ops() / 1e12) / power
+
+    # ------------------------------------------------------------------
+    # Per-frame energy and average power
+    # ------------------------------------------------------------------
+    def compute_time_s(self, plan: MappingPlan) -> float:
+        """Pure OPC compute time of one frame's first layer."""
+        return plan.compute_cycles * self.config.mac_cycle_s
+
+    def frame_energy_j(
+        self,
+        plan: MappingPlan,
+        include_mapping: bool = False,
+        mapping_energy_j: float = 0.0,
+    ) -> PowerBreakdown:
+        """Per-frame first-layer energy by component.
+
+        ``include_mapping`` adds the one-off weight-mapping cost (AWC
+        updates + MR retunes); steady-state video reuses mapped kernels, so
+        the default excludes it, matching the paper's assumption that
+        "activation and weight values are already mapped to the core".
+        """
+        kernel = plan.workload.kernel_size
+        compute_s = self.compute_time_s(plan)
+        peak = self.peak_power_w(kernel)
+        energy = {
+            name: power * compute_s for name, power in peak.components.items()
+        }
+
+        # Per-frame electronics: every pixel thresholded + driver switched
+        # once per frame (global shutter), features transmitted off-chip.
+        num_pixels = self.config.num_pixels
+        vam = self.config.vam_design
+        energy["sense_amp"] += 2.0 * vam.sa_energy_per_decision_j * num_pixels
+        energy["driver"] = vam.driver_energy_per_symbol_j * num_pixels
+        outputs = plan.workload.windows_per_channel * plan.workload.num_kernels
+        energy["transmit"] = self.TRANSMIT_ENERGY_PER_VALUE_J * outputs
+        combines = outputs * max(
+            plan.workload.in_channels * plan.arms_per_kernel - 1, 0
+        )
+        energy["vom"] = self.VOM_ENERGY_PER_COMBINE_J * combines
+
+        if include_mapping:
+            updates = self.config.total_mrs
+            energy["mapping"] = (
+                self.config.awc_design.energy_per_update_j * updates
+                + mapping_energy_j
+            )
+            # Kernel-bank reads feeding the AWC units during the sweep.
+            energy["kernel_bank"] = self.kernel_bank.read_energy_j() * updates
+        return PowerBreakdown(energy)
+
+    def average_power_w(
+        self, plan: MappingPlan, frame_rate_hz: float | None = None
+    ) -> PowerBreakdown:
+        """Average power at a sustained frame rate (Fig. 9 quantity)."""
+        rate = frame_rate_hz if frame_rate_hz is not None else self.config.frame_rate_hz
+        check_positive("frame_rate_hz", rate)
+        frame_time = 1.0 / rate
+        plan_time = self.compute_time_s(plan)
+        if plan_time > frame_time:
+            raise ValueError(
+                f"compute time {plan_time:.3g}s exceeds the frame budget "
+                f"{frame_time:.3g}s at {rate} FPS"
+            )
+        return self.frame_energy_j(plan).scaled(rate)
+
+    def electronics_power_w(self, plan: MappingPlan, frame_rate_hz: float | None = None) -> float:
+        """Average power of the electronic path only (Table I convention).
+
+        Counts the per-pixel thresholding/driving electronics, AWC static
+        bias, TIA duty and control duty — the components comparable with
+        the electronic PIS rows of Table I, whose optical source power is
+        accounted separately by the paper.
+        """
+        rate = frame_rate_hz if frame_rate_hz is not None else self.config.frame_rate_hz
+        breakdown = self.average_power_w(plan, rate)
+        electronic = ("sense_amp", "driver", "awc", "control", "vom")
+        return float(sum(breakdown.components.get(name, 0.0) for name in electronic))
+
+    # ------------------------------------------------------------------
+    # Area
+    # ------------------------------------------------------------------
+    #: Layout pitch of one MR including its heater and trench [m].
+    MR_PITCH_M = 20e-6
+    #: BPD + TIA layout area per arm [m^2].
+    BPD_AREA_M2 = 190e-12
+    #: AWC ladder + decode area per unit [m^2].
+    AWC_AREA_M2 = 1400e-12
+    #: Per-pixel VAM electronics (two SAs + driver share) [m^2].
+    VAM_AREA_PER_PIXEL_M2 = 7.5e-12
+    #: Controller + clocking + IO [m^2].
+    CONTROL_AREA_M2 = 0.065e-6
+
+    def area_mm2(self) -> AreaBreakdown:
+        """OPC + periphery area (the paper's 1.92 mm^2 figure).
+
+        The unmodified pixel array is reported separately (the paper's
+        Table I notes "no modification on the pixel array").
+        """
+        mr_area = self.config.total_mrs * self.MR_PITCH_M**2
+        bpd_area = self.config.total_arms * self.BPD_AREA_M2
+        awc_area = self.config.num_awc_units * self.AWC_AREA_M2
+        vam_area = self.config.num_pixels * self.VAM_AREA_PER_PIXEL_M2
+        return AreaBreakdown(
+            {
+                "mr_array": mr_area * 1e6,
+                "bpd": bpd_area * 1e6,
+                "awc": awc_area * 1e6,
+                "vam": vam_area * 1e6,
+                "control": self.CONTROL_AREA_M2 * 1e6,
+            }
+        )
+
+    def pixel_array_area_mm2(self) -> float:
+        """Area of the (unmodified) imager array."""
+        return self.config.num_pixels * (self.config.pixel_pitch_m**2) * 1e6
+
+
+def resnet18_first_layer_workload(config: OISAConfig | None = None) -> ConvWorkload:
+    """The evaluation workload: ResNet-18's first conv on the imager frame.
+
+    64 kernels of 3x3 over the sensor's 128x128 frame; RGB is captured as
+    three sequential pixel-plane exposures (Section III notes the imager is
+    a conventional monochrome array).
+    """
+    cfg = config or OISAConfig()
+    return ConvWorkload(
+        kernel_size=3,
+        num_kernels=64,
+        in_channels=3,
+        image_height=cfg.pixel_rows,
+        image_width=cfg.pixel_cols,
+        stride=1,
+        padding=1,
+    )
+
+
+def default_plan(config: OISAConfig | None = None) -> MappingPlan:
+    """Mapping plan for the default evaluation workload."""
+    cfg = config or OISAConfig()
+    return plan_convolution(cfg, resnet18_first_layer_workload(cfg))

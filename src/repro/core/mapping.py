@@ -1,0 +1,232 @@
+"""Kernel-to-OPC hardware mapping and scheduling (Section III-B).
+
+The paper's allocation rules:
+
+* a **3x3 kernel** fits in one arm (9 of its 10 MRs), so each bank holds
+  ``n = 5`` kernels and the whole OPC computes
+  ``f * n * K^2 = 80 * 5 * 9 = 3600`` MACs per cycle;
+* a **5x5 kernel** (25 weights) needs one *bank* (its 50 MRs across 5
+  arms), ``n = 1`` -> ``80 * 25 = 2000`` MACs/cycle, partial sums combined
+  in the VOM;
+* a **7x7 kernel** (49 weights) likewise occupies one bank ->
+  ``80 * 49 = 3920`` MACs/cycle.
+
+A full weight reprogram walks the AWC units over all 4000 MRs in
+``total_mrs / num_awc_units = 100`` iterations.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.config import SUPPORTED_KERNEL_SIZES, OISAConfig
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class ConvWorkload:
+    """First-layer convolution workload descriptor."""
+
+    kernel_size: int
+    num_kernels: int
+    in_channels: int
+    image_height: int
+    image_width: int
+    stride: int = 1
+    padding: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kernel_size not in SUPPORTED_KERNEL_SIZES:
+            raise ValueError(
+                f"OISA supports kernel sizes {SUPPORTED_KERNEL_SIZES}, "
+                f"got {self.kernel_size}"
+            )
+        check_positive("num_kernels", self.num_kernels)
+        check_positive("in_channels", self.in_channels)
+        check_positive("image_height", self.image_height)
+        check_positive("image_width", self.image_width)
+        check_positive("stride", self.stride)
+        if self.padding < 0:
+            raise ValueError(f"padding must be non-negative, got {self.padding}")
+
+    @property
+    def output_height(self) -> int:
+        """Output rows of the convolution."""
+        return (
+            self.image_height + 2 * self.padding - self.kernel_size
+        ) // self.stride + 1
+
+    @property
+    def output_width(self) -> int:
+        """Output columns of the convolution."""
+        return (
+            self.image_width + 2 * self.padding - self.kernel_size
+        ) // self.stride + 1
+
+    @property
+    def windows_per_channel(self) -> int:
+        """Stride positions of one kernel over one channel."""
+        return self.output_height * self.output_width
+
+    @property
+    def total_macs(self) -> int:
+        """Total multiply-accumulates of the layer."""
+        return (
+            self.windows_per_channel
+            * self.num_kernels
+            * self.in_channels
+            * self.kernel_size**2
+        )
+
+    @property
+    def total_ops(self) -> int:
+        """Total ops counting multiply and add separately (2 x MACs)."""
+        return 2 * self.total_macs
+
+
+def kernels_per_bank(config: OISAConfig, kernel_size: int) -> int:
+    """How many kernels of ``kernel_size`` one bank holds (paper's ``n``)."""
+    if kernel_size not in SUPPORTED_KERNEL_SIZES:
+        raise ValueError(
+            f"OISA supports kernel sizes {SUPPORTED_KERNEL_SIZES}, got {kernel_size}"
+        )
+    weights = kernel_size**2
+    if weights <= config.macs_per_arm:
+        # One kernel per arm (3x3 in the default geometry).
+        return config.arms_per_bank
+    if weights <= config.mrs_per_bank:
+        # Kernel spans multiple arms; one kernel per bank (5x5, 7x7).
+        return 1
+    raise ValueError(
+        f"kernel {kernel_size}x{kernel_size} exceeds a bank's "
+        f"{config.mrs_per_bank} MRs"
+    )
+
+
+def macs_per_cycle(config: OISAConfig, kernel_size: int) -> int:
+    """Architecture-wide MACs per cycle: ``f * (n * K^2)``.
+
+    Reproduces the paper's 3600 / 2000 / 3920 for K = 3 / 5 / 7 under the
+    default geometry.
+    """
+    n = kernels_per_bank(config, kernel_size)
+    return config.num_banks * n * kernel_size**2
+
+
+def arms_per_kernel(config: OISAConfig, kernel_size: int) -> int:
+    """Arms one kernel instance occupies."""
+    if kernel_size**2 <= config.macs_per_arm:
+        return 1
+    return config.arms_per_bank
+
+
+@dataclass(frozen=True)
+class MappingPlan:
+    """Static allocation of a conv workload onto the OPC."""
+
+    workload: ConvWorkload
+    kernels_per_bank: int
+    arms_per_kernel: int
+    macs_per_cycle: int
+    kernel_slots: int
+    mapping_rounds: int
+    compute_cycles: int
+    mr_utilization: float
+
+    @property
+    def total_cycles(self) -> int:
+        """Compute cycles only (mapping latency priced separately)."""
+        return self.compute_cycles
+
+
+def plan_convolution(config: OISAConfig, workload: ConvWorkload) -> MappingPlan:
+    """Allocate a convolution onto the OPC and count compute cycles.
+
+    The OPC offers ``num_banks * kernels_per_bank`` *kernel slots*.  Each
+    distinct (output-channel, input-channel) kernel plane needs a slot;
+    when the workload has more planes than slots the controller remaps
+    between rounds (``mapping_rounds``).  Within one round, every cycle
+    evaluates one stride position for each resident plane, so the cycle
+    count is ``windows * mapping_rounds``.
+    """
+    slots = config.num_banks * kernels_per_bank(config, workload.kernel_size)
+    planes = workload.num_kernels * workload.in_channels
+    rounds = math.ceil(planes / slots)
+    windows = workload.windows_per_channel
+    cycles = windows * rounds
+
+    used_mrs_per_kernel = workload.kernel_size**2
+    resident = min(planes, slots)
+    used_mrs = resident * used_mrs_per_kernel
+    utilization = used_mrs / config.total_mrs
+
+    return MappingPlan(
+        workload=workload,
+        kernels_per_bank=kernels_per_bank(config, workload.kernel_size),
+        arms_per_kernel=arms_per_kernel(config, workload.kernel_size),
+        macs_per_cycle=macs_per_cycle(config, workload.kernel_size),
+        kernel_slots=slots,
+        mapping_rounds=rounds,
+        compute_cycles=cycles,
+        mr_utilization=utilization,
+    )
+
+
+@dataclass(frozen=True)
+class MlpWorkload:
+    """First-layer MLP (dense) workload descriptor."""
+
+    input_features: int
+    output_features: int
+
+    def __post_init__(self) -> None:
+        check_positive("input_features", self.input_features)
+        check_positive("output_features", self.output_features)
+
+    @property
+    def total_macs(self) -> int:
+        """Total multiply-accumulates of the dense layer."""
+        return self.input_features * self.output_features
+
+
+@dataclass(frozen=True)
+class MlpMappingPlan:
+    """Allocation of a dense layer onto banks with VOM partial summing."""
+
+    workload: MlpWorkload
+    chunks_per_neuron: int
+    neurons_per_round: int
+    mapping_rounds: int
+    compute_cycles: int
+    vom_combines: int
+
+
+def plan_mlp(config: OISAConfig, workload: MlpWorkload) -> MlpMappingPlan:
+    """Split huge dot products across banks (the VOM's purpose).
+
+    Each neuron's ``input_features``-long dot product is chopped into
+    bank-sized chunks of ``mrs_per_bank`` elements; the VOM accumulates the
+    per-bank partial sums electronically.
+    """
+    chunk = config.mrs_per_bank
+    chunks_per_neuron = math.ceil(workload.input_features / chunk)
+    neurons_per_round = max(config.num_banks // chunks_per_neuron, 1)
+    rounds = math.ceil(workload.output_features / neurons_per_round)
+    # One cycle computes all resident partial sums; VOM combining is
+    # pipelined with the next optical cycle.
+    cycles = rounds
+    vom_combines = workload.output_features * (chunks_per_neuron - 1)
+    return MlpMappingPlan(
+        workload=workload,
+        chunks_per_neuron=chunks_per_neuron,
+        neurons_per_round=neurons_per_round,
+        mapping_rounds=rounds,
+        compute_cycles=cycles,
+        vom_combines=vom_combines,
+    )
+
+
+def weight_mapping_iterations(config: OISAConfig) -> int:
+    """AWC sweeps needed to (re)program the full OPC (100 in the paper)."""
+    return config.weight_mapping_iterations

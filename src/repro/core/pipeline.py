@@ -1,0 +1,113 @@
+"""Hardware-in-the-loop inference: OISA first layer + off-chip remainder.
+
+Implements the right-hand side of the paper's Fig. 7: a QAT-trained model's
+first convolution runs on the OISA behavioral hardware (realized weights,
+crosstalk, BPD noise), and the remaining layers run as the "behavioral DNN
+model" on the off-chip processor (here: the float NumPy layers).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.opc import OpticalProcessingCore
+from repro.nn.layers import Sequential
+from repro.nn.models import TernaryInputLayer, find_first_quant_conv
+from repro.nn.quant import QuantConv2D, QuantDense
+
+
+class HardwareFirstLayerPipeline:
+    """Evaluate a trained QAT model with its first layer in the optics.
+
+    Parameters
+    ----------
+    model:
+        A :func:`~repro.nn.models.build_lenet`-style Sequential whose first
+        layers are ``TernaryInputLayer`` then ``QuantConv2D`` — or, for the
+        paper's MLP mode, ``QuantDense`` (the VOM recombines the bank-split
+        partial sums; numerically the full dot product).
+    opc:
+        The optical core to run the first layer on.  Its bit-width must
+        match the model's first-layer quantizer.
+    """
+
+    def __init__(self, model: Sequential, opc: OpticalProcessingCore) -> None:
+        first = self._find_first_quant_layer(model)
+        if first is None:
+            raise ValueError(
+                "model must start with a quantized first layer (QAT model); "
+                "the float baseline cannot run on OISA hardware"
+            )
+        if not isinstance(model[0], TernaryInputLayer):
+            raise ValueError("model must ternarize its input (VAM path)")
+        self.model = model
+        self.conv = first  # historical name; may be a QuantDense
+        self.opc = opc
+        self._program()
+
+    @staticmethod
+    def _find_first_quant_layer(model: Sequential):
+        conv = find_first_quant_conv(model)
+        if conv is not None:
+            return conv
+        for layer in model:
+            if isinstance(layer, QuantDense):
+                return layer
+            if isinstance(layer, TernaryInputLayer):
+                continue
+            break
+        return None
+
+    @property
+    def is_dense(self) -> bool:
+        """Whether the hardware layer is the MLP (VOM-split) mode."""
+        return isinstance(self.conv, QuantDense)
+
+    def _program(self) -> None:
+        quantized = self.conv.quantizer.quantize(self.conv.weight.data)
+        scale = self.conv.quantizer.scale(self.conv.weight.data)
+        self.opc.program(quantized, scale)
+
+    def _split_index(self) -> int:
+        for index, layer in enumerate(self.model):
+            if isinstance(layer, (QuantConv2D, QuantDense)):
+                return index
+        raise RuntimeError("quantized first layer disappeared from the model")
+
+    def forward(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Full-network logits with the first layer computed optically."""
+        x = np.asarray(x, dtype=float)
+        split = self._split_index()
+        rest = self.model.layers[split + 1 :]
+        outputs = []
+        for start in range(0, x.shape[0], batch_size):
+            chunk = x[start : start + batch_size]
+            ternary = self.model.layers[0].forward(chunk)  # {0, 0.5, 1}
+            if self.is_dense:
+                features = self.opc.dot(ternary.reshape(ternary.shape[0], -1))
+            else:
+                features = self.opc.convolve(
+                    ternary, stride=self.conv.stride, padding=self.conv.padding
+                )
+            hidden = features
+            for layer in rest:
+                hidden = layer.forward(hidden, training=False)
+            outputs.append(hidden)
+        return np.concatenate(outputs, axis=0)
+
+    def evaluate(
+        self, x: np.ndarray, labels: np.ndarray, batch_size: int = 256
+    ) -> float:
+        """Top-1 accuracy with the optical first layer in the loop."""
+        logits = self.forward(x, batch_size=batch_size)
+        predictions = logits.argmax(axis=1)
+        return float((predictions == np.asarray(labels)).mean())
+
+    def weight_error_report(self) -> dict[str, float]:
+        """Ideal-vs-realized first-layer weight statistics."""
+        programmed = self.opc.programmed
+        return {
+            "rms_error": programmed.weight_error_rms,
+            "relative_error": programmed.weight_error_relative,
+            "mapping_iterations": float(programmed.mapping_iterations),
+        }

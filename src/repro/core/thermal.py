@@ -1,0 +1,115 @@
+"""Thermal drift of the MR array and its closed-loop compensation.
+
+Silicon's thermo-optic coefficient moves an MR resonance by roughly
+70-80 pm/K; the paper's MR Device Engineering section picks a low Q
+(broad FWHM) precisely so such drifts do not destroy weight fidelity.
+This module quantifies that argument:
+
+* open-loop: a uniform ambient shift detunes every ring, perturbing every
+  programmed weight;
+* closed-loop: a feedback controller re-trims each ring with the EO stage
+  (fast, tiny range) as long as the drift fits the EO budget, at a small
+  residual set by the control loop's dead-band.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.photonics.microring import MicroringResonator
+from repro.photonics.tuning import HybridTuning
+from repro.util.validation import check_non_negative, check_positive
+
+#: Silicon MR thermo-optic resonance drift [m/K].
+RESONANCE_DRIFT_M_PER_K = 75e-12
+
+
+@dataclass(frozen=True)
+class ThermalModel:
+    """Uniform ambient-temperature drift across the OPC."""
+
+    ring: MicroringResonator
+    tuning: HybridTuning
+    drift_m_per_k: float = RESONANCE_DRIFT_M_PER_K
+    #: Control dead-band of the stabilisation loop [m] (residual detuning).
+    control_deadband_m: float = 2e-12
+
+    def __post_init__(self) -> None:
+        check_positive("drift_m_per_k", self.drift_m_per_k)
+        check_non_negative("control_deadband_m", self.control_deadband_m)
+
+    def resonance_shift_m(self, delta_t_k: float) -> float:
+        """Resonance drift [m] for a temperature excursion [K]."""
+        return self.drift_m_per_k * delta_t_k
+
+    # ------------------------------------------------------------------
+    # Open loop
+    # ------------------------------------------------------------------
+    def drifted_weights(
+        self, weights: np.ndarray, delta_t_k: float
+    ) -> np.ndarray:
+        """Programmed transmissions after an *uncompensated* drift.
+
+        Each ring was tuned so its carrier transmission equalled its
+        weight; the drift adds a common detuning on top of each ring's
+        operating point.
+        """
+        weights = np.asarray(weights, dtype=float)
+        t_min = self.ring.min_transmission
+        clipped = np.clip(weights, t_min, 1.0)
+        shift = self.resonance_shift_m(delta_t_k)
+        drifted = np.empty_like(clipped)
+        for index, weight in np.ndenumerate(clipped):
+            operating = self.ring.detuning_for_transmission(float(weight))
+            drifted[index] = float(
+                self.ring.lorentzian_transmission(operating + shift)
+            )
+        return drifted
+
+    def open_loop_error(self, weights: np.ndarray, delta_t_k: float) -> float:
+        """RMS weight error of the uncompensated drift."""
+        weights = np.asarray(weights, dtype=float)
+        t_min = self.ring.min_transmission
+        clipped = np.clip(weights, t_min, 1.0)
+        drifted = self.drifted_weights(clipped, delta_t_k)
+        return float(np.sqrt(np.mean((drifted - clipped) ** 2)))
+
+    # ------------------------------------------------------------------
+    # Closed loop
+    # ------------------------------------------------------------------
+    def compensable_range_k(self) -> float:
+        """Largest excursion [K] the EO fine-trim stage can absorb."""
+        return self.tuning.eo_range_m / self.drift_m_per_k
+
+    def closed_loop_error(self, weights: np.ndarray, delta_t_k: float) -> float:
+        """Residual RMS weight error with the stabilisation loop active.
+
+        Within the EO range the loop trims drift down to its dead-band;
+        beyond it the heater must assist and the residual equals the
+        dead-band too (just slower/hotter) — the error model returns the
+        dead-band-limited residual either way, while
+        :meth:`compensation_power_w` prices the difference.
+        """
+        weights = np.asarray(weights, dtype=float)
+        t_min = self.ring.min_transmission
+        clipped = np.clip(weights, t_min, 1.0)
+        residual = self.drifted_weights(clipped, 0.0)  # operating points
+        deadband_t = self.control_deadband_m
+        errors = []
+        for weight in clipped.ravel():
+            operating = self.ring.detuning_for_transmission(float(weight))
+            moved = float(self.ring.lorentzian_transmission(operating + deadband_t))
+            errors.append(moved - float(weight))
+        del residual
+        return float(np.sqrt(np.mean(np.square(errors))))
+
+    def compensation_power_w(self, delta_t_k: float, num_mrs: int) -> float:
+        """Average added tuning power to hold against a drift."""
+        if num_mrs <= 0:
+            raise ValueError(f"num_mrs must be positive, got {num_mrs}")
+        shift = abs(self.resonance_shift_m(delta_t_k))
+        to_part, _ = self.tuning.split_shift(shift)
+        per_mr = self.tuning.to_power_per_nm_w * (abs(to_part) / 1e-9)
+        return per_mr * num_mrs

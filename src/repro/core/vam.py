@@ -1,0 +1,79 @@
+"""Architecture-level VCSEL Activation Modulator (frame view).
+
+Wraps the circuit-level VAM into the vectorised operations the accelerator
+needs: turn a normalised sensor frame into ternary symbols and optical
+powers, and account the energy of doing so for every pixel of a frame.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.circuits.vam import VamDesign
+from repro.photonics.vcsel import TernaryVcselEncoder
+from repro.util.validation import check_positive
+
+
+@dataclass
+class ActivationModulator:
+    """Frame-level ternary activation encoder.
+
+    ``low/high_threshold`` are expressed on the *normalised* intensity scale
+    of the incoming frame ([0, 1]); they correspond to the VAM's two
+    sense-amplifier references mapped through the pixel transfer curve.
+    """
+
+    design: VamDesign = field(default_factory=VamDesign)
+    encoder: TernaryVcselEncoder = field(default_factory=TernaryVcselEncoder)
+    low_threshold: float = 1.0 / 3.0
+    high_threshold: float = 2.0 / 3.0
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.low_threshold < self.high_threshold <= 1.0):
+            raise ValueError(
+                "thresholds must satisfy 0 <= low < high <= 1, got "
+                f"({self.low_threshold}, {self.high_threshold})"
+            )
+
+    def encode(self, frame: np.ndarray) -> np.ndarray:
+        """Ternary symbols {0, 1, 2} for a normalised intensity frame."""
+        frame = np.asarray(frame, dtype=float)
+        return (frame > self.low_threshold).astype(np.int8) + (
+            frame > self.high_threshold
+        ).astype(np.int8)
+
+    def optical_powers_w(self, frame: np.ndarray) -> np.ndarray:
+        """Per-pixel VCSEL optical power [W] for a frame."""
+        return self.encoder.optical_power_w(self.encode(frame))
+
+    def symbol_distribution(self, frame: np.ndarray) -> np.ndarray:
+        """Empirical (p0, p1, p2) symbol probabilities of a frame."""
+        symbols = self.encode(frame)
+        counts = np.bincount(symbols.ravel(), minlength=3)[:3]
+        return counts / max(symbols.size, 1)
+
+    def frame_energy_j(self, frame: np.ndarray, symbol_time_s: float) -> float:
+        """Energy to modulate one frame for ``symbol_time_s`` per pixel.
+
+        Counts two SA decisions and one driver switch per pixel, plus the
+        VCSEL electrical energy weighted by the frame's actual symbol mix
+        (NRZ: symbol 0 still burns the bias current).
+        """
+        check_positive("symbol_time_s", symbol_time_s)
+        frame = np.asarray(frame, dtype=float)
+        num_pixels = frame.size
+        probabilities = self.symbol_distribution(frame)
+        vcsel_power = self.encoder.mean_symbol_power_w(tuple(probabilities))
+        static = (
+            2.0 * self.design.sa_energy_per_decision_j
+            + self.design.driver_energy_per_symbol_j
+        ) * num_pixels
+        return static + vcsel_power * num_pixels * symbol_time_s
+
+    def average_power_w(self, frame: np.ndarray, frame_rate_hz: float) -> float:
+        """Average modulation power at a sustained frame rate."""
+        check_positive("frame_rate_hz", frame_rate_hz)
+        symbol_time = 1.0 / frame_rate_hz
+        return self.frame_energy_j(frame, symbol_time) * frame_rate_hz

@@ -1,0 +1,85 @@
+"""VCSEL Output Modulator: partial-sum decomposition.
+
+Large dot products (5x5/7x7 kernels spanning several arms, or MLP rows
+spanning several banks) exceed what one balanced photodiode can sum
+optically.  The VOM re-modulates each arm's BPD result onto an output
+VCSEL so partial sums can be combined — either in extra optical summation
+arms or electronically before transmission (Section III, component (v)).
+
+This module models the *functional* combining (exact addition plus a small
+re-modulation noise) and its energy/latency so the mapping and energy
+layers can price it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.util.rng import derive_rng
+from repro.util.validation import check_non_negative, check_positive
+
+
+@dataclass
+class OutputModulator:
+    """Partial-sum combiner with re-modulation noise.
+
+    ``remodulation_sigma`` is the relative noise added each time a partial
+    result is re-emitted by an output VCSEL (driver + laser RIN); exact
+    electronic combining corresponds to ``remodulation_sigma = 0``.
+    """
+
+    remodulation_sigma: float = 0.002
+    energy_per_combine_j: float = 60e-15
+    combine_latency_s: float = 120e-12
+    seed: int | None = None
+    _rng: np.random.Generator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        check_non_negative("remodulation_sigma", self.remodulation_sigma)
+        check_non_negative("energy_per_combine_j", self.energy_per_combine_j)
+        check_non_negative("combine_latency_s", self.combine_latency_s)
+        self._rng = derive_rng(self.seed, "vom-remodulation")
+
+    def combine(self, partial_sums: np.ndarray, axis: int = -1) -> np.ndarray:
+        """Sum partial results along ``axis`` with re-modulation noise.
+
+        Each partial term passes through one output VCSEL, so each picks up
+        independent relative noise before the addition.
+        """
+        partials = np.asarray(partial_sums, dtype=float)
+        if self.remodulation_sigma > 0.0:
+            scale_noise = self._rng.normal(
+                1.0, self.remodulation_sigma, size=partials.shape
+            )
+            partials = partials * scale_noise
+        return partials.sum(axis=axis)
+
+    def combine_energy_j(self, num_partials: int, num_outputs: int) -> float:
+        """Energy to combine ``num_partials`` terms for ``num_outputs`` values."""
+        check_positive("num_partials", num_partials)
+        check_non_negative("num_outputs", num_outputs)
+        combines = max(num_partials - 1, 0) * num_outputs
+        return combines * self.energy_per_combine_j
+
+    def combine_latency(self, num_partials: int) -> float:
+        """Latency of a combining tree (log-depth) [s]."""
+        check_positive("num_partials", num_partials)
+        depth = int(np.ceil(np.log2(num_partials))) if num_partials > 1 else 0
+        return depth * self.combine_latency_s
+
+    def split_dot_product(
+        self, vector_length: int, chunk: int
+    ) -> list[tuple[int, int]]:
+        """Chop a long dot product into (start, stop) chunks of <= ``chunk``.
+
+        Mirrors the controller's MLP decomposition: contiguous input slices
+        assigned to successive banks.
+        """
+        check_positive("vector_length", vector_length)
+        check_positive("chunk", chunk)
+        return [
+            (start, min(start + chunk, vector_length))
+            for start in range(0, vector_length, chunk)
+        ]

@@ -1,0 +1,38 @@
+"""Synthetic image-classification datasets (replaces torchvision downloads).
+
+This environment has no network access, so MNIST/SVHN/CIFAR cannot be
+fetched.  The Table II experiment measures how much accuracy the OISA first
+layer loses to ternary activations, low-bit weights and analog noise — a
+*relative* quantity driven by input statistics (dynamic range, spatial
+correlation, class separability), not by the specific natural images.  The
+generators here produce deterministic, class-structured images with matched
+shapes and tunable difficulty:
+
+* :mod:`repro.datasets.synthetic` — the procedural generator.
+* :mod:`repro.datasets.catalog` — presets mirroring the paper's four
+  datasets (``mnist_like``, ``svhn_like``, ``cifar10_like``,
+  ``cifar100_like``).
+"""
+
+from repro.datasets.catalog import (
+    DATASET_PRESETS,
+    Dataset,
+    cifar10_like,
+    cifar100_like,
+    load_preset,
+    mnist_like,
+    svhn_like,
+)
+from repro.datasets.synthetic import SyntheticSpec, generate_dataset
+
+__all__ = [
+    "DATASET_PRESETS",
+    "Dataset",
+    "SyntheticSpec",
+    "cifar10_like",
+    "cifar100_like",
+    "generate_dataset",
+    "load_preset",
+    "mnist_like",
+    "svhn_like",
+]

@@ -1,0 +1,13 @@
+"""Analytical memory models (replaces CACTI and NVSIM).
+
+The paper uses CACTI for OISA's kernel banks and the ASIC baseline's
+eDRAM/SRAM, and NVSIM for the non-volatile banks of the AppCiP/PISA-style
+electronic PIS baseline.  Only scalar energy/latency/area outputs of those
+tools enter the architecture comparison, so we provide calibrated analytical
+models with the same interface role.
+"""
+
+from repro.memarch.cacti import EdramModel, SramModel
+from repro.memarch.nvsim import NvmModel
+
+__all__ = ["EdramModel", "NvmModel", "SramModel"]

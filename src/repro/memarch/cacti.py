@@ -1,0 +1,130 @@
+"""CACTI-style SRAM / eDRAM energy, latency and area estimators.
+
+Calibrated to CACTI 5.1-class outputs for 45–65 nm nodes: per-access energy
+grows roughly with the square root of capacity (bitline/wordline lengths),
+leakage and area grow linearly.  These trends are what the architecture
+comparison consumes; absolute constants are anchored to published numbers
+for 1–64 KiB arrays.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class SramModel:
+    """SRAM macro model.
+
+    Anchors (45 nm, CACTI-class): a 4 KiB array reads at ~5 pJ/32-bit word
+    with ~0.5 ns access and ~0.016 mm^2; energy scales ~sqrt(capacity).
+    """
+
+    capacity_bytes: int
+    word_bits: int = 32
+    technology_nm: int = 45
+    anchor_capacity_bytes: int = 4096
+    anchor_read_energy_j: float = 5e-12
+    anchor_access_time_s: float = 0.5e-9
+    anchor_leakage_w: float = 6e-6
+    anchor_area_mm2: float = 0.016
+    write_energy_factor: float = 1.15
+
+    def __post_init__(self) -> None:
+        check_positive("capacity_bytes", self.capacity_bytes)
+        check_positive("word_bits", self.word_bits)
+        check_positive("technology_nm", self.technology_nm)
+
+    def _capacity_ratio(self) -> float:
+        return self.capacity_bytes / self.anchor_capacity_bytes
+
+    def _node_scale(self) -> float:
+        # Dynamic energy ~ node^2 relative to the 45 nm anchor.
+        return (self.technology_nm / 45.0) ** 2
+
+    def read_energy_j(self) -> float:
+        """Energy of one word read [J]."""
+        return (
+            self.anchor_read_energy_j
+            * math.sqrt(self._capacity_ratio())
+            * self._node_scale()
+            * (self.word_bits / 32.0)
+        )
+
+    def write_energy_j(self) -> float:
+        """Energy of one word write [J]."""
+        return self.read_energy_j() * self.write_energy_factor
+
+    def access_time_s(self) -> float:
+        """Random-access latency [s]."""
+        return self.anchor_access_time_s * math.sqrt(self._capacity_ratio())
+
+    def leakage_power_w(self) -> float:
+        """Static leakage [W], linear in capacity."""
+        return self.anchor_leakage_w * self._capacity_ratio() * (
+            self.technology_nm / 45.0
+        )
+
+    def area_mm2(self) -> float:
+        """Macro area [mm^2], linear in capacity."""
+        return self.anchor_area_mm2 * self._capacity_ratio() * (
+            self.technology_nm / 45.0
+        ) ** 2
+
+
+@dataclass(frozen=True)
+class EdramModel:
+    """eDRAM macro model for the DaDianNao-like ASIC tiles.
+
+    Anchors follow the DaDianNao paper's 28–45 nm eDRAM characteristics:
+    denser but slower than SRAM, with refresh power proportional to
+    capacity.
+    """
+
+    capacity_bytes: int
+    word_bits: int = 64
+    technology_nm: int = 45
+    anchor_capacity_bytes: int = 2 * 1024 * 1024
+    anchor_read_energy_j: float = 50e-12
+    anchor_access_time_s: float = 2.2e-9
+    anchor_refresh_power_w: float = 45e-6
+    anchor_area_mm2: float = 1.4
+    write_energy_factor: float = 1.1
+
+    def __post_init__(self) -> None:
+        check_positive("capacity_bytes", self.capacity_bytes)
+        check_positive("word_bits", self.word_bits)
+        check_positive("technology_nm", self.technology_nm)
+
+    def _capacity_ratio(self) -> float:
+        return self.capacity_bytes / self.anchor_capacity_bytes
+
+    def read_energy_j(self) -> float:
+        """Energy of one word read [J]."""
+        return (
+            self.anchor_read_energy_j
+            * math.sqrt(self._capacity_ratio())
+            * (self.technology_nm / 45.0) ** 2
+            * (self.word_bits / 64.0)
+        )
+
+    def write_energy_j(self) -> float:
+        """Energy of one word write [J]."""
+        return self.read_energy_j() * self.write_energy_factor
+
+    def access_time_s(self) -> float:
+        """Random-access latency [s]."""
+        return self.anchor_access_time_s * math.sqrt(self._capacity_ratio())
+
+    def refresh_power_w(self) -> float:
+        """Standing refresh power [W]."""
+        return self.anchor_refresh_power_w * self._capacity_ratio()
+
+    def area_mm2(self) -> float:
+        """Macro area [mm^2]."""
+        return self.anchor_area_mm2 * self._capacity_ratio() * (
+            self.technology_nm / 45.0
+        ) ** 2

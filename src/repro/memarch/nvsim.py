@@ -1,0 +1,84 @@
+"""NVSIM-style non-volatile memory model (RRAM-class).
+
+PISA and AppCiP store network weights in non-volatile banks; their defining
+cost is the *write* path — NVM writes are one to two orders of magnitude
+more expensive than reads and wear the cells.  The paper's background
+section calls this out explicitly ("power-demanding write operations in
+non-volatile memories ... elevate the overall power consumption").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class NvmModel:
+    """RRAM-like NVM bank (NVSIM-calibrated trends, 45–65 nm)."""
+
+    capacity_bytes: int
+    word_bits: int = 32
+    technology_nm: int = 45
+    anchor_capacity_bytes: int = 4096
+    anchor_read_energy_j: float = 2.5e-12
+    anchor_write_energy_j: float = 85e-12
+    anchor_read_time_s: float = 1.5e-9
+    anchor_write_time_s: float = 12e-9
+    anchor_leakage_w: float = 0.4e-6
+    anchor_area_mm2: float = 0.006
+    endurance_cycles: float = 1e8
+
+    def __post_init__(self) -> None:
+        check_positive("capacity_bytes", self.capacity_bytes)
+        check_positive("word_bits", self.word_bits)
+        check_positive("technology_nm", self.technology_nm)
+
+    def _capacity_ratio(self) -> float:
+        return self.capacity_bytes / self.anchor_capacity_bytes
+
+    def _node_scale(self) -> float:
+        return (self.technology_nm / 45.0) ** 2
+
+    def read_energy_j(self) -> float:
+        """Energy of one word read [J]."""
+        return (
+            self.anchor_read_energy_j
+            * math.sqrt(self._capacity_ratio())
+            * self._node_scale()
+            * (self.word_bits / 32.0)
+        )
+
+    def write_energy_j(self) -> float:
+        """Energy of one word write [J] (the dominant NVM cost)."""
+        return (
+            self.anchor_write_energy_j
+            * math.sqrt(self._capacity_ratio())
+            * self._node_scale()
+            * (self.word_bits / 32.0)
+        )
+
+    def read_time_s(self) -> float:
+        """Read latency [s]."""
+        return self.anchor_read_time_s * math.sqrt(self._capacity_ratio())
+
+    def write_time_s(self) -> float:
+        """Write latency [s]."""
+        return self.anchor_write_time_s * math.sqrt(self._capacity_ratio())
+
+    def leakage_power_w(self) -> float:
+        """Static power [W]; NVM arrays leak far less than SRAM."""
+        return self.anchor_leakage_w * self._capacity_ratio()
+
+    def area_mm2(self) -> float:
+        """Macro area [mm^2]."""
+        return self.anchor_area_mm2 * self._capacity_ratio() * (
+            self.technology_nm / 45.0
+        ) ** 2
+
+    def lifetime_writes(self) -> float:
+        """Total word-writes before wear-out across the array."""
+        words = self.capacity_bytes * 8 / self.word_bits
+        return words * self.endurance_cycles

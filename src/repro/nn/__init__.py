@@ -1,0 +1,75 @@
+"""Pure-NumPy deep-learning substrate (replaces the paper's PyTorch stack).
+
+Implements exactly what the paper's evaluation framework needs (Fig. 7):
+
+* quantization-aware training of small CNNs/MLPs with straight-through
+  estimators (:mod:`repro.nn.quant`),
+* the network zoo used in Table II — LeNet, ResNet-18 (CIFAR variant) and
+  VGG-16, all width-scalable (:mod:`repro.nn.models`),
+* a mini-batch trainer with deterministic seeding (:mod:`repro.nn.train`).
+
+Layers follow an explicit forward/backward protocol (no autograd tape);
+gradients are exact and unit-tested against finite differences.
+"""
+
+from repro.nn.layers import (
+    AvgPool2D,
+    BatchNorm2D,
+    Conv2D,
+    Dense,
+    Flatten,
+    GlobalAvgPool2D,
+    Layer,
+    MaxPool2D,
+    Parameter,
+    ReLU,
+    Residual,
+    Sequential,
+)
+from repro.nn.losses import SoftmaxCrossEntropy
+from repro.nn.metrics import accuracy, confusion_matrix, top_k_accuracy
+from repro.nn.models import build_lenet, build_mlp, build_resnet18, build_vgg16
+from repro.nn.optim import SGD, Adam, ConstantLR, CosineLR, StepLR
+from repro.nn.quant import (
+    QuantConv2D,
+    QuantDense,
+    TernaryActivation,
+    UniformWeightQuantizer,
+    ternarize,
+)
+from repro.nn.train import Trainer, TrainingHistory
+
+__all__ = [
+    "Adam",
+    "AvgPool2D",
+    "BatchNorm2D",
+    "ConstantLR",
+    "Conv2D",
+    "CosineLR",
+    "Dense",
+    "Flatten",
+    "GlobalAvgPool2D",
+    "Layer",
+    "MaxPool2D",
+    "Parameter",
+    "QuantConv2D",
+    "QuantDense",
+    "ReLU",
+    "Residual",
+    "SGD",
+    "Sequential",
+    "SoftmaxCrossEntropy",
+    "StepLR",
+    "TernaryActivation",
+    "Trainer",
+    "TrainingHistory",
+    "UniformWeightQuantizer",
+    "accuracy",
+    "build_lenet",
+    "build_mlp",
+    "build_resnet18",
+    "build_vgg16",
+    "confusion_matrix",
+    "ternarize",
+    "top_k_accuracy",
+]

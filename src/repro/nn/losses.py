@@ -1,0 +1,46 @@
+"""Loss functions for classifier training."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.functional import softmax
+from repro.util.validation import check_probability
+
+
+class SoftmaxCrossEntropy:
+    """Softmax + cross-entropy with integer labels and optional smoothing.
+
+    ``forward`` returns the mean loss; ``backward`` returns the gradient
+    with respect to the logits (already divided by the batch size).
+    """
+
+    def __init__(self, label_smoothing: float = 0.0) -> None:
+        check_probability("label_smoothing", label_smoothing)
+        self.label_smoothing = label_smoothing
+        self._cache: tuple[np.ndarray, np.ndarray] | None = None
+
+    def forward(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        logits = np.asarray(logits, dtype=float)
+        labels = np.asarray(labels, dtype=int)
+        if logits.ndim != 2:
+            raise ValueError(f"logits must be (N, K), got shape {logits.shape}")
+        if labels.shape != (logits.shape[0],):
+            raise ValueError(
+                f"labels shape {labels.shape} does not match batch {logits.shape[0]}"
+            )
+        n, k = logits.shape
+        if labels.min() < 0 or labels.max() >= k:
+            raise ValueError("labels out of range")
+        probs = softmax(logits)
+        targets = np.full((n, k), self.label_smoothing / k)
+        targets[np.arange(n), labels] += 1.0 - self.label_smoothing
+        self._cache = (probs, targets)
+        log_probs = np.log(np.clip(probs, 1e-12, None))
+        return float(-(targets * log_probs).sum(axis=1).mean())
+
+    def backward(self) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        probs, targets = self._cache
+        return (probs - targets) / probs.shape[0]

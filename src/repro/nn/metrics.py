@@ -1,0 +1,39 @@
+"""Classification metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Top-1 accuracy in [0, 1] from logits (N, K) and integer labels (N,)."""
+    logits = np.asarray(logits)
+    labels = np.asarray(labels)
+    if logits.ndim != 2 or labels.shape != (logits.shape[0],):
+        raise ValueError("logits must be (N, K) and labels (N,)")
+    predictions = logits.argmax(axis=1)
+    return float((predictions == labels).mean())
+
+
+def top_k_accuracy(logits: np.ndarray, labels: np.ndarray, k: int = 5) -> float:
+    """Top-k accuracy in [0, 1]."""
+    logits = np.asarray(logits)
+    labels = np.asarray(labels)
+    if k < 1 or k > logits.shape[1]:
+        raise ValueError(f"k must be in [1, {logits.shape[1]}], got {k}")
+    top = np.argpartition(-logits, k - 1, axis=1)[:, :k]
+    hits = (top == labels[:, None]).any(axis=1)
+    return float(hits.mean())
+
+
+def confusion_matrix(
+    logits: np.ndarray, labels: np.ndarray, num_classes: int | None = None
+) -> np.ndarray:
+    """Row-true, column-predicted confusion counts."""
+    logits = np.asarray(logits)
+    labels = np.asarray(labels, dtype=int)
+    predictions = logits.argmax(axis=1)
+    k = num_classes if num_classes is not None else logits.shape[1]
+    matrix = np.zeros((k, k), dtype=np.int64)
+    np.add.at(matrix, (labels, predictions), 1)
+    return matrix

@@ -1,0 +1,348 @@
+"""The network zoo used by the paper's Table II.
+
+* LeNet (MNIST-class 28x28 inputs),
+* ResNet-18, CIFAR variant (3x3 stem, four 2-block stages),
+* VGG-16 (13 conv + 3 dense layers).
+
+Every builder accepts a ``width_multiplier`` so the NumPy trainer can run
+the same *architectures* at laptop scale (the paper trains full-width models
+on GPUs; width only rescales capacity, not the quantization behaviour under
+study), and a first-layer configuration matching OISA: ternary input
+activation plus a 1-to-4-bit quantized first convolution.  All later layers
+stay in float, mirroring the paper's split between the in-sensor first layer
+and the off-chip processor for "the 2nd-to-last layer".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.layers import (
+    BatchNorm2D,
+    Conv2D,
+    Dense,
+    Flatten,
+    GlobalAvgPool2D,
+    Layer,
+    MaxPool2D,
+    ReLU,
+    Residual,
+    Sequential,
+)
+from repro.nn.quant import QuantConv2D, QuantDense, TernaryActivation
+from repro.util.rng import spawn_seeds
+
+
+@dataclass(frozen=True)
+class FirstLayerConfig:
+    """How the sensor-facing first convolution is quantized.
+
+    ``weight_bits = None`` disables quantization entirely (the float
+    software baseline).  ``ternary_input`` applies the VAM's two-threshold
+    activation to the incoming frame.
+    """
+
+    weight_bits: int | None = 4
+    ternary_input: bool = True
+
+    def __post_init__(self) -> None:
+        if self.weight_bits is not None and not (1 <= self.weight_bits <= 4):
+            raise ValueError(
+                f"weight_bits must be in [1, 4] or None, got {self.weight_bits}"
+            )
+
+    @property
+    def label(self) -> str:
+        """Paper-style "[W:A]" tag, e.g. ``[4:2]`` or ``baseline``."""
+        if self.weight_bits is None:
+            return "baseline"
+        activation_bits = 2 if self.ternary_input else 32
+        return f"[{self.weight_bits}:{activation_bits}]"
+
+
+class TernaryInputLayer(Layer):
+    """Layer adapter around :class:`~repro.nn.quant.TernaryActivation`."""
+
+    def __init__(self) -> None:
+        self.activation = TernaryActivation()
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        return self.activation.forward(x)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return self.activation.backward(grad_out)
+
+
+def _first_conv(
+    config: FirstLayerConfig,
+    in_channels: int,
+    out_channels: int,
+    kernel_size: int,
+    stride: int,
+    padding: int,
+    seed: int,
+) -> Layer:
+    if config.weight_bits is None:
+        return Conv2D(
+            in_channels,
+            out_channels,
+            kernel_size,
+            stride=stride,
+            padding=padding,
+            use_bias=False,
+            seed=seed,
+        )
+    return QuantConv2D(
+        in_channels,
+        out_channels,
+        kernel_size,
+        bits=config.weight_bits,
+        stride=stride,
+        padding=padding,
+        use_bias=False,
+        seed=seed,
+    )
+
+
+def _scaled(width: int, multiplier: float) -> int:
+    return max(int(round(width * multiplier)), 4)
+
+
+def build_lenet(
+    num_classes: int = 10,
+    in_channels: int = 1,
+    input_size: int = 28,
+    width_multiplier: float = 1.0,
+    first_layer: FirstLayerConfig | None = None,
+    seed: int | None = None,
+) -> Sequential:
+    """LeNet-5-style network for MNIST-class inputs."""
+    config = first_layer or FirstLayerConfig()
+    seeds = spawn_seeds(seed, 5)
+    c1 = _scaled(6, width_multiplier)
+    c2 = _scaled(16, width_multiplier)
+    d1 = _scaled(120, width_multiplier)
+    d2 = _scaled(84, width_multiplier)
+    after_pool = input_size // 4  # two 2x2 pools, 'same' first conv
+    layers: list[Layer] = []
+    if config.ternary_input:
+        layers.append(TernaryInputLayer())
+    layers.extend(
+        [
+            _first_conv(config, in_channels, c1, 5, 1, 2, seeds[0]),
+            BatchNorm2D(c1),
+            ReLU(),
+            MaxPool2D(2),
+            Conv2D(c1, c2, 5, stride=1, padding=2, seed=seeds[1]),
+            BatchNorm2D(c2),
+            ReLU(),
+            MaxPool2D(2),
+            Flatten(),
+            Dense(c2 * after_pool * after_pool, d1, seed=seeds[2]),
+            ReLU(),
+            Dense(d1, d2, seed=seeds[3]),
+            ReLU(),
+            Dense(d2, num_classes, seed=seeds[4]),
+        ]
+    )
+    return Sequential(layers)
+
+
+def _basic_block(
+    in_channels: int, out_channels: int, stride: int, seeds: list[int]
+) -> Residual:
+    main = Sequential(
+        [
+            Conv2D(
+                in_channels,
+                out_channels,
+                3,
+                stride=stride,
+                padding=1,
+                use_bias=False,
+                seed=seeds[0],
+            ),
+            BatchNorm2D(out_channels),
+            ReLU(),
+            Conv2D(
+                out_channels,
+                out_channels,
+                3,
+                stride=1,
+                padding=1,
+                use_bias=False,
+                seed=seeds[1],
+            ),
+            BatchNorm2D(out_channels),
+        ]
+    )
+    shortcut: Layer | None = None
+    if stride != 1 or in_channels != out_channels:
+        shortcut = Sequential(
+            [
+                Conv2D(
+                    in_channels,
+                    out_channels,
+                    1,
+                    stride=stride,
+                    use_bias=False,
+                    seed=seeds[2],
+                ),
+                BatchNorm2D(out_channels),
+            ]
+        )
+    return Residual(main, shortcut)
+
+
+def build_resnet18(
+    num_classes: int = 10,
+    in_channels: int = 3,
+    width_multiplier: float = 1.0,
+    first_layer: FirstLayerConfig | None = None,
+    seed: int | None = None,
+) -> Sequential:
+    """ResNet-18 (CIFAR variant: 3x3 stem, no initial max-pool).
+
+    Stages of [2, 2, 2, 2] basic blocks at widths (64, 128, 256, 512) times
+    ``width_multiplier``, strides (1, 2, 2, 2).
+    """
+    config = first_layer or FirstLayerConfig()
+    widths = [_scaled(w, width_multiplier) for w in (64, 128, 256, 512)]
+    seeds = spawn_seeds(seed, 2 + 4 * 2 * 3)
+    seed_iter = iter(seeds)
+
+    layers: list[Layer] = []
+    if config.ternary_input:
+        layers.append(TernaryInputLayer())
+    layers.extend(
+        [
+            _first_conv(config, in_channels, widths[0], 3, 1, 1, next(seed_iter)),
+            BatchNorm2D(widths[0]),
+            ReLU(),
+        ]
+    )
+    in_width = widths[0]
+    for stage, width in enumerate(widths):
+        for block in range(2):
+            stride = 2 if (stage > 0 and block == 0) else 1
+            block_seeds = [next(seed_iter) for _ in range(3)]
+            layers.append(_basic_block(in_width, width, stride, block_seeds))
+            layers.append(ReLU())
+            in_width = width
+    layers.extend([GlobalAvgPool2D(), Dense(in_width, num_classes, seed=next(seed_iter))])
+    return Sequential(layers)
+
+
+#: VGG-16 convolutional plan: channel counts with 'M' marking 2x2 max-pools.
+VGG16_PLAN: tuple = (
+    64, 64, "M", 128, 128, "M", 256, 256, 256, "M", 512, 512, 512, "M",
+    512, 512, 512, "M",
+)
+
+
+def build_vgg16(
+    num_classes: int = 100,
+    in_channels: int = 3,
+    width_multiplier: float = 1.0,
+    first_layer: FirstLayerConfig | None = None,
+    seed: int | None = None,
+) -> Sequential:
+    """VGG-16 for 32x32 inputs (13 conv + 3 dense layers)."""
+    config = first_layer or FirstLayerConfig()
+    num_convs = sum(1 for entry in VGG16_PLAN if entry != "M")
+    seeds = spawn_seeds(seed, num_convs + 3)
+    seed_iter = iter(seeds)
+
+    layers: list[Layer] = []
+    if config.ternary_input:
+        layers.append(TernaryInputLayer())
+    channels = in_channels
+    first = True
+    for entry in VGG16_PLAN:
+        if entry == "M":
+            layers.append(MaxPool2D(2))
+            continue
+        width = _scaled(int(entry), width_multiplier)
+        if first:
+            layers.append(_first_conv(config, channels, width, 3, 1, 1, next(seed_iter)))
+            first = False
+        else:
+            layers.append(
+                Conv2D(channels, width, 3, padding=1, use_bias=False, seed=next(seed_iter))
+            )
+        layers.extend([BatchNorm2D(width), ReLU()])
+        channels = width
+    hidden = _scaled(512, width_multiplier)
+    layers.extend(
+        [
+            Flatten(),
+            Dense(channels, hidden, seed=next(seed_iter)),
+            ReLU(),
+            Dense(hidden, hidden, seed=next(seed_iter)),
+            ReLU(),
+            Dense(hidden, num_classes, seed=next(seed_iter)),
+        ]
+    )
+    return Sequential(layers)
+
+
+def build_mlp(
+    num_classes: int = 10,
+    in_features: int = 784,
+    hidden: tuple[int, ...] = (256, 128),
+    width_multiplier: float = 1.0,
+    first_layer: FirstLayerConfig | None = None,
+    seed: int | None = None,
+) -> Sequential:
+    """Multi-layer perceptron with an OISA-compatible first layer.
+
+    The paper dedicates the VOM to exactly this case: the first dense
+    layer's dot products exceed one arm, so partial sums are split across
+    banks and recombined.  Inputs are flattened frames in [0, 1].
+    """
+    config = first_layer or FirstLayerConfig()
+    seeds = spawn_seeds(seed, len(hidden) + 1)
+    widths = [_scaled(width, width_multiplier) for width in hidden]
+
+    layers: list[Layer] = []
+    if config.ternary_input:
+        layers.append(TernaryInputLayer())
+    if config.weight_bits is None:
+        layers.append(Dense(in_features, widths[0], use_bias=False, seed=seeds[0]))
+    else:
+        layers.append(
+            QuantDense(
+                in_features, widths[0], bits=config.weight_bits, seed=seeds[0]
+            )
+        )
+    layers.append(ReLU())
+    previous = widths[0]
+    for index, width in enumerate(widths[1:], start=1):
+        layers.extend([Dense(previous, width, seed=seeds[index]), ReLU()])
+        previous = width
+    layers.append(Dense(previous, num_classes, seed=seeds[-1]))
+    return Sequential(layers)
+
+
+def find_first_quant_conv(model: Sequential) -> QuantConv2D | None:
+    """Locate the sensor-facing quantized convolution, if any."""
+    for layer in model:
+        if isinstance(layer, QuantConv2D):
+            return layer
+        if isinstance(layer, Conv2D):
+            return None
+    return None
+
+
+def set_first_layer_weight_transform(model: Sequential, transform) -> None:
+    """Install a hardware weight transform on the first quantized conv.
+
+    Raises ``ValueError`` when the model has no quantized first layer (the
+    float baseline cannot run through the OISA hardware path).
+    """
+    conv = find_first_quant_conv(model)
+    if conv is None:
+        raise ValueError("model has no QuantConv2D first layer")
+    conv.weight_transform = transform

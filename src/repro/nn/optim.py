@@ -1,0 +1,145 @@
+"""Optimizers and learning-rate schedules."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.nn.layers import Parameter
+from repro.util.validation import check_non_negative, check_positive
+
+
+class LRSchedule:
+    """Learning-rate schedule interface."""
+
+    def lr_at(self, step: int, total_steps: int) -> float:
+        raise NotImplementedError
+
+
+class ConstantLR(LRSchedule):
+    """Fixed learning rate."""
+
+    def __init__(self, lr: float) -> None:
+        check_positive("lr", lr)
+        self.lr = lr
+
+    def lr_at(self, step: int, total_steps: int) -> float:
+        return self.lr
+
+
+class StepLR(LRSchedule):
+    """Multiply the rate by ``gamma`` every ``step_size`` steps."""
+
+    def __init__(self, lr: float, step_size: int, gamma: float = 0.1) -> None:
+        check_positive("lr", lr)
+        check_positive("step_size", step_size)
+        check_positive("gamma", gamma)
+        self.lr = lr
+        self.step_size = int(step_size)
+        self.gamma = gamma
+
+    def lr_at(self, step: int, total_steps: int) -> float:
+        return self.lr * self.gamma ** (step // self.step_size)
+
+
+class CosineLR(LRSchedule):
+    """Cosine decay from ``lr`` to ``min_lr`` over the training run."""
+
+    def __init__(self, lr: float, min_lr: float = 0.0) -> None:
+        check_positive("lr", lr)
+        check_non_negative("min_lr", min_lr)
+        if min_lr > lr:
+            raise ValueError("min_lr must not exceed lr")
+        self.lr = lr
+        self.min_lr = min_lr
+
+    def lr_at(self, step: int, total_steps: int) -> float:
+        if total_steps <= 1:
+            return self.lr
+        progress = min(step / (total_steps - 1), 1.0)
+        return self.min_lr + 0.5 * (self.lr - self.min_lr) * (
+            1.0 + math.cos(math.pi * progress)
+        )
+
+
+class Optimizer:
+    """Base optimizer over a fixed parameter list."""
+
+    def __init__(self, parameters: list[Parameter], weight_decay: float = 0.0) -> None:
+        if not parameters:
+            raise ValueError("optimizer needs at least one parameter")
+        check_non_negative("weight_decay", weight_decay)
+        self.parameters = parameters
+        self.weight_decay = weight_decay
+
+    def step(self, lr: float) -> None:
+        raise NotImplementedError
+
+    def zero_grad(self) -> None:
+        """Zero all parameter gradients."""
+        for parameter in self.parameters:
+            parameter.zero_grad()
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with classical momentum."""
+
+    def __init__(
+        self,
+        parameters: list[Parameter],
+        momentum: float = 0.9,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, weight_decay)
+        if not (0.0 <= momentum < 1.0):
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in parameters]
+
+    def step(self, lr: float) -> None:
+        check_non_negative("lr", lr)
+        for parameter, velocity in zip(self.parameters, self._velocity):
+            grad = parameter.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * parameter.data
+            velocity *= self.momentum
+            velocity -= lr * grad
+            parameter.data += velocity
+
+
+class Adam(Optimizer):
+    """Adam with bias correction."""
+
+    def __init__(
+        self,
+        parameters: list[Parameter],
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, weight_decay)
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m = [np.zeros_like(p.data) for p in parameters]
+        self._v = [np.zeros_like(p.data) for p in parameters]
+        self._t = 0
+
+    def step(self, lr: float) -> None:
+        check_non_negative("lr", lr)
+        self._t += 1
+        bias1 = 1.0 - self.beta1**self._t
+        bias2 = 1.0 - self.beta2**self._t
+        for parameter, m, v in zip(self.parameters, self._m, self._v):
+            grad = parameter.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * parameter.data
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            m_hat = m / bias1
+            v_hat = v / bias2
+            parameter.data -= lr * m_hat / (np.sqrt(v_hat) + self.eps)

@@ -1,0 +1,116 @@
+"""Mini-batch trainer with deterministic shuffling.
+
+Small by design: the Table II experiments train several compact networks and
+need nothing beyond seeded shuffling, LR schedules, loss/accuracy tracking
+and batched evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn.layers import Sequential
+from repro.nn.losses import SoftmaxCrossEntropy
+from repro.nn.metrics import accuracy
+from repro.nn.optim import ConstantLR, LRSchedule, Optimizer
+from repro.util.rng import derive_rng
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch training curves."""
+
+    train_loss: list[float] = field(default_factory=list)
+    train_accuracy: list[float] = field(default_factory=list)
+    val_accuracy: list[float] = field(default_factory=list)
+
+    @property
+    def epochs(self) -> int:
+        """Number of completed epochs."""
+        return len(self.train_loss)
+
+    def best_val_accuracy(self) -> float:
+        """Best validation accuracy seen (0 when never evaluated)."""
+        return max(self.val_accuracy, default=0.0)
+
+
+class Trainer:
+    """Train a :class:`~repro.nn.layers.Sequential` classifier."""
+
+    def __init__(
+        self,
+        model: Sequential,
+        optimizer: Optimizer,
+        schedule: LRSchedule | None = None,
+        loss: SoftmaxCrossEntropy | None = None,
+        seed: int | None = None,
+    ) -> None:
+        self.model = model
+        self.optimizer = optimizer
+        self.schedule = schedule or ConstantLR(0.01)
+        self.loss = loss or SoftmaxCrossEntropy()
+        self._rng = derive_rng(seed, "trainer-shuffle")
+
+    def fit(
+        self,
+        x_train: np.ndarray,
+        y_train: np.ndarray,
+        epochs: int,
+        batch_size: int = 64,
+        x_val: np.ndarray | None = None,
+        y_val: np.ndarray | None = None,
+    ) -> TrainingHistory:
+        """Run ``epochs`` of mini-batch SGD; returns the training curves."""
+        if epochs < 1:
+            raise ValueError(f"epochs must be >= 1, got {epochs}")
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        n = x_train.shape[0]
+        if y_train.shape[0] != n:
+            raise ValueError("x_train and y_train sizes differ")
+        history = TrainingHistory()
+        steps_per_epoch = max(n // batch_size, 1)
+        total_steps = epochs * steps_per_epoch
+        step = 0
+        for _ in range(epochs):
+            order = self._rng.permutation(n)
+            epoch_loss = 0.0
+            epoch_hits = 0.0
+            batches = 0
+            for start in range(0, n - batch_size + 1, batch_size):
+                indices = order[start : start + batch_size]
+                x_batch = x_train[indices]
+                y_batch = y_train[indices]
+                logits = self.model.forward(x_batch, training=True)
+                loss_value = self.loss.forward(logits, y_batch)
+                self.optimizer.zero_grad()
+                self.model.backward(self.loss.backward())
+                lr = self.schedule.lr_at(step, total_steps)
+                self.optimizer.step(lr)
+                epoch_loss += loss_value
+                epoch_hits += accuracy(logits, y_batch)
+                batches += 1
+                step += 1
+            history.train_loss.append(epoch_loss / max(batches, 1))
+            history.train_accuracy.append(epoch_hits / max(batches, 1))
+            if x_val is not None and y_val is not None:
+                history.val_accuracy.append(self.evaluate(x_val, y_val))
+        return history
+
+    def predict_logits(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Batched inference logits with ``training=False``."""
+        outputs = []
+        for start in range(0, x.shape[0], batch_size):
+            outputs.append(
+                self.model.forward(x[start : start + batch_size], training=False)
+            )
+        return np.concatenate(outputs, axis=0)
+
+    def evaluate(
+        self, x: np.ndarray, y: np.ndarray, batch_size: int = 256
+    ) -> float:
+        """Top-1 accuracy on a held-out set."""
+        logits = self.predict_logits(x, batch_size=batch_size)
+        return accuracy(logits, y)

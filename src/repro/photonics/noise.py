@@ -1,0 +1,181 @@
+"""Composable noise models applied to photonic dot products.
+
+The architecture layer computes ideal MAC values and then passes them (plus
+context) through a stack of noise models; keeping the injectors separate
+makes ablations trivial (drop one term, sweep another).  All models are
+vectorised over NumPy arrays of MAC results and deterministic under a seed.
+
+Models provided:
+
+* :class:`GaussianReadNoise` — catch-all read noise (BPD shot+thermal
+  referred to the MAC value domain).
+* :class:`CrosstalkNoise` — deterministic weight perturbation from the
+  Lorentzian tails of neighbouring MRs in an arm.
+* :class:`FixedPatternNoise` — per-device static gain error (process
+  variation of MRs/VCSELs), frozen at construction like real hardware.
+* :class:`CompositeNoise` — applies a sequence of models in order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.photonics.microring import MicroringResonator
+from repro.photonics.wdm import WdmGrid, effective_arm_transmission
+from repro.util.rng import derive_rng
+from repro.util.validation import check_non_negative
+
+
+class NoiseModel:
+    """Interface: transform an array of MAC values into noisy values."""
+
+    def apply(self, values: np.ndarray) -> np.ndarray:
+        """Return a noisy copy of ``values`` (never mutates the input)."""
+        raise NotImplementedError
+
+
+@dataclass
+class GaussianReadNoise(NoiseModel):
+    """Additive white Gaussian noise with fixed sigma in the value domain.
+
+    ``sigma`` is expressed relative to a unit-scale MAC value; the OPC sets
+    it from the BPD SNR at its operating optical power.
+    """
+
+    sigma: float
+    seed: int | None = None
+    _rng: np.random.Generator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        check_non_negative("sigma", self.sigma)
+        self._rng = derive_rng(self.seed, "gaussian-read-noise")
+
+    def apply(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=float)
+        if self.sigma == 0.0:
+            return values.copy()
+        return values + self._rng.normal(0.0, self.sigma, size=values.shape)
+
+
+@dataclass
+class FixedPatternNoise(NoiseModel):
+    """Static multiplicative gain error, frozen per device instance.
+
+    Real arrays exhibit fixed-pattern non-uniformity: each arm/BPD has a
+    slightly different gain that does not change between reads.  ``shape``
+    fixes the number of independent devices; values are broadcast against it
+    along the last axis.
+    """
+
+    gain_sigma: float
+    num_devices: int
+    seed: int | None = None
+    _gains: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        check_non_negative("gain_sigma", self.gain_sigma)
+        if self.num_devices <= 0:
+            raise ValueError(f"num_devices must be positive, got {self.num_devices}")
+        rng = derive_rng(self.seed, "fixed-pattern-noise")
+        self._gains = 1.0 + rng.normal(0.0, self.gain_sigma, size=self.num_devices)
+
+    @property
+    def gains(self) -> np.ndarray:
+        """The frozen per-device gain vector (read-only view)."""
+        view = self._gains.view()
+        view.flags.writeable = False
+        return view
+
+    def apply(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=float)
+        if values.shape[-1] % self.num_devices != 0:
+            raise ValueError(
+                f"last axis ({values.shape[-1]}) must be a multiple of "
+                f"num_devices ({self.num_devices})"
+            )
+        reps = values.shape[-1] // self.num_devices
+        return values * np.tile(self._gains, reps)
+
+
+@dataclass
+class CrosstalkNoise(NoiseModel):
+    """Deterministic inter-channel crosstalk error of an MR arm.
+
+    Instead of perturbing MAC outputs directly, this model exposes
+    :meth:`effective_weights`, which the OPC uses to *replace* its ideal
+    weights — crosstalk is a systematic error, not a random one.  ``apply``
+    is provided for interface compatibility and returns values scaled by the
+    mean relative weight error, a first-order bound used in quick sweeps.
+    """
+
+    grid: WdmGrid = field(default_factory=WdmGrid)
+    ring: MicroringResonator = field(default_factory=MicroringResonator)
+
+    def effective_weights(self, weights: np.ndarray) -> np.ndarray:
+        """Per-channel transmissions including every neighbour's tail."""
+        return effective_arm_transmission(self.grid, weights, ring=self.ring)
+
+    def mean_relative_error(self, weights: np.ndarray) -> float:
+        """Average relative deviation |w_eff - w| / w over the arm."""
+        weights = np.asarray(weights, dtype=float)
+        effective = self.effective_weights(weights)
+        mask = weights > 0
+        if not mask.any():
+            return 0.0
+        return float(np.mean(np.abs(effective[mask] - weights[mask]) / weights[mask]))
+
+    def apply(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=float)
+        uniform = np.full(self.grid.num_channels, 0.9)
+        return values * (1.0 - self.mean_relative_error(uniform))
+
+
+@dataclass
+class RelativeIntensityNoise(NoiseModel):
+    """Laser RIN: multiplicative noise proportional to the signal level.
+
+    ``rin_db_per_hz`` is the standard RIN spec; over a detection bandwidth
+    ``B`` the relative intensity fluctuation is
+    ``sigma_rel = sqrt(10^(RIN/10) * B)``.  Typical VCSELs sit near
+    -140 dB/Hz, giving ~1.6% over a full 25 GHz detection bandwidth.
+    """
+
+    rin_db_per_hz: float = -140.0
+    bandwidth_hz: float = 25e9
+    seed: int | None = None
+    _rng: np.random.Generator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.rin_db_per_hz > 0:
+            raise ValueError(
+                f"RIN must be <= 0 dB/Hz, got {self.rin_db_per_hz}"
+            )
+        check_non_negative("bandwidth_hz", self.bandwidth_hz)
+        self._rng = derive_rng(self.seed, "rin-noise")
+
+    @property
+    def relative_sigma(self) -> float:
+        """RMS relative intensity fluctuation over the bandwidth."""
+        return float(np.sqrt(10.0 ** (self.rin_db_per_hz / 10.0) * self.bandwidth_hz))
+
+    def apply(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=float)
+        sigma = self.relative_sigma
+        if sigma == 0.0:
+            return values.copy()
+        return values * (1.0 + self._rng.normal(0.0, sigma, size=values.shape))
+
+
+@dataclass
+class CompositeNoise(NoiseModel):
+    """Apply a sequence of noise models left to right."""
+
+    models: list[NoiseModel] = field(default_factory=list)
+
+    def apply(self, values: np.ndarray) -> np.ndarray:
+        result = np.asarray(values, dtype=float).copy()
+        for model in self.models:
+            result = model.apply(result)
+        return result

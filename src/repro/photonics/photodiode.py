@@ -1,0 +1,167 @@
+"""Photodiode and balanced-photodiode (BPD) readout.
+
+At the end of each OISA arm two photodiodes subtract the "positive-weight"
+and "negative-weight" waveguide powers (Fig. 2), converting the optical dot
+product into a differential photocurrent.  The model covers:
+
+* responsivity-based photocurrent,
+* shot noise ``sigma_sh^2 = 2 q R (P+ + P-) B``,
+* thermal (Johnson) noise of the load/TIA ``sigma_th^2 = 4 k T B / R_L``,
+* conversion to an output voltage through a transimpedance gain.
+
+Default device constants follow the germanium waveguide photodiodes used by
+ROBIN (Sunny et al., ACM TECS 2021 — the paper's BPD reference [17]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.rng import derive_rng
+from repro.util.units import (
+    ELEMENTARY_CHARGE_C,
+    GHZ,
+    KB_J_PER_K,
+    ROOM_TEMPERATURE_K,
+)
+from repro.util.validation import check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class Photodiode:
+    """Single photodiode with shot/thermal noise."""
+
+    responsivity_a_per_w: float = 1.1
+    bandwidth_hz: float = 25.0 * GHZ
+    dark_current_a: float = 40.0e-9
+    load_resistance_ohm: float = 1.0e4
+    temperature_k: float = ROOM_TEMPERATURE_K
+
+    def __post_init__(self) -> None:
+        check_positive("responsivity_a_per_w", self.responsivity_a_per_w)
+        check_positive("bandwidth_hz", self.bandwidth_hz)
+        check_non_negative("dark_current_a", self.dark_current_a)
+        check_positive("load_resistance_ohm", self.load_resistance_ohm)
+        check_positive("temperature_k", self.temperature_k)
+
+    def photocurrent_a(self, optical_power_w: np.ndarray | float) -> np.ndarray:
+        """Mean photocurrent [A] for incident optical power [W]."""
+        power = np.asarray(optical_power_w, dtype=float)
+        if (power < 0).any():
+            raise ValueError("optical power must be non-negative")
+        return np.asarray(self.responsivity_a_per_w * power + self.dark_current_a)
+
+    def shot_noise_sigma_a(self, optical_power_w: float) -> float:
+        """Shot-noise RMS current [A] at the given incident power."""
+        current = float(self.photocurrent_a(optical_power_w))
+        return float(
+            np.sqrt(2.0 * ELEMENTARY_CHARGE_C * current * self.bandwidth_hz)
+        )
+
+    def thermal_noise_sigma_a(self) -> float:
+        """Johnson-noise RMS current [A] of the load resistance."""
+        return float(
+            np.sqrt(
+                4.0
+                * KB_J_PER_K
+                * self.temperature_k
+                * self.bandwidth_hz
+                / self.load_resistance_ohm
+            )
+        )
+
+
+@dataclass(frozen=True)
+class BalancedPhotodiode:
+    """Differential pair of photodiodes implementing optical subtraction.
+
+    ``read`` returns the differential photocurrent for (P+, P-) pairs with
+    optional sampled noise; ``snr`` reports the small-signal signal-to-noise
+    ratio the architecture uses to bound the arm's effective bit resolution.
+    """
+
+    photodiode: Photodiode = Photodiode()
+    tia_gain_ohm: float = 5.0e3
+
+    def __post_init__(self) -> None:
+        check_positive("tia_gain_ohm", self.tia_gain_ohm)
+
+    def differential_current_a(
+        self,
+        positive_power_w: np.ndarray | float,
+        negative_power_w: np.ndarray | float,
+    ) -> np.ndarray:
+        """Noise-free differential photocurrent [A]."""
+        pos = self.photodiode.photocurrent_a(positive_power_w)
+        neg = self.photodiode.photocurrent_a(negative_power_w)
+        return np.asarray(pos - neg)
+
+    def noise_sigma_a(
+        self, positive_power_w: float, negative_power_w: float
+    ) -> float:
+        """Total RMS noise current [A] for one differential read.
+
+        Shot noise depends on the *sum* of the two branch powers (the two
+        diodes fluctuate independently); thermal noise enters once per
+        branch.
+        """
+        total_power = positive_power_w + negative_power_w
+        shot = self.photodiode.shot_noise_sigma_a(total_power)
+        thermal = self.photodiode.thermal_noise_sigma_a() * np.sqrt(2.0)
+        return float(np.sqrt(shot**2 + thermal**2))
+
+    def read(
+        self,
+        positive_power_w: np.ndarray,
+        negative_power_w: np.ndarray,
+        rng: np.random.Generator | None = None,
+        seed: int | None = None,
+    ) -> np.ndarray:
+        """Sample noisy differential photocurrents [A].
+
+        Vectorised over arbitrary array shapes; per-element noise sigma is
+        computed from each element's branch powers.
+        """
+        pos = np.asarray(positive_power_w, dtype=float)
+        neg = np.asarray(negative_power_w, dtype=float)
+        mean = self.differential_current_a(pos, neg)
+        total = pos + neg
+        shot_sq = (
+            2.0
+            * ELEMENTARY_CHARGE_C
+            * (self.photodiode.responsivity_a_per_w * total + 2 * self.photodiode.dark_current_a)
+            * self.photodiode.bandwidth_hz
+        )
+        thermal_sq = 2.0 * self.photodiode.thermal_noise_sigma_a() ** 2
+        sigma = np.sqrt(shot_sq + thermal_sq)
+        generator = rng if rng is not None else derive_rng(seed, "bpd-read")
+        return np.asarray(mean + generator.normal(0.0, 1.0, size=mean.shape) * sigma)
+
+    def output_voltage_v(self, differential_current_a: np.ndarray | float) -> np.ndarray:
+        """Convert differential current to a TIA output voltage [V]."""
+        return np.asarray(
+            np.asarray(differential_current_a, dtype=float) * self.tia_gain_ohm
+        )
+
+    def snr(self, positive_power_w: float, negative_power_w: float) -> float:
+        """Signal-to-noise ratio (linear) of one differential read."""
+        signal = abs(
+            float(self.differential_current_a(positive_power_w, negative_power_w))
+        )
+        sigma = self.noise_sigma_a(positive_power_w, negative_power_w)
+        return signal / sigma if sigma > 0 else float("inf")
+
+    def effective_bits(self, full_scale_power_w: float) -> float:
+        """Effective number of bits resolvable at a full-scale input.
+
+        Standard ENOB formula ``(SNR_dB - 1.76) / 6.02`` with the SNR taken
+        at full scale against the zero-signal noise floor.  The paper tunes
+        devices so this lands near 4 bits.
+        """
+        snr = self.snr(full_scale_power_w, 0.0)
+        if snr <= 1.0:
+            return 0.0
+        snr_db = 20.0 * np.log10(snr)
+        return max((snr_db - 1.76) / 6.02, 0.0)

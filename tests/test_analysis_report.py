@@ -1,0 +1,34 @@
+"""Tests for repro.analysis.report — the one-shot report generator."""
+
+import os
+
+from repro.analysis.report import generate_report, write_report
+
+
+def test_report_contains_all_cheap_sections():
+    text = generate_report()
+    for heading in (
+        "# OISA reproduction report",
+        "## Headline claims",
+        "## Fig. 4(b)",
+        "## Fig. 8",
+        "## Fig. 9",
+        "## Table I",
+    ):
+        assert heading in text
+    # No Table II section without a cache file.
+    assert "## Table II" not in text
+
+
+def test_report_skips_missing_table2_cache(tmp_path):
+    text = generate_report(table2_cache=str(tmp_path / "missing.json"))
+    assert "## Table II" not in text
+
+
+def test_write_report_roundtrip(tmp_path):
+    path = str(tmp_path / "report.md")
+    returned = write_report(path)
+    assert returned == path
+    assert os.path.exists(path)
+    with open(path) as handle:
+        assert "OISA reproduction report" in handle.read()

@@ -1,0 +1,68 @@
+"""Tests for repro.analysis.sweeps — DSE and Pareto extraction."""
+
+import pytest
+
+from repro.analysis.sweeps import (
+    DesignPoint,
+    evaluate_design,
+    pareto_front,
+    sweep_design_space,
+)
+
+
+def test_evaluate_design_metrics_present():
+    point = evaluate_design(80, 4)
+    for name in (
+        "throughput_tops",
+        "efficiency_tops_per_watt",
+        "area_mm2",
+        "weight_rms_error",
+        "peak_power_w",
+    ):
+        assert point.metric(name) > 0.0
+
+
+def test_paper_point_values():
+    point = evaluate_design(80, 4)
+    assert point.metric("throughput_tops") == pytest.approx(7.17, rel=0.02)
+    assert point.metric("area_mm2") == pytest.approx(1.92, rel=0.03)
+
+
+def test_throughput_scales_with_banks():
+    small = evaluate_design(20, 4)
+    large = evaluate_design(160, 4)
+    assert large.metric("throughput_tops") == pytest.approx(
+        8 * small.metric("throughput_tops"), rel=1e-6
+    )
+
+
+def test_weight_error_falls_with_bits():
+    coarse = evaluate_design(80, 1)
+    fine = evaluate_design(80, 4)
+    assert fine.metric("weight_rms_error") < coarse.metric("weight_rms_error")
+
+
+def test_sweep_covers_cross_product():
+    points = sweep_design_space(bank_options=(20, 40), bit_options=(2, 4))
+    assert len(points) == 4
+    combos = {(p.num_banks, p.weight_bits) for p in points}
+    assert combos == {(20, 2), (20, 4), (40, 2), (40, 4)}
+
+
+def test_pareto_front_nonempty_subset():
+    points = sweep_design_space(bank_options=(20, 80), bit_options=(1, 4))
+    front = pareto_front(points)
+    assert 0 < len(front) <= len(points)
+    assert all(point in points for point in front)
+
+
+def test_pareto_dominated_point_excluded():
+    # Construct synthetic points where domination is unambiguous.
+    good = DesignPoint(80, 4, {"a": 2.0, "b": 1.0})
+    bad = DesignPoint(20, 1, {"a": 1.0, "b": 2.0})
+    front = pareto_front([good, bad], maximize=("a",), minimize=("b",))
+    assert front == [good]
+
+
+def test_pareto_empty_input():
+    assert pareto_front([]) == []

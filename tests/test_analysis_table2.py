@@ -1,0 +1,87 @@
+"""Tests for repro.analysis.table2 helpers (no training — synthetic cells)."""
+
+import pytest
+
+from repro.analysis.table2 import Table2Data, ordering_checks, render_table2
+from repro.sim.accuracy import PAPER_ACCURACY_ROWS, AccuracyResult, Table2Settings
+
+
+def _cell(dataset, label, bits, software, hardware):
+    return AccuracyResult(
+        dataset=dataset,
+        config_label=label,
+        weight_bits=bits,
+        software_accuracy=software,
+        hardware_accuracy=hardware,
+        weight_relative_error=0.02 if bits is not None else None,
+        epochs=2,
+        seed=0,
+    )
+
+
+@pytest.fixture
+def synthetic_data():
+    results = []
+    for dataset, base in (("mnist-like", 0.98), ("svhn-like", 0.95)):
+        results.append(_cell(dataset, "baseline", None, base, None))
+        results.append(_cell(dataset, "[4:2]", 4, base - 0.02, base - 0.045))
+        results.append(_cell(dataset, "[3:2]", 3, base - 0.02, base - 0.04))
+        results.append(_cell(dataset, "[2:2]", 2, base - 0.03, base - 0.05))
+        results.append(_cell(dataset, "[1:2]", 1, base - 0.05, base - 0.07))
+    return Table2Data(
+        results=results,
+        paper_rows=PAPER_ACCURACY_ROWS,
+        settings=Table2Settings.fast(),
+    )
+
+
+def test_cell_lookup(synthetic_data):
+    cell = synthetic_data.cell("mnist", "[3:2]")
+    assert cell is not None
+    assert cell.weight_bits == 3
+    assert synthetic_data.cell("mnist", "[9:9]") is None
+
+
+def test_accuracy_matrix_uses_hardware_for_quantized(synthetic_data):
+    matrix = synthetic_data.accuracy_matrix()
+    # baseline cells report software; quantized cells report hardware.
+    assert matrix["baseline"]["mnist"] == pytest.approx(98.0)
+    assert matrix["[3:2]"]["mnist"] == pytest.approx(94.0)
+
+
+def test_render_includes_measured_and_paper_rows(synthetic_data):
+    text = render_table2(synthetic_data)
+    assert "baseline (measured)" in text
+    assert "OISA[4:2] (measured)" in text
+    assert "PISA (paper)" in text
+    assert "FBNA (paper)" in text
+
+
+def test_ordering_checks_pass_on_paper_shaped_data(synthetic_data):
+    checks = ordering_checks(synthetic_data)
+    assert checks["quantized_below_baseline"]
+    assert checks["no_meaningful_gain_from_4bit"]
+    assert checks["configs_retain_half_of_baseline"]
+
+
+def test_ordering_checks_detect_violations():
+    # Fabricate a table where 4-bit wildly beats 3-bit and 2-bit collapses.
+    results = [
+        _cell("mnist-like", "baseline", None, 0.9, None),
+        _cell("mnist-like", "[4:2]", 4, 0.95, 0.95),
+        _cell("mnist-like", "[3:2]", 3, 0.7, 0.7),
+        _cell("mnist-like", "[2:2]", 2, 0.2, 0.2),
+        _cell("mnist-like", "[1:2]", 1, 0.72, 0.72),
+    ]
+    data = Table2Data(results, PAPER_ACCURACY_ROWS, Table2Settings.fast())
+    checks = ordering_checks(data)
+    assert not checks["no_meaningful_gain_from_4bit"]
+    assert not checks["configs_retain_half_of_baseline"]
+
+
+def test_paper_rows_match_publication():
+    # Spot-check the transcription of the paper's Table II.
+    assert PAPER_ACCURACY_ROWS["OISA[3:2]"]["mnist"] == 96.18
+    assert PAPER_ACCURACY_ROWS["OISA[4:2]"]["cifar100"] == 61.38
+    assert PAPER_ACCURACY_ROWS["paper-baseline"]["cifar10"] == 91.37
+    assert "mnist" not in PAPER_ACCURACY_ROWS["FBNA"]  # dash in the paper

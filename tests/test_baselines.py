@@ -1,0 +1,162 @@
+"""Tests for repro.baselines — the rebuilt comparison platforms."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    AppCipAccelerator,
+    AsicAccelerator,
+    CrosslightAccelerator,
+    LITERATURE_DESIGNS,
+    table1_rows,
+)
+from repro.core.config import OISAConfig
+from repro.core.energy import OISAEnergyModel, default_plan, resnet18_first_layer_workload
+
+
+@pytest.fixture
+def workload():
+    return resnet18_first_layer_workload()
+
+
+@pytest.fixture
+def oisa_power():
+    model = OISAEnergyModel(OISAConfig())
+    return model.average_power_w(default_plan()).total
+
+
+# --------------------------------------------------------------------------
+# Crosslight
+# --------------------------------------------------------------------------
+def test_crosslight_half_throughput():
+    crosslight = CrosslightAccelerator()
+    oisa = OISAEnergyModel(OISAConfig())
+    assert crosslight.peak_throughput_ops() == pytest.approx(
+        oisa.peak_throughput_ops() / 2.0
+    )
+    from repro.core.mapping import macs_per_cycle
+
+    assert crosslight.macs_per_cycle(3) == macs_per_cycle(OISAConfig(), 3) // 2
+
+
+def test_crosslight_adc_dac_dominate(workload):
+    crosslight = CrosslightAccelerator()
+    breakdown = crosslight.average_power_w(workload, weight_bits=4)
+    converters = breakdown.components["adc"] + breakdown.components["dac"]
+    assert converters > 0.5 * breakdown.total
+
+
+def test_crosslight_power_grows_with_bits(workload):
+    crosslight = CrosslightAccelerator()
+    powers = [
+        crosslight.average_power_w(workload, bits).total for bits in (1, 2, 3, 4)
+    ]
+    assert powers == sorted(powers)
+
+
+def test_crosslight_slots_halved(workload):
+    crosslight = CrosslightAccelerator()
+    assert crosslight.kernel_slots(3) == 200
+    # 192 planes still fit -> same cycle count as OISA, half the kernels/arm.
+    assert crosslight.compute_cycles(workload) == workload.windows_per_channel
+
+
+# --------------------------------------------------------------------------
+# AppCiP
+# --------------------------------------------------------------------------
+def test_appcip_analog_mac_dominates(workload):
+    appcip = AppCipAccelerator()
+    breakdown = appcip.average_power_w(workload, weight_bits=4)
+    assert breakdown.components["analog_mac"] > 0.4 * breakdown.total
+
+
+def test_appcip_power_grows_with_bits(workload):
+    appcip = AppCipAccelerator()
+    powers = [appcip.average_power_w(workload, bits).total for bits in (1, 2, 3, 4)]
+    assert powers == sorted(powers)
+
+
+def test_appcip_nvm_write_amortised(workload):
+    appcip = AppCipAccelerator()
+    breakdown = appcip.average_power_w(workload)
+    assert breakdown.components["nvm_write"] < breakdown.components["nvm_read"]
+
+
+def test_appcip_frame_rate_limit(workload):
+    appcip = AppCipAccelerator()
+    limit = appcip.frame_rate_limit_hz(workload)
+    assert 500 < limit < 100000  # paper reports 3000 FPS class
+
+
+# --------------------------------------------------------------------------
+# ASIC
+# --------------------------------------------------------------------------
+def test_asic_memory_and_static_costs(workload):
+    asic = AsicAccelerator()
+    breakdown = asic.average_power_w(workload, weight_bits=4)
+    memory = (
+        breakdown.components["sram"]
+        + breakdown.components["edram"]
+        + breakdown.components["rf"]
+    )
+    assert memory > breakdown.components["mac"]  # data movement dominates
+    assert breakdown.components["static"] > 0.0
+
+
+def test_asic_sensor_conversion_cost(workload):
+    asic = AsicAccelerator()
+    breakdown = asic.average_power_w(workload)
+    assert breakdown.components["adc"] > 0.0
+    assert breakdown.components["link"] > 0.0
+
+
+def test_asic_peak_throughput():
+    asic = AsicAccelerator()
+    assert asic.peak_throughput_macs() == pytest.approx(64 * 256 * 600e6)
+
+
+# --------------------------------------------------------------------------
+# Paper ratios (the Fig. 9 headline)
+# --------------------------------------------------------------------------
+def test_average_power_reductions_match_paper(workload, oisa_power):
+    crosslight = CrosslightAccelerator()
+    appcip = AppCipAccelerator()
+    asic = AsicAccelerator()
+    ratios = {"crosslight": [], "appcip": [], "asic": []}
+    for bits in (1, 2, 3, 4):
+        ratios["crosslight"].append(
+            crosslight.average_power_w(workload, bits).total / oisa_power
+        )
+        ratios["appcip"].append(
+            appcip.average_power_w(workload, bits).total / oisa_power
+        )
+        ratios["asic"].append(
+            asic.average_power_w(workload, bits).total / oisa_power
+        )
+    assert np.mean(ratios["crosslight"]) == pytest.approx(8.3, rel=0.25)
+    assert np.mean(ratios["appcip"]) == pytest.approx(7.9, rel=0.25)
+    assert np.mean(ratios["asic"]) == pytest.approx(18.4, rel=0.25)
+
+
+def test_oisa_beats_every_baseline_at_every_bit_width(workload, oisa_power):
+    platforms = (CrosslightAccelerator(), AppCipAccelerator(), AsicAccelerator())
+    for bits in (1, 2, 3, 4):
+        for platform in platforms:
+            assert platform.average_power_w(workload, bits).total > oisa_power
+
+
+# --------------------------------------------------------------------------
+# Literature registry
+# --------------------------------------------------------------------------
+def test_table1_rows_complete():
+    rows = table1_rows()
+    assert len(rows) == 10
+    keys = {row.key for row in rows}
+    assert {"macsen", "pisa", "appcip", "senputing"} <= keys
+
+
+def test_literature_efficiency_parsing():
+    senputing = next(d for d in LITERATURE_DESIGNS if d.key == "senputing")
+    assert senputing.efficiency_upper() == pytest.approx(34.6)
+    macsen = next(d for d in LITERATURE_DESIGNS if d.key == "macsen")
+    assert macsen.efficiency_upper() == pytest.approx(1.32)

@@ -1,0 +1,62 @@
+"""Tests for repro.circuits.adc_dac — baseline converter models."""
+
+import pytest
+
+from repro.circuits.adc_dac import AdcModel, DacModel
+
+
+def test_adc_energy_exponential_in_bits():
+    low = AdcModel(bits=4)
+    high = AdcModel(bits=8)
+    assert high.energy_per_conversion_j() == pytest.approx(
+        low.energy_per_conversion_j() * 16
+    )
+
+
+def test_adc_power_includes_static():
+    adc = AdcModel(bits=8)
+    assert adc.power_w(0.0) == pytest.approx(adc.static_power_w)
+    assert adc.power_w(1e6) > adc.static_power_w
+
+
+def test_adc_rate_cap():
+    adc = AdcModel(bits=8, sample_rate_hz=1e6)
+    with pytest.raises(ValueError):
+        adc.power_w(2e6)
+
+
+def test_adc_area_grows_with_bits():
+    assert AdcModel(bits=10).area_um2() > AdcModel(bits=6).area_um2()
+
+
+def test_adc_conversion_time():
+    adc = AdcModel(sample_rate_hz=20e6)
+    assert adc.conversion_time_s() == pytest.approx(50e-9)
+
+
+def test_dac_power():
+    dac = DacModel(bits=8)
+    assert dac.power_w(0.0) == pytest.approx(dac.static_power_w)
+    assert dac.power_w(1e6) == pytest.approx(
+        dac.static_power_w + dac.energy_per_update_j * 1e6
+    )
+
+
+def test_dac_levels():
+    assert DacModel(bits=4).levels == 16
+
+
+def test_converter_validation():
+    with pytest.raises(ValueError):
+        AdcModel(bits=0)
+    with pytest.raises(ValueError):
+        DacModel(bits=0)
+
+
+def test_awc_cheaper_than_dac_per_update():
+    # OISA's core circuit claim: the AWC undercuts a DAC per weight update.
+    from repro.circuits.awc import AwcDesign
+
+    awc = AwcDesign()
+    dac = DacModel(bits=8)
+    assert awc.energy_per_update_j < dac.energy_per_update_j / 5.0

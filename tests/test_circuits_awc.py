@@ -1,0 +1,115 @@
+"""Tests for repro.circuits.awc — the Fig. 4 converter."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.awc import AwcCircuit, AwcDesign
+
+
+@pytest.fixture
+def awc():
+    return AwcCircuit(seed=7)
+
+
+def test_sixteen_levels_for_four_bits(awc):
+    levels = awc.all_levels_a()
+    assert len(levels) == 16
+    assert levels[0] == pytest.approx(0.0)
+
+
+def test_full_scale_near_400ua(awc):
+    # Fig. 4(b): the staircase tops out around 400 uA.
+    assert 330e-6 < awc.all_levels_a().max() < 430e-6
+
+
+def test_fixed_full_scale_across_bit_widths():
+    # The MR tuning range pins the full-scale current for every bit-width.
+    designs = [AwcDesign(num_bits=b) for b in (1, 2, 3, 4)]
+    for design in designs:
+        assert design.unit_current_a * (design.num_levels - 1) == pytest.approx(
+            design.full_scale_current_a
+        )
+
+
+def test_levels_monotonic_at_default_mismatch(awc):
+    assert awc.monotonic()
+
+
+def test_ideal_levels_linear(awc):
+    codes = np.arange(16)
+    ideal = awc.ideal_level_a(codes)
+    np.testing.assert_allclose(np.diff(ideal), awc.design.unit_current_a)
+
+
+def test_code_range_validated(awc):
+    with pytest.raises(ValueError):
+        awc.level_current_a(16)
+    with pytest.raises(ValueError):
+        awc.level_current_a(-1)
+
+
+def test_mismatch_frozen_per_instance(awc):
+    a = awc.all_levels_a()
+    b = awc.all_levels_a()
+    np.testing.assert_array_equal(a, b)
+
+
+def test_same_seed_same_device():
+    a = AwcCircuit(seed=3).all_levels_a()
+    b = AwcCircuit(seed=3).all_levels_a()
+    np.testing.assert_array_equal(a, b)
+    c = AwcCircuit(seed=4).all_levels_a()
+    assert not np.allclose(a, c)
+
+
+def test_dnl_inl_zero_for_ideal_converter():
+    design = AwcDesign(mismatch_sigma=0.0, offset_sigma_a=0.0, compression_alpha=0.0)
+    ideal = AwcCircuit(design, seed=0)
+    np.testing.assert_allclose(ideal.dnl_lsb(), 0.0, atol=1e-12)
+    np.testing.assert_allclose(ideal.inl_lsb(), 0.0, atol=1e-12)
+
+
+def test_compression_bends_top_codes():
+    design = AwcDesign(mismatch_sigma=0.0, offset_sigma_a=0.0, compression_alpha=0.1)
+    circuit = AwcCircuit(design, seed=0)
+    inl = circuit.inl_lsb()
+    # Endpoint-fit INL of a quadratic sag peaks mid-scale.
+    assert inl[8] > abs(inl[1])
+
+
+def test_level_separation_shrinks_with_bits():
+    # The architectural reason [4:2] stops helping: fixed absolute errors
+    # against shrinking level spacing.
+    seps = {}
+    for bits in (2, 3, 4):
+        circuit = AwcCircuit(AwcDesign(num_bits=bits), seed=5)
+        seps[bits] = circuit.min_level_separation_a()
+    assert seps[4] < seps[3] < seps[2]
+
+
+def test_staircase_transient_reaches_each_level(awc):
+    result = awc.staircase_transient()
+    # At the end of each dwell the output has settled to its level.
+    for code in range(16):
+        t = (code + 1) * 1e-9 - 0.05e-9
+        sampled = result.sample("Ituning", t)
+        assert sampled == pytest.approx(float(awc.level_current_a(code)), rel=0.02)
+
+
+def test_staircase_duration(awc):
+    result = awc.staircase_transient()
+    assert result.times_s[-1] == pytest.approx(16e-9)
+
+
+def test_power_accounting(awc):
+    static = awc.average_power_w(0.0)
+    busy = awc.average_power_w(1e9)
+    assert static == pytest.approx(awc.design.static_power_w)
+    assert busy > static
+
+
+def test_design_validation():
+    with pytest.raises(ValueError):
+        AwcDesign(num_bits=5)
+    with pytest.raises(ValueError):
+        AwcDesign(full_scale_current_a=-1.0)

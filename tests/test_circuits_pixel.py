@@ -1,0 +1,82 @@
+"""Tests for repro.circuits.pixel — 3T1PD behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.pixel import PixelDesign, ThreeTransistorPixel
+
+
+@pytest.fixture
+def pixel():
+    return ThreeTransistorPixel()
+
+
+def test_photocurrent_linear(pixel):
+    dark = pixel.photocurrent_a(0.0)
+    bright = pixel.photocurrent_a(1000.0)
+    assert dark == pytest.approx(pixel.design.dark_current_a)
+    assert bright > dark
+
+
+def test_drop_monotone_in_light(pixel):
+    exposure = 10e-9
+    drops = [pixel.exposure_drop_v(lux, exposure) for lux in (0, 2000, 6500, 13000)]
+    assert all(b >= a for a, b in zip(drops, drops[1:]))
+
+
+def test_drop_saturates_at_reset_voltage(pixel):
+    drop = pixel.exposure_drop_v(1e9, 1e-3)
+    assert drop == pytest.approx(pixel.design.reset_voltage_v)
+
+
+def test_output_voltage_follows_gain(pixel):
+    drop = pixel.exposure_drop_v(6500, 13.5e-9)
+    out = pixel.output_voltage_v(6500, 13.5e-9)
+    assert out == pytest.approx(pixel.design.source_follower_gain * drop)
+
+
+def test_fig8_three_regions(pixel):
+    # The three default Fig. 8 illuminations land in the three VAM regions.
+    exposure = 13.5e-9
+    bright = pixel.output_voltage_v(13000, exposure)
+    mid = pixel.output_voltage_v(6500, exposure)
+    dark = pixel.output_voltage_v(2000, exposure)
+    assert bright > 0.32
+    assert 0.16 < mid < 0.32
+    assert dark < 0.16
+
+
+def test_transient_phases(pixel):
+    result = pixel.transient(6500)
+    vpd = result["Vpd"]
+    times = result.times_s
+    # Reset charges the node close to the reset voltage.
+    at_reset_end = result.sample("Vpd", 3e-9)
+    assert at_reset_end == pytest.approx(pixel.design.reset_voltage_v, rel=0.01)
+    # Exposure discharges it monotonically until the discharge pulse.
+    window = (times > 3.2e-9) & (times < 33e-9)
+    assert np.all(np.diff(vpd[window]) <= 1e-12)
+    # Discharge empties the node.
+    assert result.sample("Vpd", 39.5e-9) < 0.05
+
+
+def test_transient_output_zero_outside_exposure(pixel):
+    result = pixel.transient(6500)
+    assert result.sample("Out", 0.5e-9) == 0.0
+    assert result.sample("Out", 39.5e-9) == 0.0
+
+
+def test_saturation_illuminance_consistent(pixel):
+    exposure = 10e-9
+    lux = pixel.saturation_illuminance_lux(exposure)
+    assert pixel.exposure_drop_v(lux * 1.01, exposure) == pytest.approx(
+        pixel.design.reset_voltage_v
+    )
+    assert pixel.exposure_drop_v(lux * 0.9, exposure) < pixel.design.reset_voltage_v
+
+
+def test_design_validation():
+    with pytest.raises(ValueError):
+        PixelDesign(reset_voltage_v=2.0)  # above VDD
+    with pytest.raises(ValueError):
+        PixelDesign(pd_capacitance_f=0.0)

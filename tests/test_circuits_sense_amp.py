@@ -1,0 +1,69 @@
+"""Tests for repro.circuits.sense_amp — clocked comparator."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.sense_amp import SenseAmplifier
+from repro.circuits.transient import clock_wave, time_grid
+
+
+def test_decide_threshold():
+    sa = SenseAmplifier(reference_v=0.16)
+    assert sa.decide(0.2) == 1
+    assert sa.decide(0.1) == 0
+    assert sa.decide(0.16) == 0  # strict comparison
+
+
+def test_offset_shifts_threshold():
+    sa = SenseAmplifier(reference_v=0.16, offset_v=0.05)
+    assert sa.decide(0.2) == 0
+    assert sa.decide(0.22) == 1
+
+
+def test_latch_trace_evaluates_on_clk_low():
+    sa = SenseAmplifier(reference_v=0.5)
+    times = time_grid(40e-9, 0.05e-9)
+    clk = clock_wave(times, 8e-9, duty=0.5)
+    vin = np.full_like(times, 0.8)
+    out = sa.latch_trace(times, vin, clk)
+    # After the first evaluation window the output latches high and holds.
+    assert out[-1] == sa.vdd_v
+    assert out[0] == 0.0  # before any evaluation
+
+
+def test_latch_holds_between_evaluations():
+    sa = SenseAmplifier(reference_v=0.5)
+    times = time_grid(40e-9, 0.05e-9)
+    clk = clock_wave(times, 8e-9, duty=0.5)
+    # Input high only during the first low phase; later drops.
+    vin = np.where(times < 10e-9, 0.8, 0.2)
+    out = sa.latch_trace(times, vin, clk)
+    index_hold = np.abs(times - 10.5e-9).argmin()  # clk high: hold phase
+    assert out[index_hold] == sa.vdd_v  # still holding the latched 1
+    # Next evaluation window re-latches low.
+    assert out[-1] == 0.0
+
+
+def test_regeneration_delay():
+    sa = SenseAmplifier(reference_v=0.5, regeneration_time_s=1e-9)
+    times = time_grid(20e-9, 0.05e-9)
+    clk = np.where(times < 10e-9, 1.0, 0.0)  # falls at 10 ns
+    vin = np.full_like(times, 0.9)
+    out = sa.latch_trace(times, vin, clk)
+    just_after_edge = np.abs(times - 10.4e-9).argmin()
+    after_regen = np.abs(times - 11.5e-9).argmin()
+    assert out[just_after_edge] == 0.0
+    assert out[after_regen] == sa.vdd_v
+
+
+def test_shape_mismatch_rejected():
+    sa = SenseAmplifier(reference_v=0.5)
+    times = time_grid(1e-9, 0.1e-9)
+    with pytest.raises(ValueError):
+        sa.latch_trace(times, np.zeros(3), np.zeros_like(times))
+
+
+def test_power_scales_with_rate():
+    sa = SenseAmplifier(reference_v=0.5, energy_per_decision_j=4e-15)
+    assert sa.decisions_per_second_power_w(1e9) == pytest.approx(4e-6)
+    assert sa.decisions_per_second_power_w(0.0) == 0.0

@@ -1,0 +1,96 @@
+"""Tests for repro.circuits.transient — waveform toolkit."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.transient import (
+    TransientResult,
+    clock_wave,
+    integrate_rc,
+    periodic_pulse_wave,
+    pulse_wave,
+    rc_settle,
+    time_grid,
+)
+
+
+def test_time_grid_span_and_step():
+    times = time_grid(10e-9, 1e-9)
+    assert times[0] == 0.0
+    assert times[-1] == pytest.approx(10e-9)
+    np.testing.assert_allclose(np.diff(times), 1e-9)
+
+
+def test_time_grid_validation():
+    with pytest.raises(ValueError):
+        time_grid(1e-9, 2e-9)
+    with pytest.raises(ValueError):
+        time_grid(-1.0, 1e-9)
+
+
+def test_clock_duty_cycle():
+    times = time_grid(100e-9, 0.1e-9)
+    clk = clock_wave(times, 10e-9, duty=0.3)
+    high_fraction = (clk > 0.5).mean()
+    assert high_fraction == pytest.approx(0.3, abs=0.02)
+
+
+def test_clock_phase_shift():
+    times = time_grid(20e-9, 0.1e-9)
+    base = clock_wave(times, 10e-9)
+    shifted = clock_wave(times, 10e-9, phase_s=5e-9)
+    # Half-period shift inverts the waveform (away from edges).
+    assert base[0] != shifted[0]
+
+
+def test_pulse_window():
+    times = time_grid(10e-9, 0.1e-9)
+    pulse = pulse_wave(times, 2e-9, 4e-9)
+    assert pulse[np.abs(times - 3e-9).argmin()] == 1.0
+    assert pulse[np.abs(times - 5e-9).argmin()] == 0.0
+    with pytest.raises(ValueError):
+        pulse_wave(times, 4e-9, 2e-9)
+
+
+def test_periodic_pulse():
+    times = time_grid(30e-9, 0.1e-9)
+    wave = periodic_pulse_wave(times, period_s=10e-9, start_s=0.0, width_s=2e-9)
+    assert wave[np.abs(times - 1e-9).argmin()] == 1.0
+    assert wave[np.abs(times - 11e-9).argmin()] == 1.0
+    assert wave[np.abs(times - 5e-9).argmin()] == 0.0
+
+
+def test_rc_settle_converges():
+    times = time_grid(10e-9, 0.01e-9)
+    trace = rc_settle(times, 0.0, 1.0, tau_s=0.5e-9, start_s=1e-9)
+    assert trace[0] == 0.0
+    assert trace[-1] == pytest.approx(1.0, abs=1e-6)
+    # At one tau past start, ~63% settled.
+    index = np.abs(times - 1.5e-9).argmin()
+    assert trace[index] == pytest.approx(1 - np.exp(-1), abs=0.01)
+
+
+def test_integrate_rc_tracks_step():
+    times = time_grid(10e-9, 0.01e-9)
+    target = np.where(times > 2e-9, 1.0, 0.0)
+    trace = integrate_rc(times, target, tau_s=0.3e-9)
+    assert trace[-1] == pytest.approx(1.0, abs=1e-6)
+    assert np.all(trace <= 1.0 + 1e-12)
+
+
+def test_integrate_rc_shape_check():
+    times = time_grid(1e-9, 0.1e-9)
+    with pytest.raises(ValueError):
+        integrate_rc(times, np.zeros(3), tau_s=1e-9)
+
+
+def test_transient_result_container():
+    times = time_grid(1e-9, 0.1e-9)
+    result = TransientResult(times_s=times)
+    result.add("v", np.ones_like(times))
+    assert "v" in result
+    assert result.names() == ["v"]
+    assert result.sample("v", 0.5e-9) == 1.0
+    assert len(result.window("v", 0.0, 0.5e-9)) == 5
+    with pytest.raises(ValueError):
+        result.add("bad", np.zeros(3))

@@ -1,0 +1,73 @@
+"""Tests for repro.circuits.vam — the Fig. 8 behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.vam import VamCircuit, VamDesign
+
+
+@pytest.fixture
+def vam():
+    return VamCircuit()
+
+
+def test_ternary_symbol_regions(vam):
+    assert vam.ternary_symbol(0.05) == 0
+    assert vam.ternary_symbol(0.25) == 1
+    assert vam.ternary_symbol(0.5) == 2
+
+
+def test_encode_frame_matches_scalar(vam):
+    voltages = np.array([[0.05, 0.25], [0.5, 0.161]])
+    symbols = vam.encode_frame(voltages)
+    expected = np.array([[0, 1], [2, 1]], dtype=np.int8)
+    np.testing.assert_array_equal(symbols, expected)
+
+
+def test_optical_power_three_levels(vam):
+    voltages = np.array([0.05, 0.25, 0.5])
+    powers = vam.optical_power_w(voltages)
+    assert powers[0] < powers[1] < powers[2]
+
+
+def test_fig8_reproduction(vam):
+    # Paper Fig. 8: Out1 above both thresholds, Out2 between, Out3 below.
+    result = vam.threshold_transient()
+    symbols = vam.classify_transient(result)
+    assert symbols == [2, 1, 0]
+
+
+def test_fig8_trace_inventory(vam):
+    result = vam.threshold_transient()
+    for name in ("Rst", "Dcharge", "Clk", "Out1", "Out1t1", "Out1t2", "I1"):
+        assert name in result
+
+
+def test_fig8_out2_between_references(vam):
+    result = vam.threshold_transient()
+    v = result.sample("Out2", 16.5e-9)
+    assert vam.design.vref_low_v < v < vam.design.vref_high_v
+
+
+def test_vcsel_current_never_below_bias(vam):
+    # NRZ: the driver keeps the laser biased on at all times.
+    result = vam.threshold_transient()
+    for index in (1, 2, 3):
+        current = result[f"I{index}"]
+        assert np.all(current >= vam.encoder.bias_current_a * 0.999)
+
+
+def test_symbol_energy_positive_and_scaling(vam):
+    e1 = vam.symbol_energy_j(1e-9)
+    e2 = vam.symbol_energy_j(2e-9)
+    assert 0.0 < e1 < e2
+
+
+def test_design_validation():
+    with pytest.raises(ValueError):
+        VamDesign(vref_low_v=0.4, vref_high_v=0.3)
+
+
+def test_empty_illuminances_rejected(vam):
+    with pytest.raises(ValueError):
+        vam.threshold_transient(illuminances_lux=())

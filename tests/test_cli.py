@@ -1,0 +1,45 @@
+"""Tests for repro.cli — the artifact-regeneration command line."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_rejects_unknown_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["frobnicate"])
+
+
+def test_summary_command(capsys):
+    assert main(["summary"]) == 0
+    out = capsys.readouterr().out
+    assert "efficiency_tops_per_watt" in out
+    assert "macs_per_cycle" in out
+
+
+def test_fig4_command(capsys):
+    assert main(["fig4"]) == 0
+    assert '"1111"' in capsys.readouterr().out
+
+
+def test_fig8_command(capsys):
+    assert main(["fig8"]) == 0
+    assert "Out2" in capsys.readouterr().out
+
+
+def test_table1_command(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "OISA (measured)" in out
+
+
+def test_compare_command(capsys):
+    assert main(["compare"]) == 0
+    out = capsys.readouterr().out
+    assert "Crosslight" in out and "ASIC" in out
+
+
+def test_claims_command_exit_code(capsys):
+    # All claims hold on the default configuration -> exit 0.
+    assert main(["claims"]) == 0
+    assert "MACs/cycle K=3" in capsys.readouterr().out

@@ -1,0 +1,110 @@
+"""Tests for repro.core.accelerator — the OISA facade."""
+
+import numpy as np
+import pytest
+
+from repro.core.accelerator import OISAAccelerator
+from repro.core.config import OISAConfig
+
+
+@pytest.fixture
+def oisa():
+    return OISAAccelerator(seed=0)
+
+
+@pytest.fixture
+def weights():
+    return np.random.default_rng(0).normal(size=(16, 3, 3, 3)) * 0.1
+
+
+@pytest.fixture
+def frame():
+    return np.random.default_rng(1).uniform(0, 1, (3, 128, 128))
+
+
+def test_program_then_process(oisa, weights, frame):
+    oisa.program_conv(weights, padding=1)
+    result = oisa.process_frame(frame)
+    assert result.features.shape == (16, 128, 128)
+    assert result.symbols.shape == (3, 128, 128)
+    assert set(np.unique(result.symbols)) <= {0, 1, 2}
+
+
+def test_process_requires_programming(oisa, frame):
+    with pytest.raises(RuntimeError):
+        oisa.process_frame(frame)
+
+
+def test_first_frame_pays_mapping(oisa, weights, frame):
+    oisa.program_conv(weights, padding=1)
+    first = oisa.process_frame(frame)
+    second = oisa.process_frame(frame)
+    assert first.timing.mapping_s > 0.0
+    assert second.timing.mapping_s == 0.0
+    assert first.energy.total > second.energy.total
+
+
+def test_batch_frames(oisa, weights):
+    oisa.program_conv(weights, padding=1)
+    batch = np.random.default_rng(2).uniform(0, 1, (4, 3, 128, 128))
+    result = oisa.process_frame(batch)
+    assert result.features.shape == (4, 16, 128, 128)
+
+
+def test_channel_mismatch_rejected(oisa, weights):
+    oisa.program_conv(weights, padding=1)
+    with pytest.raises(ValueError):
+        oisa.process_frame(np.zeros((1, 128, 128)))
+
+
+def test_weight_shape_validated(oisa):
+    with pytest.raises(ValueError):
+        oisa.program_conv(np.zeros((4, 3, 3)))
+    with pytest.raises(ValueError):
+        oisa.program_conv(np.zeros((4, 3, 3, 5)))
+
+
+def test_performance_summary_keys(oisa, weights):
+    oisa.program_conv(weights, padding=1)
+    summary = oisa.performance_summary()
+    assert summary["macs_per_cycle"] == 3600
+    assert summary["efficiency_tops_per_watt"] == pytest.approx(6.68, rel=0.03)
+    assert summary["frame_rate_fps"] == 1000
+    assert summary["area_mm2"] == pytest.approx(1.92, rel=0.03)
+
+
+def test_sustained_frame_rate(oisa, weights, frame):
+    oisa.program_conv(weights, padding=1)
+    oisa.process_frame(frame)
+    steady = oisa.process_frame(frame)
+    assert steady.timing.pipelined_fps >= 999.0
+    assert steady.average_power_w < 3e-3
+
+
+def test_same_seed_same_chip(weights, frame):
+    a = OISAAccelerator(seed=5)
+    b = OISAAccelerator(seed=5)
+    a.program_conv(weights, padding=1)
+    b.program_conv(weights, padding=1)
+    np.testing.assert_array_equal(
+        a.opc.programmed.realized, b.opc.programmed.realized
+    )
+
+
+def test_noise_disabled_mode(weights, frame):
+    ideal = OISAAccelerator(seed=0, enable_noise=False)
+    ideal.program_conv(weights, padding=1)
+    a = ideal.process_frame(frame).features
+    ideal2 = OISAAccelerator(seed=0, enable_noise=False)
+    ideal2.program_conv(weights, padding=1)
+    b = ideal2.process_frame(frame).features
+    np.testing.assert_array_equal(a, b)
+
+
+def test_custom_config_bit_width(weights):
+    config = OISAConfig().with_weight_bits(2)
+    oisa = OISAAccelerator(config, seed=0)
+    programmed = oisa.program_conv(weights, padding=1)
+    # Realized weights snap to the 2-bit grid (7 signed levels).
+    codes = np.round(programmed.ideal / oisa.opc.programmed.scale)
+    assert np.abs(codes).max() <= 3

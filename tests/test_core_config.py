@@ -1,0 +1,70 @@
+"""Tests for repro.core.config — the paper's structural constants."""
+
+import pytest
+
+from repro.core.config import PAPER_CONFIG, OISAConfig
+
+
+def test_paper_structural_constants():
+    cfg = PAPER_CONFIG
+    assert cfg.num_banks == 80
+    assert cfg.arms_per_bank == 5
+    assert cfg.mrs_per_arm == 10
+    assert cfg.mrs_per_bank == 50
+    assert cfg.total_mrs == 4000
+    assert cfg.total_arms == 400
+    assert cfg.bank_columns == 4
+    assert cfg.banks_per_column == 20
+    assert cfg.num_awc_units == 40
+    assert cfg.weight_mapping_iterations == 100
+    assert cfg.macs_per_arm == 9
+
+
+def test_paper_imager_constants():
+    cfg = PAPER_CONFIG
+    assert cfg.pixel_rows == cfg.pixel_cols == 128
+    assert cfg.num_pixels == 16384
+    assert cfg.pixel_pitch_m == pytest.approx(4.5e-6)
+    assert cfg.frame_rate_hz == 1000.0
+    assert cfg.mac_cycle_s == pytest.approx(55.8e-12)
+
+
+def test_with_weight_bits_propagates_to_awc():
+    cfg = OISAConfig().with_weight_bits(2)
+    assert cfg.weight_bits == 2
+    assert cfg.awc_design.num_bits == 2
+    # Original untouched (frozen dataclasses).
+    assert OISAConfig().weight_bits == 4
+
+
+def test_bank_column_divisibility_enforced():
+    with pytest.raises(ValueError):
+        OISAConfig(num_banks=81)
+
+
+def test_wdm_channels_must_cover_arm():
+    from dataclasses import replace
+
+    from repro.photonics.wdm import WdmGrid
+
+    with pytest.raises(ValueError):
+        OISAConfig(wdm=WdmGrid(num_channels=5))
+
+
+def test_activation_levels_fixed_ternary():
+    with pytest.raises(ValueError):
+        OISAConfig(activation_levels=4)
+
+
+def test_weight_bits_bounds():
+    with pytest.raises(ValueError):
+        OISAConfig(weight_bits=5)
+    with pytest.raises(ValueError):
+        OISAConfig(weight_bits=0)
+
+
+def test_custom_geometry_derived_quantities():
+    cfg = OISAConfig(num_banks=40, arms_per_bank=4, mrs_per_arm=10, bank_columns=4)
+    assert cfg.total_mrs == 40 * 4 * 10
+    assert cfg.total_arms == 160
+    assert cfg.weight_mapping_iterations == -(-cfg.total_mrs // 40)

@@ -1,0 +1,105 @@
+"""Tests for repro.core.energy — headline metric calibration."""
+
+import pytest
+
+from repro.core.config import OISAConfig
+from repro.core.energy import (
+    OISAEnergyModel,
+    PowerBreakdown,
+    default_plan,
+    resnet18_first_layer_workload,
+)
+
+
+@pytest.fixture
+def model():
+    return OISAEnergyModel(OISAConfig())
+
+
+def test_power_breakdown_helpers():
+    breakdown = PowerBreakdown({"a": 1.0, "b": 3.0})
+    assert breakdown.total == 4.0
+    assert breakdown.fraction("b") == pytest.approx(0.75)
+    assert breakdown.scaled(2.0).total == 8.0
+    merged = breakdown.merged(PowerBreakdown({"b": 1.0, "c": 1.0}))
+    assert merged.components == {"a": 1.0, "b": 4.0, "c": 1.0}
+
+
+def test_peak_throughput_matches_paper(model):
+    # 400 arms / 55.8 ps = ~7.1 TOp/s (the paper's op definition).
+    assert model.peak_throughput_ops() / 1e12 == pytest.approx(7.1, rel=0.02)
+
+
+def test_scalar_mac_throughput(model):
+    # 3600 scalar MACs per 55.8 ps cycle.
+    assert model.peak_throughput_scalar_macs(3) == pytest.approx(
+        3600 / 55.8e-12
+    )
+
+
+def test_efficiency_matches_paper(model):
+    assert model.efficiency_tops_per_watt() == pytest.approx(6.68, rel=0.03)
+
+
+def test_area_matches_paper(model):
+    assert model.area_mm2().total == pytest.approx(1.92, rel=0.03)
+    # The MR array dominates the layout.
+    assert model.area_mm2().components["mr_array"] > 1.0
+
+
+def test_pixel_array_area(model):
+    # 16384 pixels at 4.5 um pitch ~ 0.33 mm^2.
+    assert model.pixel_array_area_mm2() == pytest.approx(0.332, rel=0.02)
+
+
+def test_peak_power_components_present(model):
+    peak = model.peak_power_w()
+    for name in ("vcsel", "ted", "bpd", "sense_amp", "awc", "control"):
+        assert name in peak.components
+    assert peak.components["vcsel"] > peak.components["awc"]
+
+
+def test_vcsel_count_scales_with_kernel(model):
+    assert model.active_vcsels_per_cycle(3) == 80 * 9
+    assert model.active_vcsels_per_cycle(5) == 80 * 25
+
+
+def test_frame_energy_microjoule_scale(model):
+    plan = default_plan()
+    energy = model.frame_energy_j(plan)
+    assert 0.3e-6 < energy.total < 5e-6
+
+
+def test_average_power_milliwatt_scale(model):
+    plan = default_plan()
+    average = model.average_power_w(plan)
+    assert 0.5e-3 < average.total < 3e-3
+
+
+def test_electronics_power_in_paper_band(model):
+    # Table I: 0.12 - 0.34 mW.
+    plan = default_plan()
+    power_mw = model.electronics_power_w(plan) * 1e3
+    assert 0.1 < power_mw < 0.4
+
+
+def test_mapping_energy_included_when_requested(model):
+    plan = default_plan()
+    steady = model.frame_energy_j(plan, include_mapping=False)
+    first = model.frame_energy_j(plan, include_mapping=True, mapping_energy_j=1e-9)
+    assert first.total > steady.total
+    assert "mapping" in first.components
+
+
+def test_frame_budget_violation_detected(model):
+    plan = default_plan()
+    with pytest.raises(ValueError):
+        model.average_power_w(plan, frame_rate_hz=2e9)
+
+
+def test_resnet_workload_definition():
+    workload = resnet18_first_layer_workload()
+    assert workload.kernel_size == 3
+    assert workload.num_kernels == 64
+    assert workload.in_channels == 3
+    assert workload.image_height == 128

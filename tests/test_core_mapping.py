@@ -1,0 +1,119 @@
+"""Tests for repro.core.mapping — Section III-B arithmetic."""
+
+import pytest
+
+from repro.core.config import OISAConfig
+from repro.core.mapping import (
+    ConvWorkload,
+    MlpWorkload,
+    arms_per_kernel,
+    kernels_per_bank,
+    macs_per_cycle,
+    plan_convolution,
+    plan_mlp,
+)
+
+
+@pytest.fixture
+def cfg():
+    return OISAConfig()
+
+
+def test_paper_macs_per_cycle(cfg):
+    # The paper's exact numbers: 3600 / 2000 / 3920 for K = 3 / 5 / 7.
+    assert macs_per_cycle(cfg, 3) == 3600
+    assert macs_per_cycle(cfg, 5) == 2000
+    assert macs_per_cycle(cfg, 7) == 3920
+
+
+def test_kernels_per_bank(cfg):
+    assert kernels_per_bank(cfg, 3) == 5
+    assert kernels_per_bank(cfg, 5) == 1
+    assert kernels_per_bank(cfg, 7) == 1
+
+
+def test_arms_per_kernel(cfg):
+    assert arms_per_kernel(cfg, 3) == 1
+    assert arms_per_kernel(cfg, 5) == 5
+    assert arms_per_kernel(cfg, 7) == 5
+
+
+def test_unsupported_kernel_sizes(cfg):
+    with pytest.raises(ValueError):
+        kernels_per_bank(cfg, 4)
+    with pytest.raises(ValueError):
+        ConvWorkload(9, 1, 1, 32, 32)
+
+
+def test_workload_output_geometry():
+    workload = ConvWorkload(3, 64, 3, 128, 128, stride=1, padding=1)
+    assert workload.output_height == 128
+    assert workload.output_width == 128
+    assert workload.windows_per_channel == 128 * 128
+    assert workload.total_macs == 128 * 128 * 64 * 3 * 9
+    assert workload.total_ops == 2 * workload.total_macs
+
+
+def test_strided_workload_geometry():
+    workload = ConvWorkload(3, 8, 1, 32, 32, stride=2, padding=1)
+    assert workload.output_height == 16
+
+
+def test_plan_single_round(cfg):
+    # ResNet18 L1: 64 x 3 = 192 planes <= 400 slots -> one mapping round.
+    workload = ConvWorkload(3, 64, 3, 128, 128, padding=1)
+    plan = plan_convolution(cfg, workload)
+    assert plan.kernel_slots == 400
+    assert plan.mapping_rounds == 1
+    assert plan.compute_cycles == workload.windows_per_channel
+
+
+def test_plan_multiple_rounds(cfg):
+    # 256 kernels x 3 channels = 768 planes -> 2 rounds.
+    workload = ConvWorkload(3, 256, 3, 64, 64, padding=1)
+    plan = plan_convolution(cfg, workload)
+    assert plan.mapping_rounds == 2
+    assert plan.compute_cycles == 2 * workload.windows_per_channel
+
+
+def test_plan_5x5_uses_banks(cfg):
+    workload = ConvWorkload(5, 80, 1, 64, 64)
+    plan = plan_convolution(cfg, workload)
+    assert plan.kernel_slots == 80
+    assert plan.kernels_per_bank == 1
+    assert plan.macs_per_cycle == 2000
+
+
+def test_utilization_bounded(cfg):
+    workload = ConvWorkload(3, 64, 3, 128, 128, padding=1)
+    plan = plan_convolution(cfg, workload)
+    assert 0.0 < plan.mr_utilization <= 1.0
+    # 192 planes x 9 MRs / 4000 MRs.
+    assert plan.mr_utilization == pytest.approx(192 * 9 / 4000)
+
+
+def test_mlp_plan_splitting(cfg):
+    # 784-input MLP: each neuron spans ceil(784/50) = 16 banks.
+    workload = MlpWorkload(input_features=784, output_features=100)
+    plan = plan_mlp(cfg, workload)
+    assert plan.chunks_per_neuron == 16
+    assert plan.neurons_per_round == 5  # 80 banks / 16 chunks
+    assert plan.mapping_rounds == 20
+    assert plan.vom_combines == 100 * 15
+
+
+def test_mlp_small_layer_single_round(cfg):
+    workload = MlpWorkload(input_features=50, output_features=10)
+    plan = plan_mlp(cfg, workload)
+    assert plan.chunks_per_neuron == 1
+    assert plan.mapping_rounds == 1
+    assert plan.vom_combines == 0
+
+
+def test_workload_validation():
+    with pytest.raises(ValueError):
+        ConvWorkload(3, 0, 1, 32, 32)
+    with pytest.raises(ValueError):
+        ConvWorkload(3, 1, 1, 32, 32, padding=-1)
+    with pytest.raises(ValueError):
+        MlpWorkload(0, 10)

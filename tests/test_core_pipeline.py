@@ -1,0 +1,93 @@
+"""Tests for repro.core.pipeline — hardware-in-the-loop inference."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import OISAConfig
+from repro.core.opc import OpticalProcessingCore
+from repro.core.pipeline import HardwareFirstLayerPipeline
+from repro.nn.models import FirstLayerConfig, build_lenet
+
+
+@pytest.fixture
+def qat_model():
+    return build_lenet(
+        num_classes=4,
+        input_size=16,
+        first_layer=FirstLayerConfig(weight_bits=3),
+        seed=0,
+    )
+
+
+def _opc(bits=3, **kwargs):
+    return OpticalProcessingCore(
+        OISAConfig().with_weight_bits(bits), seed=1, **kwargs
+    )
+
+
+def test_pipeline_programs_on_construction(qat_model):
+    opc = _opc()
+    pipeline = HardwareFirstLayerPipeline(qat_model, opc)
+    assert opc.programmed.realized.shape == pipeline.conv.weight.data.shape
+
+
+def test_forward_shape(qat_model):
+    pipeline = HardwareFirstLayerPipeline(qat_model, _opc())
+    x = np.random.default_rng(0).uniform(0, 1, (6, 1, 16, 16))
+    logits = pipeline.forward(x, batch_size=4)
+    assert logits.shape == (6, 4)
+
+
+def test_hardware_close_to_software_when_ideal(qat_model):
+    from dataclasses import replace
+
+    from repro.circuits.awc import AwcDesign
+
+    ideal_config = replace(
+        OISAConfig().with_weight_bits(3),
+        awc_design=AwcDesign(
+            num_bits=3, mismatch_sigma=0.0, offset_sigma_a=0.0, compression_alpha=0.0
+        ),
+    )
+    opc = OpticalProcessingCore(
+        ideal_config, seed=1, enable_crosstalk=False, enable_read_noise=False
+    )
+    pipeline = HardwareFirstLayerPipeline(qat_model, opc)
+    x = np.random.default_rng(1).uniform(0, 1, (8, 1, 16, 16))
+    hardware = pipeline.forward(x)
+    software = qat_model.forward(x, training=False)
+    np.testing.assert_allclose(hardware, software, atol=1e-8)
+
+
+def test_hardware_differs_with_noise(qat_model):
+    pipeline = HardwareFirstLayerPipeline(qat_model, _opc())
+    x = np.random.default_rng(2).uniform(0, 1, (8, 1, 16, 16))
+    hardware = pipeline.forward(x)
+    software = qat_model.forward(x, training=False)
+    assert not np.allclose(hardware, software)
+
+
+def test_evaluate_returns_fraction(qat_model):
+    pipeline = HardwareFirstLayerPipeline(qat_model, _opc())
+    x = np.random.default_rng(3).uniform(0, 1, (10, 1, 16, 16))
+    labels = np.random.default_rng(4).integers(0, 4, 10)
+    accuracy = pipeline.evaluate(x, labels)
+    assert 0.0 <= accuracy <= 1.0
+
+
+def test_weight_error_report(qat_model):
+    pipeline = HardwareFirstLayerPipeline(qat_model, _opc())
+    report = pipeline.weight_error_report()
+    assert report["mapping_iterations"] == 100
+    assert 0.0 < report["relative_error"] < 0.1
+
+
+def test_float_baseline_rejected():
+    baseline = build_lenet(
+        num_classes=4,
+        input_size=16,
+        first_layer=FirstLayerConfig(weight_bits=None, ternary_input=False),
+        seed=0,
+    )
+    with pytest.raises(ValueError):
+        HardwareFirstLayerPipeline(baseline, _opc())

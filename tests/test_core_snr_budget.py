@@ -1,0 +1,60 @@
+"""Tests for repro.core.snr_budget — the effective-resolution chain."""
+
+import pytest
+
+from repro.core.snr_budget import SnrBudget
+
+
+@pytest.fixture
+def budget():
+    return SnrBudget()
+
+
+def test_detector_power_below_emitted(budget):
+    report = budget.report()
+    assert 0.0 < report.detector_power_w < report.laser_power_w
+    assert report.path_loss_db > 0.0
+
+
+def test_paper_claim_chain_supports_4_bits(budget):
+    # Section III: the devices are tuned for 4-bit effective resolution.
+    report = budget.report()
+    assert report.supports_weight_bits(4)
+    assert budget.max_weight_bits() >= 4
+
+
+def test_snr_improves_with_brighter_symbols(budget):
+    dim = budget.report(symbol=1)
+    bright = budget.report(symbol=2)
+    assert bright.snr_linear > dim.snr_linear
+    assert bright.effective_bits >= dim.effective_bits
+
+
+def test_more_rings_more_loss_less_snr():
+    short_arm = SnrBudget(num_rings=2)
+    long_arm = SnrBudget(num_rings=10)
+    assert long_arm.report().path_loss_db > short_arm.report().path_loss_db
+    assert long_arm.report().snr_linear < short_arm.report().snr_linear
+
+
+def test_required_power_monotone_in_bits(budget):
+    p3 = budget.required_laser_power_for_bits(3)
+    p5 = budget.required_laser_power_for_bits(5)
+    assert p5 > p3
+
+
+def test_required_power_consistent_with_enob(budget):
+    power = budget.required_laser_power_for_bits(4)
+    transmission = budget.arm_loss.transmission(budget.num_rings)
+    assert budget.bpd.effective_bits(power * transmission) == pytest.approx(
+        4.0, abs=0.05
+    )
+
+
+def test_validation(budget):
+    with pytest.raises(ValueError):
+        budget.report().supports_weight_bits(0)
+    with pytest.raises(ValueError):
+        budget.required_laser_power_for_bits(0)
+    with pytest.raises(ValueError):
+        SnrBudget(num_rings=0)

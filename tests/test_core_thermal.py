@@ -1,0 +1,94 @@
+"""Tests for repro.core.thermal — drift and compensation."""
+
+import numpy as np
+import pytest
+
+from repro.core.thermal import RESONANCE_DRIFT_M_PER_K, ThermalModel
+from repro.photonics.microring import MicroringResonator
+from repro.photonics.tuning import HybridTuning
+
+
+@pytest.fixture
+def thermal():
+    return ThermalModel(ring=MicroringResonator(), tuning=HybridTuning())
+
+
+@pytest.fixture
+def weights():
+    return np.linspace(0.1, 0.9, 12)
+
+
+def test_resonance_shift_linear(thermal):
+    assert thermal.resonance_shift_m(1.0) == pytest.approx(RESONANCE_DRIFT_M_PER_K)
+    assert thermal.resonance_shift_m(10.0) == pytest.approx(
+        10 * RESONANCE_DRIFT_M_PER_K
+    )
+
+
+def test_open_loop_error_grows_with_temperature(thermal, weights):
+    errors = [thermal.open_loop_error(weights, dt) for dt in (0.5, 2.0, 5.0)]
+    assert errors[0] < errors[1] < errors[2]
+
+
+def test_zero_drift_zero_error(thermal, weights):
+    assert thermal.open_loop_error(weights, 0.0) == pytest.approx(0.0, abs=1e-12)
+
+
+def test_drifted_weights_stay_physical(thermal, weights):
+    drifted = thermal.drifted_weights(weights, 5.0)
+    assert np.all(drifted >= 0.0) and np.all(drifted <= 1.0)
+
+
+def test_closed_loop_beats_open_loop(thermal, weights):
+    delta_t = 3.0
+    open_loop = thermal.open_loop_error(weights, delta_t)
+    closed = thermal.closed_loop_error(weights, delta_t)
+    assert closed < open_loop
+
+
+def test_compensable_range(thermal):
+    # EO range 50 pm at 75 pm/K -> ~0.67 K of fast compensation.
+    expected = thermal.tuning.eo_range_m / thermal.drift_m_per_k
+    assert thermal.compensable_range_k() == pytest.approx(expected)
+
+
+def test_compensation_power_scales(thermal):
+    small = thermal.compensation_power_w(1.0, num_mrs=4000)
+    large = thermal.compensation_power_w(5.0, num_mrs=4000)
+    assert large > small
+    with pytest.raises(ValueError):
+        thermal.compensation_power_w(1.0, num_mrs=0)
+
+
+def test_low_q_design_is_drift_tolerant(weights):
+    # The paper's argument for Q ~ 5000: for the same drift, the broad
+    # (low-Q) resonance loses far less weight fidelity than a sharp one.
+    from repro.photonics.microring import MicroringDesign, solve_coupling_for_q
+
+    low_loss = MicroringDesign(round_trip_loss_db=0.06)
+    low_q = ThermalModel(
+        ring=MicroringResonator(
+            MicroringDesign(
+                round_trip_loss_db=0.06,
+                self_coupling=solve_coupling_for_q(5000, design=low_loss),
+            )
+        ),
+        tuning=HybridTuning(),
+    )
+    high_q = ThermalModel(
+        ring=MicroringResonator(
+            MicroringDesign(
+                round_trip_loss_db=0.06,
+                self_coupling=solve_coupling_for_q(20000, design=low_loss),
+            )
+        ),
+        tuning=HybridTuning(),
+    )
+    drift_k = 0.3
+    low_weights = np.clip(weights, low_q.ring.min_transmission + 1e-6, 1.0)
+    high_weights = np.clip(weights, high_q.ring.min_transmission + 1e-6, 1.0)
+    assert low_q.open_loop_error(low_weights, drift_k) < high_q.open_loop_error(
+        high_weights, drift_k
+    )
+    # And the closed loop holds the residual down regardless.
+    assert low_q.closed_loop_error(low_weights, 1.0) < 0.02

@@ -1,0 +1,110 @@
+"""Tests for repro.core.vom and repro.core.controller."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import OISAConfig
+from repro.core.controller import TimingController
+from repro.core.mapping import ConvWorkload, plan_convolution
+from repro.core.vom import OutputModulator
+
+
+# --------------------------------------------------------------------------
+# OutputModulator
+# --------------------------------------------------------------------------
+def test_combine_exact_when_noiseless():
+    vom = OutputModulator(remodulation_sigma=0.0)
+    partials = np.array([[1.0, 2.0, 3.0], [4.0, 5.0, 6.0]])
+    np.testing.assert_allclose(vom.combine(partials), [6.0, 15.0])
+
+
+def test_combine_noise_small():
+    vom = OutputModulator(remodulation_sigma=0.002, seed=0)
+    partials = np.ones((1000, 4))
+    combined = vom.combine(partials)
+    assert combined.mean() == pytest.approx(4.0, rel=1e-3)
+    assert combined.std() < 0.02
+
+
+def test_combine_energy():
+    vom = OutputModulator()
+    assert vom.combine_energy_j(1, 100) == 0.0  # nothing to combine
+    assert vom.combine_energy_j(3, 100) == pytest.approx(
+        200 * vom.energy_per_combine_j
+    )
+
+
+def test_combine_latency_log_depth():
+    vom = OutputModulator()
+    assert vom.combine_latency(1) == 0.0
+    assert vom.combine_latency(2) == pytest.approx(vom.combine_latency_s)
+    assert vom.combine_latency(8) == pytest.approx(3 * vom.combine_latency_s)
+
+
+def test_split_dot_product_covers_vector():
+    vom = OutputModulator()
+    chunks = vom.split_dot_product(123, 50)
+    assert chunks[0] == (0, 50)
+    assert chunks[-1] == (100, 123)
+    covered = sum(stop - start for start, stop in chunks)
+    assert covered == 123
+
+
+def test_split_validation():
+    with pytest.raises(ValueError):
+        OutputModulator().split_dot_product(0, 50)
+
+
+# --------------------------------------------------------------------------
+# TimingController
+# --------------------------------------------------------------------------
+@pytest.fixture
+def controller():
+    return TimingController(OISAConfig())
+
+
+@pytest.fixture
+def plan():
+    cfg = OISAConfig()
+    return plan_convolution(cfg, ConvWorkload(3, 64, 3, 128, 128, padding=1))
+
+
+def test_exposure_budget(controller):
+    assert controller.exposure_time_s() == pytest.approx(1e-3)
+    assert controller.exposure_time_s(500.0) == pytest.approx(2e-3)
+
+
+def test_compute_time(controller, plan):
+    expected = plan.compute_cycles * 55.8e-12
+    assert controller.compute_time_s(plan) == pytest.approx(expected)
+
+
+def test_mapping_time_scales_with_iterations(controller):
+    base = controller.mapping_time_s()
+    assert base == pytest.approx(100 * 5 * 0.18e-9)
+    with_tuning = controller.mapping_time_s(tuning_latency_s=4e-6)
+    assert with_tuning == pytest.approx(base + 4e-6)
+
+
+def test_frame_timing_sequential_vs_pipelined(controller, plan):
+    timing = controller.frame_timing(plan)
+    assert timing.sequential_s > timing.pipelined_s * 0.99
+    assert timing.pipelined_s == pytest.approx(1e-3)  # exposure-dominated
+    assert timing.pipelined_fps == pytest.approx(1000.0)
+
+
+def test_paper_frame_rate_holds_with_remap(controller, plan):
+    # Even paying a full weight remap, OISA sustains 1000 FPS.
+    timing = controller.frame_timing(plan, remap_weights=True, tuning_latency_s=4e-6)
+    assert timing.pipelined_fps >= 999.0
+
+
+def test_compute_duty_small(controller, plan):
+    timing = controller.frame_timing(plan)
+    assert timing.compute_duty < 0.002  # ~1 us of a 1 ms frame
+
+
+def test_transmit_time(controller, plan):
+    outputs = plan.workload.windows_per_channel * plan.workload.num_kernels
+    expected = outputs * controller.OUTPUT_BITS_PER_VALUE / controller.TRANSMIT_RATE_BPS
+    assert controller.transmit_time_s(plan) == pytest.approx(expected)

@@ -1,0 +1,75 @@
+"""Tests for repro.datasets.transforms — augmentation utilities."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.transforms import (
+    Augmenter,
+    intensity_jitter,
+    random_hflip,
+    random_shift,
+)
+from repro.util.rng import derive_rng
+
+
+@pytest.fixture
+def batch():
+    rng = np.random.default_rng(0)
+    return rng.uniform(0, 1, (8, 1, 12, 12))
+
+
+def test_random_shift_preserves_content(batch):
+    rng = derive_rng(0, "t")
+    shifted = random_shift(batch, 2, rng)
+    assert shifted.shape == batch.shape
+    # Circular shift preserves every pixel value (multiset equality).
+    for index in range(len(batch)):
+        np.testing.assert_allclose(
+            np.sort(shifted[index].ravel()), np.sort(batch[index].ravel())
+        )
+
+
+def test_random_shift_zero_is_identity(batch):
+    rng = derive_rng(0, "t")
+    np.testing.assert_array_equal(random_shift(batch, 0, rng), batch)
+
+
+def test_random_hflip_probability_extremes(batch):
+    rng = derive_rng(1, "t")
+    never = random_hflip(batch, 0.0, rng)
+    np.testing.assert_array_equal(never, batch)
+    always = random_hflip(batch, 1.0, derive_rng(2, "t"))
+    np.testing.assert_array_equal(always, batch[:, :, :, ::-1])
+
+
+def test_intensity_jitter_clips_to_unit_range(batch):
+    rng = derive_rng(3, "t")
+    jittered = intensity_jitter(batch, 0.5, rng)
+    assert jittered.min() >= 0.0
+    assert jittered.max() <= 1.0
+
+
+def test_intensity_jitter_zero_sigma_identity(batch):
+    rng = derive_rng(4, "t")
+    np.testing.assert_array_equal(intensity_jitter(batch, 0.0, rng), batch)
+
+
+def test_augmenter_deterministic_under_seed(batch):
+    a = Augmenter(shift_px=2, jitter_sigma=0.1, seed=7)(batch)
+    b = Augmenter(shift_px=2, jitter_sigma=0.1, seed=7)(batch)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_augmenter_output_in_range(batch):
+    out = Augmenter(shift_px=3, hflip_probability=0.5, jitter_sigma=0.2, seed=0)(
+        batch
+    )
+    assert out.shape == batch.shape
+    assert out.min() >= 0.0 and out.max() <= 1.0
+
+
+def test_augmenter_validation():
+    with pytest.raises(ValueError):
+        Augmenter(shift_px=-1)
+    with pytest.raises(ValueError):
+        Augmenter(hflip_probability=1.5)

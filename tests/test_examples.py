@@ -1,0 +1,44 @@
+"""Smoke tests: the fast example scripts must stay runnable.
+
+(The training-heavy examples — first_layer_offload, table2_full — are
+exercised through their library entry points in test_sim_accuracy.py; the
+scripts here finish in seconds.)
+"""
+
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = "examples"
+
+
+def _run_example(path: str, argv: list[str], capsys) -> str:
+    old_argv = sys.argv
+    sys.argv = [path] + argv
+    try:
+        runpy.run_path(path, run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out
+
+
+def test_quickstart_example(capsys):
+    out = _run_example(f"{EXAMPLES}/quickstart.py", [], capsys)
+    assert "performance summary" in out
+    assert "efficiency_tops_per_watt" in out
+    assert "sustained FPS" in out
+
+
+def test_multi_node_example(capsys):
+    out = _run_example(f"{EXAMPLES}/multi_node_iot.py", ["2"], capsys)
+    assert "Multi-node IoT deployment" in out
+    assert "reduction" in out
+
+
+def test_design_space_exploration_example(capsys):
+    out = _run_example(f"{EXAMPLES}/design_space_exploration.py", [], capsys)
+    assert "Bank-count sweep" in out
+    assert "Q-factor sweep" in out
+    assert "Weight-bit sweep" in out
+    assert "Arm-size sweep" in out

@@ -1,0 +1,106 @@
+"""Integration tests: the full sensor-to-decision path at small scale."""
+
+import numpy as np
+import pytest
+
+from repro.core.accelerator import OISAAccelerator
+from repro.core.config import OISAConfig
+from repro.core.opc import OpticalProcessingCore
+from repro.core.pipeline import HardwareFirstLayerPipeline
+from repro.datasets.synthetic import SyntheticSpec, generate_dataset
+from repro.datasets.catalog import Dataset
+from repro.nn.models import FirstLayerConfig, build_lenet
+from repro.nn.optim import SGD, CosineLR
+from repro.nn.train import Trainer
+
+
+@pytest.fixture(scope="module")
+def tiny_dataset():
+    spec = SyntheticSpec(
+        name="integration",
+        num_classes=4,
+        image_size=16,
+        channels=1,
+        train_size=240,
+        test_size=120,
+        noise_sigma=0.06,
+        jitter_px=1,
+        clutter=0.1,
+        seed=1,
+    )
+    x_train, y_train, x_test, y_test = generate_dataset(spec)
+    return Dataset(
+        name="integration",
+        x_train=x_train,
+        y_train=y_train,
+        x_test=x_test,
+        y_test=y_test,
+        num_classes=4,
+        image_size=16,
+        channels=1,
+        paper_model="LeNet",
+    )
+
+
+@pytest.fixture(scope="module")
+def trained_qat(tiny_dataset):
+    model = build_lenet(
+        num_classes=4,
+        input_size=16,
+        first_layer=FirstLayerConfig(weight_bits=3),
+        seed=0,
+    )
+    trainer = Trainer(
+        model,
+        SGD(model.parameters(), momentum=0.9, weight_decay=1e-4),
+        CosineLR(0.05, 1e-4),
+        seed=0,
+    )
+    trainer.fit(tiny_dataset.x_train, tiny_dataset.y_train, epochs=4, batch_size=32)
+    software = trainer.evaluate(tiny_dataset.x_test, tiny_dataset.y_test)
+    return model, software
+
+
+def test_qat_training_reaches_useful_accuracy(trained_qat):
+    _, software = trained_qat
+    assert software > 0.7  # 4-class problem, chance = 0.25
+
+
+def test_hardware_inference_tracks_software(trained_qat, tiny_dataset):
+    model, software = trained_qat
+    opc = OpticalProcessingCore(OISAConfig().with_weight_bits(3), seed=11)
+    pipeline = HardwareFirstLayerPipeline(model, opc)
+    hardware = pipeline.evaluate(tiny_dataset.x_test, tiny_dataset.y_test)
+    assert hardware > software - 0.15  # optics cost a few points at most
+
+
+def test_end_to_end_frame_path_consistency(trained_qat):
+    # The accelerator facade and the pipeline agree on the first layer.
+    model, _ = trained_qat
+    conv = model[1]
+    oisa = OISAAccelerator(OISAConfig().with_weight_bits(3), seed=11)
+    quantized = conv.quantizer.quantize(conv.weight.data)
+    scale = conv.quantizer.scale(conv.weight.data)
+    oisa.opc.program(quantized, scale)
+
+    opc = OpticalProcessingCore(OISAConfig().with_weight_bits(3), seed=11)
+    opc.program(quantized, scale)
+    np.testing.assert_allclose(
+        oisa.opc.programmed.realized, opc.programmed.realized
+    )
+
+
+def test_paper_configuration_full_frame_throughput():
+    # One full ResNet18-style first layer on the real frame size, checking
+    # the headline performance counters along the way.
+    oisa = OISAAccelerator(seed=0)
+    weights = np.random.default_rng(0).normal(size=(64, 3, 3, 3)) * 0.1
+    oisa.program_conv(weights, padding=1)
+    frame = np.random.default_rng(1).uniform(0, 1, (3, 128, 128))
+    oisa.process_frame(frame)
+    steady = oisa.process_frame(frame)
+    assert steady.timing.pipelined_fps == pytest.approx(1000.0, rel=0.01)
+    summary = oisa.performance_summary()
+    assert summary["macs_per_cycle"] == 3600
+    assert summary["compute_cycles_per_frame"] == 128 * 128
+    assert summary["efficiency_tops_per_watt"] == pytest.approx(6.68, rel=0.03)

@@ -1,0 +1,71 @@
+"""Tests for repro.memarch — CACTI/NVSIM-style estimators."""
+
+import pytest
+
+from repro.memarch import EdramModel, NvmModel, SramModel
+
+
+def test_sram_energy_scales_with_capacity():
+    small = SramModel(capacity_bytes=4096)
+    large = SramModel(capacity_bytes=16384)
+    assert large.read_energy_j() == pytest.approx(small.read_energy_j() * 2.0)
+
+
+def test_sram_write_more_expensive_than_read():
+    sram = SramModel(capacity_bytes=8192)
+    assert sram.write_energy_j() > sram.read_energy_j()
+
+
+def test_sram_node_scaling():
+    at45 = SramModel(capacity_bytes=4096, technology_nm=45)
+    at65 = SramModel(capacity_bytes=4096, technology_nm=65)
+    assert at65.read_energy_j() > at45.read_energy_j()
+    assert at65.area_mm2() > at45.area_mm2()
+
+
+def test_sram_leakage_linear_in_capacity():
+    a = SramModel(capacity_bytes=4096).leakage_power_w()
+    b = SramModel(capacity_bytes=8192).leakage_power_w()
+    assert b == pytest.approx(2 * a)
+
+
+def test_edram_denser_but_slower_than_sram():
+    edram = EdramModel(capacity_bytes=2 * 1024 * 1024)
+    sram_same_size = SramModel(capacity_bytes=2 * 1024 * 1024)
+    assert edram.area_mm2() < sram_same_size.area_mm2()
+    # A tile-sized SRAM buffer is still faster than the big eDRAM macro.
+    sram_tile = SramModel(capacity_bytes=64 * 1024)
+    assert edram.access_time_s() > sram_tile.access_time_s()
+
+
+def test_edram_refresh_power():
+    edram = EdramModel(capacity_bytes=2 * 1024 * 1024)
+    assert edram.refresh_power_w() > 0.0
+    double = EdramModel(capacity_bytes=4 * 1024 * 1024)
+    assert double.refresh_power_w() == pytest.approx(2 * edram.refresh_power_w())
+
+
+def test_nvm_write_dominates_read():
+    # The paper's critique of PISA/AppCiP NVM banks.
+    nvm = NvmModel(capacity_bytes=4096)
+    assert nvm.write_energy_j() > 10 * nvm.read_energy_j()
+    assert nvm.write_time_s() > nvm.read_time_s()
+
+
+def test_nvm_leaks_less_than_sram():
+    nvm = NvmModel(capacity_bytes=4096)
+    sram = SramModel(capacity_bytes=4096)
+    assert nvm.leakage_power_w() < sram.leakage_power_w()
+
+
+def test_nvm_lifetime_writes():
+    nvm = NvmModel(capacity_bytes=4096, endurance_cycles=1e8)
+    words = 4096 * 8 / nvm.word_bits
+    assert nvm.lifetime_writes() == pytest.approx(words * 1e8)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        SramModel(capacity_bytes=0)
+    with pytest.raises(ValueError):
+        NvmModel(capacity_bytes=-1)

@@ -1,0 +1,159 @@
+"""Tests for repro.nn.losses / optim / metrics."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Parameter
+from repro.nn.losses import SoftmaxCrossEntropy
+from repro.nn.metrics import accuracy, confusion_matrix, top_k_accuracy
+from repro.nn.optim import SGD, Adam, ConstantLR, CosineLR, StepLR
+
+
+# --------------------------------------------------------------------------
+# Losses
+# --------------------------------------------------------------------------
+def test_cross_entropy_uniform_logits():
+    loss = SoftmaxCrossEntropy()
+    logits = np.zeros((4, 10))
+    labels = np.arange(4)
+    assert loss.forward(logits, labels) == pytest.approx(np.log(10))
+
+
+def test_cross_entropy_gradient_finite_difference():
+    rng = np.random.default_rng(0)
+    logits = rng.normal(size=(3, 5))
+    labels = np.array([0, 2, 4])
+    loss = SoftmaxCrossEntropy()
+    base = loss.forward(logits, labels)
+    grad = loss.backward()
+    eps = 1e-6
+    for index in ((0, 0), (1, 2), (2, 3)):
+        logits[index] += eps
+        plus = loss.forward(logits, labels)
+        logits[index] -= eps
+        numeric = (plus - base) / eps
+        assert grad[index] == pytest.approx(numeric, abs=1e-5)
+    # re-forward to restore internal cache consistency
+    loss.forward(logits, labels)
+
+
+def test_cross_entropy_label_smoothing_reduces_confidence_penalty():
+    logits = np.array([[10.0, 0.0]])
+    labels = np.array([0])
+    plain = SoftmaxCrossEntropy().forward(logits, labels)
+    smooth = SoftmaxCrossEntropy(label_smoothing=0.2).forward(logits, labels)
+    assert smooth > plain  # smoothing penalises over-confidence
+
+
+def test_cross_entropy_validation():
+    loss = SoftmaxCrossEntropy()
+    with pytest.raises(ValueError):
+        loss.forward(np.zeros((2, 3)), np.array([3, 0]))  # label out of range
+    with pytest.raises(ValueError):
+        loss.forward(np.zeros(3), np.array([0]))
+    with pytest.raises(RuntimeError):
+        SoftmaxCrossEntropy().backward()
+
+
+# --------------------------------------------------------------------------
+# Optimizers
+# --------------------------------------------------------------------------
+def _quadratic_param():
+    return Parameter(np.array([5.0, -3.0]))
+
+
+def test_sgd_converges_on_quadratic():
+    p = _quadratic_param()
+    opt = SGD([p], momentum=0.9)
+    for _ in range(200):
+        opt.zero_grad()
+        p.grad += 2 * p.data  # d/dx x^2
+        opt.step(0.05)
+    np.testing.assert_allclose(p.data, 0.0, atol=1e-4)
+
+
+def test_adam_converges_on_quadratic():
+    p = _quadratic_param()
+    opt = Adam([p])
+    for _ in range(800):
+        opt.zero_grad()
+        p.grad += 2 * p.data
+        opt.step(0.05)
+    np.testing.assert_allclose(p.data, 0.0, atol=1e-3)
+
+
+def test_weight_decay_shrinks_weights():
+    p = Parameter(np.array([1.0]))
+    opt = SGD([p], momentum=0.0, weight_decay=0.1)
+    opt.step(0.1)  # no loss gradient, only decay
+    assert p.data[0] < 1.0
+
+
+def test_sgd_momentum_accumulates():
+    p = Parameter(np.array([0.0]))
+    opt = SGD([p], momentum=0.9)
+    p.grad[:] = 1.0
+    opt.step(0.1)
+    first = p.data.copy()
+    p.grad[:] = 1.0
+    opt.step(0.1)
+    second_delta = p.data - first
+    assert abs(second_delta[0]) > 0.1  # momentum adds to the raw step
+
+
+def test_optimizer_validation():
+    with pytest.raises(ValueError):
+        SGD([], momentum=0.9)
+    with pytest.raises(ValueError):
+        SGD([_quadratic_param()], momentum=1.5)
+
+
+# --------------------------------------------------------------------------
+# Schedules
+# --------------------------------------------------------------------------
+def test_constant_lr():
+    assert ConstantLR(0.1).lr_at(5, 100) == 0.1
+
+
+def test_step_lr():
+    schedule = StepLR(1.0, step_size=10, gamma=0.1)
+    assert schedule.lr_at(0, 100) == 1.0
+    assert schedule.lr_at(10, 100) == pytest.approx(0.1)
+    assert schedule.lr_at(25, 100) == pytest.approx(0.01)
+
+
+def test_cosine_lr_endpoints():
+    schedule = CosineLR(1.0, 0.1)
+    assert schedule.lr_at(0, 100) == pytest.approx(1.0)
+    assert schedule.lr_at(99, 100) == pytest.approx(0.1)
+    mid = schedule.lr_at(49, 100)
+    assert 0.1 < mid < 1.0
+
+
+def test_cosine_validation():
+    with pytest.raises(ValueError):
+        CosineLR(0.1, 0.5)
+
+
+# --------------------------------------------------------------------------
+# Metrics
+# --------------------------------------------------------------------------
+def test_accuracy():
+    logits = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 0.0]])
+    labels = np.array([0, 1, 1])
+    assert accuracy(logits, labels) == pytest.approx(2 / 3)
+
+
+def test_top_k_accuracy():
+    logits = np.array([[3.0, 2.0, 1.0, 0.0]])
+    assert top_k_accuracy(logits, np.array([1]), k=2) == 1.0
+    assert top_k_accuracy(logits, np.array([3]), k=2) == 0.0
+    with pytest.raises(ValueError):
+        top_k_accuracy(logits, np.array([0]), k=9)
+
+
+def test_confusion_matrix():
+    logits = np.array([[1.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+    labels = np.array([0, 1, 1])
+    matrix = confusion_matrix(logits, labels)
+    np.testing.assert_array_equal(matrix, [[1, 0], [1, 1]])

@@ -1,0 +1,107 @@
+"""Tests for the MLP path: QuantDense, build_mlp, VOM-split inference."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import OISAConfig
+from repro.core.mapping import MlpWorkload, plan_mlp
+from repro.core.opc import OpticalProcessingCore
+from repro.core.pipeline import HardwareFirstLayerPipeline
+from repro.nn.models import FirstLayerConfig, build_mlp
+from repro.nn.optim import SGD, CosineLR
+from repro.nn.quant import QuantDense
+from repro.nn.train import Trainer
+
+
+def test_quant_dense_forward_uses_quantized_weights():
+    layer = QuantDense(8, 4, bits=2, seed=0)
+    x = np.random.default_rng(0).uniform(0, 1, (3, 8))
+    out = layer.forward(x)
+    assert out.shape == (3, 4)
+    effective = layer.effective_weight()
+    codes = np.round(effective / layer.quantizer.scale(layer.weight.data))
+    assert np.abs(codes).max() <= 3
+
+
+def test_quant_dense_gradient_flow():
+    layer = QuantDense(6, 3, bits=3, seed=1)
+    x = np.random.default_rng(1).normal(size=(4, 6))
+    out = layer.forward(x)
+    layer.zero_grad()
+    grad_x = layer.backward(np.ones_like(out))
+    assert grad_x.shape == x.shape
+    assert np.abs(layer.weight.grad).sum() > 0.0
+
+
+def test_quant_dense_transform_hook():
+    layer = QuantDense(4, 2, bits=2, seed=2, weight_transform=lambda w: w * 0.5)
+    x = np.ones((1, 4))
+    base = layer.quantizer.quantize(layer.weight.data)
+    expected = x @ (base * 0.5).T
+    np.testing.assert_allclose(layer.forward(x), expected)
+
+
+def test_build_mlp_shapes():
+    model = build_mlp(num_classes=10, in_features=784, seed=0)
+    x = np.random.default_rng(2).uniform(0, 1, (5, 784))
+    assert model.forward(x).shape == (5, 10)
+
+
+def test_build_mlp_first_layer_quantized():
+    model = build_mlp(seed=0)
+    assert isinstance(model[1], QuantDense)
+    baseline = build_mlp(
+        first_layer=FirstLayerConfig(weight_bits=None, ternary_input=False), seed=0
+    )
+    assert not isinstance(baseline[0], QuantDense)
+
+
+def test_mlp_trains_on_toy_problem():
+    rng = np.random.default_rng(3)
+    x = rng.uniform(0, 1, (400, 64))
+    y = (x[:, :32].mean(axis=1) > x[:, 32:].mean(axis=1)).astype(int)
+    model = build_mlp(
+        num_classes=2,
+        in_features=64,
+        hidden=(32,),
+        first_layer=FirstLayerConfig(weight_bits=3),
+        seed=0,
+    )
+    trainer = Trainer(
+        model, SGD(model.parameters(), momentum=0.9), CosineLR(0.05, 1e-4), seed=0
+    )
+    trainer.fit(x, y, epochs=8, batch_size=32)
+    assert trainer.evaluate(x, y) > 0.8
+
+
+def test_mlp_hardware_pipeline_end_to_end():
+    rng = np.random.default_rng(4)
+    x = rng.uniform(0, 1, (200, 100))
+    y = (x[:, :50].mean(axis=1) > x[:, 50:].mean(axis=1)).astype(int)
+    model = build_mlp(
+        num_classes=2,
+        in_features=100,
+        hidden=(24,),
+        first_layer=FirstLayerConfig(weight_bits=3),
+        seed=0,
+    )
+    trainer = Trainer(
+        model, SGD(model.parameters(), momentum=0.9), CosineLR(0.05, 1e-4), seed=0
+    )
+    trainer.fit(x, y, epochs=8, batch_size=32)
+    software = trainer.evaluate(x, y)
+
+    opc = OpticalProcessingCore(OISAConfig().with_weight_bits(3), seed=7)
+    pipeline = HardwareFirstLayerPipeline(model, opc)
+    assert pipeline.is_dense
+    hardware = pipeline.evaluate(x, y)
+    assert hardware > software - 0.2
+
+
+def test_mlp_mapping_plan_consistency():
+    # The dense layer the pipeline runs corresponds to a VOM-split plan.
+    cfg = OISAConfig()
+    workload = MlpWorkload(input_features=100, output_features=24)
+    plan = plan_mlp(cfg, workload)
+    assert plan.chunks_per_neuron == 2  # 100 inputs over 50-MR banks
+    assert plan.vom_combines == 24

@@ -1,0 +1,131 @@
+"""Tests for repro.nn.models — the Table II network zoo."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Conv2D
+from repro.nn.models import (
+    FirstLayerConfig,
+    TernaryInputLayer,
+    build_lenet,
+    build_resnet18,
+    build_vgg16,
+    find_first_quant_conv,
+    set_first_layer_weight_transform,
+)
+from repro.nn.quant import QuantConv2D
+
+
+def test_lenet_output_shape():
+    model = build_lenet(num_classes=10, seed=0)
+    x = np.random.default_rng(0).uniform(0, 1, (2, 1, 28, 28))
+    assert model.forward(x).shape == (2, 10)
+
+
+def test_resnet18_output_shape():
+    model = build_resnet18(num_classes=10, width_multiplier=0.125, seed=0)
+    x = np.random.default_rng(1).uniform(0, 1, (2, 3, 32, 32))
+    assert model.forward(x).shape == (2, 10)
+
+
+def test_vgg16_output_shape():
+    model = build_vgg16(num_classes=100, width_multiplier=0.125, seed=0)
+    x = np.random.default_rng(2).uniform(0, 1, (2, 3, 32, 32))
+    assert model.forward(x).shape == (2, 100)
+
+
+def test_resnet18_depth():
+    # 1 stem + 4 stages x 2 blocks x 2 convs + shortcuts + 1 fc: count convs.
+    model = build_resnet18(width_multiplier=0.125, seed=0)
+
+    def count_convs(layer):
+        from repro.nn.layers import Residual, Sequential
+
+        if isinstance(layer, Conv2D):
+            return 1
+        if isinstance(layer, Sequential):
+            return sum(count_convs(inner) for inner in layer)
+        if isinstance(layer, Residual):
+            total = count_convs(layer.main)
+            if layer.shortcut is not None:
+                total += count_convs(layer.shortcut)
+            return total
+        return 0
+
+    convs = count_convs(model)
+    # 1 stem + 16 block convs + 3 projection shortcuts = 20.
+    assert convs == 20
+
+
+def test_vgg16_has_16_weight_layers():
+    from repro.nn.layers import Dense
+
+    model = build_vgg16(width_multiplier=0.125, seed=0)
+    convs = sum(isinstance(layer, Conv2D) for layer in model)
+    denses = sum(isinstance(layer, Dense) for layer in model)
+    assert convs == 13
+    assert denses == 3
+
+
+def test_first_layer_quantized_by_default():
+    model = build_lenet(seed=0)
+    assert isinstance(model[0], TernaryInputLayer)
+    conv = find_first_quant_conv(model)
+    assert isinstance(conv, QuantConv2D)
+    assert conv.bits == 4
+
+
+def test_baseline_has_float_first_layer():
+    config = FirstLayerConfig(weight_bits=None, ternary_input=False)
+    model = build_lenet(first_layer=config, seed=0)
+    assert not isinstance(model[0], TernaryInputLayer)
+    assert find_first_quant_conv(model) is None
+
+
+def test_config_labels():
+    assert FirstLayerConfig(weight_bits=4).label == "[4:2]"
+    assert FirstLayerConfig(weight_bits=1).label == "[1:2]"
+    assert FirstLayerConfig(weight_bits=None).label == "baseline"
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        FirstLayerConfig(weight_bits=5)
+
+
+def test_width_multiplier_scales_parameters():
+    small = build_resnet18(width_multiplier=0.125, seed=0).num_parameters()
+    large = build_resnet18(width_multiplier=0.25, seed=0).num_parameters()
+    assert large > 2 * small
+
+
+def test_same_seed_same_init():
+    a = build_lenet(seed=5)
+    b = build_lenet(seed=5)
+    np.testing.assert_array_equal(a.parameters()[0].data, b.parameters()[0].data)
+
+
+def test_set_weight_transform():
+    model = build_lenet(seed=0)
+    set_first_layer_weight_transform(model, lambda w: w * 0.0)
+    conv = find_first_quant_conv(model)
+    x = np.random.default_rng(3).uniform(0, 1, (1, 1, 28, 28))
+    model.forward(x)
+    np.testing.assert_allclose(conv.effective_weight(), 0.0)
+
+
+def test_set_weight_transform_rejects_baseline():
+    config = FirstLayerConfig(weight_bits=None, ternary_input=False)
+    model = build_lenet(first_layer=config, seed=0)
+    with pytest.raises(ValueError):
+        set_first_layer_weight_transform(model, lambda w: w)
+
+
+def test_models_train_mode_backward():
+    model = build_resnet18(width_multiplier=0.125, seed=0)
+    x = np.random.default_rng(4).uniform(0, 1, (2, 3, 32, 32))
+    out = model.forward(x, training=True)
+    model.zero_grad()
+    model.backward(np.ones_like(out))
+    grads = [np.abs(p.grad).sum() for p in model.parameters()]
+    assert sum(g > 0 for g in grads) > len(grads) * 0.8

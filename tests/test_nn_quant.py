@@ -1,0 +1,133 @@
+"""Tests for repro.nn.quant — quantizers and STE."""
+
+import numpy as np
+import pytest
+
+from repro.nn.quant import (
+    QuantConv2D,
+    TernaryActivation,
+    UniformWeightQuantizer,
+    ternarize,
+)
+
+
+def test_level_counts():
+    assert UniformWeightQuantizer(1).num_positive_levels == 1
+    assert UniformWeightQuantizer(2).num_positive_levels == 3
+    assert UniformWeightQuantizer(3).num_positive_levels == 7
+    assert UniformWeightQuantizer(4).num_positive_levels == 15
+
+
+def test_binary_quantizer_signs():
+    quantizer = UniformWeightQuantizer(1)
+    weights = np.array([-0.5, -0.01, 0.0, 0.3])
+    quantized = quantizer.quantize(weights)
+    scale = quantizer.scale(weights)
+    np.testing.assert_allclose(np.abs(quantized), scale)
+    np.testing.assert_array_equal(np.sign(quantized), [-1, -1, 1, 1])
+
+
+def test_quantize_preserves_extremes():
+    quantizer = UniformWeightQuantizer(4)
+    weights = np.array([-1.0, 0.0, 1.0])
+    quantized = quantizer.quantize(weights)
+    np.testing.assert_allclose(quantized, weights, atol=1e-12)
+
+
+def test_quantization_error_bounded_by_half_lsb():
+    rng = np.random.default_rng(0)
+    weights = rng.normal(size=1000)
+    for bits in (2, 3, 4):
+        quantizer = UniformWeightQuantizer(bits)
+        quantized = quantizer.quantize(weights)
+        lsb = quantizer.scale(weights)
+        assert np.max(np.abs(quantized - weights)) <= lsb / 2 + 1e-12
+
+
+def test_error_shrinks_with_bits():
+    rng = np.random.default_rng(1)
+    weights = rng.normal(size=5000)
+    errors = {
+        bits: np.abs(UniformWeightQuantizer(bits).quantize(weights) - weights).mean()
+        for bits in (2, 3, 4)
+    }
+    assert errors[4] < errors[3] < errors[2]
+
+
+def test_quantize_int_codes_in_range():
+    rng = np.random.default_rng(2)
+    weights = rng.normal(size=500)
+    for bits in (1, 2, 3, 4):
+        quantizer = UniformWeightQuantizer(bits)
+        codes, scale = quantizer.quantize_int(weights)
+        assert np.abs(codes).max() <= quantizer.num_positive_levels
+        np.testing.assert_allclose(codes * scale, quantizer.quantize(weights))
+
+
+def test_zero_weights_quantize_to_zero():
+    quantizer = UniformWeightQuantizer(3)
+    np.testing.assert_array_equal(quantizer.quantize(np.zeros(4)), np.zeros(4))
+
+
+def test_ste_mask_all_ones_within_range():
+    quantizer = UniformWeightQuantizer(4)
+    weights = np.array([-1.0, 0.5, 1.0])
+    np.testing.assert_array_equal(quantizer.ste_grad_mask(weights), 1.0)
+
+
+def test_ternarize_levels():
+    x = np.array([0.0, 0.2, 0.4, 0.6, 0.8, 1.0])
+    np.testing.assert_array_equal(ternarize(x), [0, 0, 1, 1, 2, 2])
+
+
+def test_ternarize_custom_thresholds():
+    x = np.array([0.1, 0.3, 0.9])
+    np.testing.assert_array_equal(ternarize(x, 0.2, 0.5), [0, 1, 2])
+    with pytest.raises(ValueError):
+        ternarize(x, 0.5, 0.2)
+
+
+def test_ternary_activation_forward_levels():
+    act = TernaryActivation()
+    x = np.array([0.1, 0.5, 0.9])
+    np.testing.assert_allclose(act.forward(x), [0.0, 0.5, 1.0])
+
+
+def test_ternary_activation_ste_backward():
+    act = TernaryActivation()
+    x = np.array([-0.5, 0.5, 1.5])
+    act.forward(x)
+    grad = act.backward(np.ones(3))
+    np.testing.assert_array_equal(grad, [0.0, 1.0, 0.0])
+
+
+def test_quant_conv_forward_uses_quantized_weights():
+    conv = QuantConv2D(1, 1, 3, bits=2, padding=1, seed=0)
+    x = np.ones((1, 1, 4, 4))
+    out_quant = conv.forward(x)
+    effective = conv.effective_weight()
+    levels = np.unique(np.round(effective / conv.quantizer.scale(conv.weight.data)))
+    assert np.all(np.abs(levels) <= 3)
+    assert out_quant.shape == (1, 1, 4, 4)
+
+
+def test_quant_conv_weight_transform_hook():
+    conv = QuantConv2D(1, 2, 3, bits=3, seed=1, weight_transform=lambda w: w * 0.5)
+    base = conv.quantizer.quantize(conv.weight.data)
+    np.testing.assert_allclose(conv.effective_weight(), base * 0.5)
+
+
+def test_quant_conv_ste_gradient_flow():
+    conv = QuantConv2D(1, 1, 3, bits=2, padding=1, seed=2)
+    x = np.random.default_rng(3).normal(size=(2, 1, 4, 4))
+    out = conv.forward(x)
+    conv.zero_grad()
+    conv.backward(np.ones_like(out))
+    assert np.abs(conv.weight.grad).sum() > 0.0  # gradients pass through
+
+
+def test_bits_bounds():
+    with pytest.raises(ValueError):
+        UniformWeightQuantizer(0)
+    with pytest.raises(ValueError):
+        UniformWeightQuantizer(9)

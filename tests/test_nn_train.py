@@ -1,0 +1,81 @@
+"""Tests for repro.nn.train — the trainer loop."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Dense, ReLU, Sequential
+from repro.nn.optim import SGD, ConstantLR
+from repro.nn.train import Trainer, TrainingHistory
+
+
+def _toy_problem(n=400, seed=0):
+    """Linearly separable two-class blobs."""
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, 2))
+    y = (x[:, 0] + x[:, 1] > 0).astype(int)
+    return x, y
+
+
+def _make_trainer(seed=0):
+    model = Sequential([Dense(2, 16, seed=1), ReLU(), Dense(16, 2, seed=2)])
+    optimizer = SGD(model.parameters(), momentum=0.9)
+    return Trainer(model, optimizer, ConstantLR(0.05), seed=seed)
+
+
+def test_training_learns_separable_problem():
+    x, y = _toy_problem()
+    trainer = _make_trainer()
+    history = trainer.fit(x, y, epochs=10, batch_size=32, x_val=x, y_val=y)
+    assert history.val_accuracy[-1] > 0.95
+    assert history.train_loss[-1] < history.train_loss[0]
+
+
+def test_history_shapes():
+    x, y = _toy_problem()
+    trainer = _make_trainer()
+    history = trainer.fit(x, y, epochs=3, batch_size=32)
+    assert history.epochs == 3
+    assert len(history.train_accuracy) == 3
+    assert history.val_accuracy == []  # no validation set supplied
+    assert history.best_val_accuracy() == 0.0
+
+
+def test_deterministic_under_seed():
+    x, y = _toy_problem()
+    a = _make_trainer(seed=3).fit(x, y, epochs=2, batch_size=32)
+    b = _make_trainer(seed=3).fit(x, y, epochs=2, batch_size=32)
+    assert a.train_loss == b.train_loss
+
+
+def test_different_seed_different_shuffle():
+    x, y = _toy_problem()
+    a = _make_trainer(seed=1).fit(x, y, epochs=1, batch_size=32)
+    b = _make_trainer(seed=2).fit(x, y, epochs=1, batch_size=32)
+    assert a.train_loss != b.train_loss
+
+
+def test_predict_logits_batching():
+    x, y = _toy_problem(130)
+    trainer = _make_trainer()
+    logits = trainer.predict_logits(x, batch_size=32)
+    assert logits.shape == (130, 2)
+
+
+def test_evaluate_range():
+    x, y = _toy_problem()
+    trainer = _make_trainer()
+    assert 0.0 <= trainer.evaluate(x, y) <= 1.0
+
+
+def test_fit_validation():
+    x, y = _toy_problem()
+    trainer = _make_trainer()
+    with pytest.raises(ValueError):
+        trainer.fit(x, y, epochs=0)
+    with pytest.raises(ValueError):
+        trainer.fit(x, y[:10], epochs=1)
+
+
+def test_history_dataclass():
+    history = TrainingHistory(val_accuracy=[0.5, 0.8, 0.7])
+    assert history.best_val_accuracy() == 0.8

@@ -1,0 +1,78 @@
+"""Tests for the add-drop port and RIN noise extensions."""
+
+import numpy as np
+import pytest
+
+from repro.photonics.microring import MicroringResonator
+from repro.photonics.noise import RelativeIntensityNoise
+
+
+# --------------------------------------------------------------------------
+# Drop port
+# --------------------------------------------------------------------------
+def test_drop_peaks_on_resonance():
+    ring = MicroringResonator()
+    on_res = float(ring.drop_transmission(ring.design.resonance_wavelength_m))
+    off_res = float(
+        ring.drop_transmission(ring.design.resonance_wavelength_m + 2e-9)
+    )
+    assert on_res > 10 * off_res
+
+
+def test_drop_complements_through():
+    # Where the through port dips, the drop port peaks (energy routed).
+    ring = MicroringResonator()
+    wavelengths = np.linspace(1549e-9, 1551e-9, 801)
+    through = ring.through_transmission(wavelengths)
+    drop = ring.drop_transmission(wavelengths)
+    assert wavelengths[np.argmin(through)] == pytest.approx(
+        wavelengths[np.argmax(drop)], abs=2 * (wavelengths[1] - wavelengths[0])
+    )
+
+
+def test_drop_bounded_and_validated():
+    ring = MicroringResonator()
+    wavelengths = np.linspace(1545e-9, 1555e-9, 501)
+    drop = ring.drop_transmission(wavelengths)
+    assert np.all(drop >= 0.0) and np.all(drop <= 1.0)
+    with pytest.raises(ValueError):
+        ring.drop_transmission(1550e-9, drop_coupling=1.5)
+
+
+def test_weaker_drop_coupling_lower_peak():
+    ring = MicroringResonator()
+    lam = ring.design.resonance_wavelength_m
+    strong = float(ring.drop_transmission(lam, drop_coupling=0.95))
+    weak = float(ring.drop_transmission(lam, drop_coupling=0.999))
+    assert weak < strong
+
+
+# --------------------------------------------------------------------------
+# RIN
+# --------------------------------------------------------------------------
+def test_rin_sigma_formula():
+    noise = RelativeIntensityNoise(rin_db_per_hz=-140.0, bandwidth_hz=25e9)
+    expected = np.sqrt(10 ** (-14.0) * 25e9)
+    assert noise.relative_sigma == pytest.approx(expected)
+    assert noise.relative_sigma < 0.02  # ~1.6% over the full bandwidth
+
+
+def test_rin_statistics():
+    noise = RelativeIntensityNoise(rin_db_per_hz=-120.0, bandwidth_hz=25e9, seed=0)
+    values = np.full(20000, 2.0)
+    noisy = noise.apply(values)
+    assert noisy.mean() == pytest.approx(2.0, rel=1e-2)
+    assert noisy.std() == pytest.approx(2.0 * noise.relative_sigma, rel=0.05)
+
+
+def test_rin_scales_with_signal():
+    noise = RelativeIntensityNoise(rin_db_per_hz=-120.0, seed=1)
+    small = noise.apply(np.full(5000, 1.0)).std()
+    noise2 = RelativeIntensityNoise(rin_db_per_hz=-120.0, seed=1)
+    large = noise2.apply(np.full(5000, 10.0)).std()
+    assert large == pytest.approx(10 * small, rel=1e-9)
+
+
+def test_rin_rejects_positive_db():
+    with pytest.raises(ValueError):
+        RelativeIntensityNoise(rin_db_per_hz=3.0)

@@ -1,0 +1,102 @@
+"""Tests for repro.photonics.microring — the paper's MR device targets."""
+
+import numpy as np
+import pytest
+
+from repro.photonics.microring import (
+    MicroringDesign,
+    MicroringResonator,
+    solve_coupling_for_q,
+)
+
+
+@pytest.fixture
+def ring():
+    return MicroringResonator()
+
+
+def test_paper_design_targets(ring):
+    # Section III: r = 5 um, 760 nm waveguide, Q ~ 5000.
+    assert ring.design.radius_m == pytest.approx(5e-6)
+    assert ring.design.waveguide_width_m == pytest.approx(760e-9)
+    assert ring.quality_factor == pytest.approx(5000, rel=0.02)
+
+
+def test_fsr_formula(ring):
+    expected = (1550e-9) ** 2 / (ring.design.n_g * ring.design.circumference_m)
+    assert ring.fsr_m == pytest.approx(expected)
+    # ~18 nm for the 5 um ring.
+    assert 15e-9 < ring.fsr_m < 22e-9
+
+
+def test_fwhm_q_consistency(ring):
+    assert ring.quality_factor == pytest.approx(
+        ring.design.resonance_wavelength_m / ring.fwhm_m
+    )
+
+
+def test_on_resonance_extinction(ring):
+    on_res = float(ring.through_transmission(ring.design.resonance_wavelength_m))
+    assert on_res == pytest.approx(ring.min_transmission, abs=1e-6)
+    assert on_res < 0.05  # deep notch
+    far = float(ring.through_transmission(ring.design.resonance_wavelength_m + 5e-9))
+    assert far > 0.9
+
+
+def test_transmission_bounded(ring):
+    wavelengths = np.linspace(1545e-9, 1555e-9, 2001)
+    t = ring.through_transmission(wavelengths)
+    assert np.all(t >= 0.0) and np.all(t <= 1.0)
+
+
+def test_half_depth_at_half_fwhm(ring):
+    # Lorentzian: at detuning FWHM/2 the dip is half depth.
+    t_half = float(ring.lorentzian_transmission(ring.fwhm_m / 2.0))
+    depth = 1.0 - ring.min_transmission
+    assert t_half == pytest.approx(1.0 - depth / 2.0, rel=1e-9)
+
+
+def test_detuning_inversion_roundtrip(ring):
+    for target in (0.1, 0.3, 0.5, 0.7, 0.9, 0.99):
+        if target < ring.min_transmission:
+            continue
+        shift = ring.detuning_for_transmission(target)
+        recovered = float(ring.lorentzian_transmission(shift))
+        assert recovered == pytest.approx(target, abs=1e-9)
+
+
+def test_detuning_rejects_unreachable(ring):
+    with pytest.raises(ValueError):
+        ring.detuning_for_transmission(ring.min_transmission / 2.0)
+    with pytest.raises(ValueError):
+        ring.detuning_for_transmission(1.5)
+
+
+def test_set_weight_moves_resonance(ring):
+    shift = ring.set_weight(0.5)
+    assert shift > 0.0
+    assert ring.carrier_transmission() == pytest.approx(0.5, abs=1e-9)
+
+
+def test_solve_coupling_for_q_matches():
+    r = solve_coupling_for_q(5000)
+    design = MicroringDesign(self_coupling=r)
+    assert MicroringResonator(design).quality_factor == pytest.approx(5000, rel=1e-3)
+
+
+def test_solve_coupling_unreachable_q():
+    with pytest.raises(ValueError):
+        solve_coupling_for_q(1e9)
+
+
+def test_higher_coupling_higher_q():
+    low = MicroringResonator(MicroringDesign(self_coupling=0.90))
+    high = MicroringResonator(MicroringDesign(self_coupling=0.98))
+    assert high.quality_factor > low.quality_factor
+
+
+def test_design_validation():
+    with pytest.raises(ValueError):
+        MicroringDesign(radius_m=-1.0)
+    with pytest.raises(ValueError):
+        MicroringDesign(self_coupling=1.5)

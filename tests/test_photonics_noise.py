@@ -1,0 +1,84 @@
+"""Tests for repro.photonics.noise — composable noise injectors."""
+
+import numpy as np
+import pytest
+
+from repro.photonics.noise import (
+    CompositeNoise,
+    CrosstalkNoise,
+    FixedPatternNoise,
+    GaussianReadNoise,
+)
+
+
+def test_gaussian_noise_statistics():
+    model = GaussianReadNoise(sigma=0.1, seed=0)
+    values = np.zeros(20000)
+    noisy = model.apply(values)
+    assert noisy.std() == pytest.approx(0.1, rel=0.05)
+    assert noisy.mean() == pytest.approx(0.0, abs=0.01)
+
+
+def test_gaussian_zero_sigma_identity():
+    model = GaussianReadNoise(sigma=0.0)
+    values = np.arange(5.0)
+    np.testing.assert_array_equal(model.apply(values), values)
+
+
+def test_gaussian_does_not_mutate_input():
+    model = GaussianReadNoise(sigma=0.5, seed=1)
+    values = np.ones(10)
+    model.apply(values)
+    np.testing.assert_array_equal(values, np.ones(10))
+
+
+def test_fixed_pattern_frozen_per_instance():
+    model = FixedPatternNoise(gain_sigma=0.05, num_devices=8, seed=2)
+    values = np.ones(8)
+    a = model.apply(values)
+    b = model.apply(values)
+    np.testing.assert_array_equal(a, b)  # static, not re-sampled
+
+
+def test_fixed_pattern_same_seed_same_device():
+    a = FixedPatternNoise(0.05, 8, seed=3).gains
+    b = FixedPatternNoise(0.05, 8, seed=3).gains
+    np.testing.assert_array_equal(a, b)
+
+
+def test_fixed_pattern_tiles_over_multiples():
+    model = FixedPatternNoise(gain_sigma=0.1, num_devices=4, seed=4)
+    out = model.apply(np.ones(8))
+    np.testing.assert_allclose(out[:4], out[4:])
+
+
+def test_fixed_pattern_shape_mismatch():
+    model = FixedPatternNoise(0.1, 4, seed=0)
+    with pytest.raises(ValueError):
+        model.apply(np.ones(6))
+
+
+def test_crosstalk_effective_weights_close():
+    model = CrosstalkNoise()
+    weights = np.linspace(0.2, 0.9, model.grid.num_channels)
+    effective = model.effective_weights(weights)
+    assert np.all(np.abs(effective - weights) / weights < 0.06)
+
+
+def test_crosstalk_mean_error_positive():
+    model = CrosstalkNoise()
+    weights = np.full(model.grid.num_channels, 0.8)
+    assert 0.0 < model.mean_relative_error(weights) < 0.1
+
+
+def test_composite_applies_in_order():
+    fixed = FixedPatternNoise(gain_sigma=0.0, num_devices=2, seed=0)
+    gaussian = GaussianReadNoise(sigma=0.0)
+    composite = CompositeNoise([fixed, gaussian])
+    values = np.array([1.0, 2.0])
+    np.testing.assert_allclose(composite.apply(values), values)
+
+
+def test_composite_empty_is_identity():
+    values = np.array([3.0, 4.0])
+    np.testing.assert_array_equal(CompositeNoise().apply(values), values)

@@ -1,0 +1,95 @@
+"""Tests for repro.photonics.vcsel — L-I curve and ternary NRZ encoding."""
+
+import numpy as np
+import pytest
+
+from repro.photonics.vcsel import TernaryVcselEncoder, Vcsel
+
+
+@pytest.fixture
+def vcsel():
+    return Vcsel()
+
+
+@pytest.fixture
+def encoder():
+    return TernaryVcselEncoder()
+
+
+def test_no_light_below_threshold(vcsel):
+    assert float(vcsel.optical_power_w(vcsel.threshold_current_a * 0.5)) == 0.0
+
+
+def test_li_slope_above_threshold(vcsel):
+    i1 = vcsel.threshold_current_a + 1e-3
+    i2 = vcsel.threshold_current_a + 2e-3
+    p1 = float(vcsel.optical_power_w(i1))
+    p2 = float(vcsel.optical_power_w(i2))
+    assert (p2 - p1) / 1e-3 == pytest.approx(vcsel.slope_efficiency_w_per_a)
+
+
+def test_current_for_power_roundtrip(vcsel):
+    target = 0.5e-3
+    current = vcsel.current_for_power(target)
+    assert float(vcsel.optical_power_w(current)) == pytest.approx(target)
+
+
+def test_electrical_power(vcsel):
+    assert float(vcsel.electrical_power_w(1e-3)) == pytest.approx(
+        1e-3 * vcsel.forward_voltage_v
+    )
+
+
+def test_ternary_three_distinct_levels(encoder):
+    levels = encoder.power_levels_w()
+    assert len(levels) == 3
+    assert levels[0] < levels[1] < levels[2]
+    # NRZ: symbol 0 still emits light (bias above threshold).
+    assert levels[0] > 0.0
+
+
+def test_ternary_levels_equally_spaced(encoder):
+    levels = encoder.power_levels_w()
+    assert levels[1] - levels[0] == pytest.approx(levels[2] - levels[1])
+
+
+def test_symbol_range_validated(encoder):
+    with pytest.raises(ValueError):
+        encoder.drive_current_a(np.array([0, 3]))
+    with pytest.raises(ValueError):
+        encoder.drive_current_a(np.array([-1]))
+
+
+def test_bias_must_exceed_threshold():
+    with pytest.raises(ValueError):
+        TernaryVcselEncoder(bias_current_a=0.0)
+
+
+def test_symbol_energy_scales_with_time(encoder):
+    e1 = encoder.symbol_energy_j(2, 1e-9)
+    e2 = encoder.symbol_energy_j(2, 2e-9)
+    assert e2 == pytest.approx(2 * e1)
+
+
+def test_mean_symbol_power_uniform(encoder):
+    mean = encoder.mean_symbol_power_w()
+    currents = encoder.drive_current_a(np.arange(3))
+    expected = float(np.mean(currents)) * encoder.vcsel.forward_voltage_v
+    assert mean == pytest.approx(expected)
+
+
+def test_mean_symbol_power_validates_distribution(encoder):
+    with pytest.raises(ValueError):
+        encoder.mean_symbol_power_w((0.5, 0.5, 0.5))
+
+
+def test_nrz_beats_rz_for_active_symbols(encoder):
+    # The paper's motivation for always-on biasing: RZ pays warm-up energy.
+    symbol_time = 1e-9
+    nrz = encoder.symbol_energy_j(1, symbol_time)
+    rz = encoder.rz_symbol_energy_j(1, symbol_time)
+    assert rz > nrz
+
+
+def test_rz_zero_symbol_free(encoder):
+    assert encoder.rz_symbol_energy_j(0, 1e-9) == 0.0

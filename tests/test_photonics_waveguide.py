@@ -1,0 +1,54 @@
+"""Tests for repro.photonics.waveguide — arm loss budget."""
+
+import pytest
+
+from repro.photonics.waveguide import ArmLossBudget, Waveguide
+
+
+def test_propagation_loss_linear_in_length():
+    wg = Waveguide(propagation_loss_db_per_cm=2.0)
+    assert wg.propagation_loss_db(0.01) == pytest.approx(2.0)  # 1 cm
+    assert wg.propagation_loss_db(0.02) == pytest.approx(4.0)
+
+
+def test_transmission_below_one():
+    wg = Waveguide()
+    t = wg.transmission(1e-3, num_bends=4)
+    assert 0.0 < t < 1.0
+
+
+def test_zero_length_zero_bends_lossless():
+    wg = Waveguide(bend_loss_db=0.0)
+    assert wg.transmission(0.0) == pytest.approx(1.0)
+
+
+def test_negative_bends_rejected():
+    with pytest.raises(ValueError):
+        Waveguide().transmission(1e-3, num_bends=-1)
+
+
+def test_arm_loss_grows_with_rings():
+    budget = ArmLossBudget()
+    assert budget.total_loss_db(10) > budget.total_loss_db(0)
+    delta = budget.total_loss_db(10) - budget.total_loss_db(0)
+    assert delta == pytest.approx(10 * budget.per_ring_insertion_db)
+
+
+def test_arm_transmission_inverse_of_loss():
+    budget = ArmLossBudget()
+    loss_db = budget.total_loss_db(10)
+    assert budget.transmission(10) == pytest.approx(10 ** (-loss_db / 10.0))
+
+
+def test_required_laser_power():
+    budget = ArmLossBudget()
+    detector = 10e-6
+    laser = budget.required_laser_power_w(detector, 10)
+    assert laser > detector
+    assert laser * budget.transmission(10) == pytest.approx(detector)
+
+
+def test_realistic_arm_budget_under_5db():
+    # A 10-MR arm should lose only a few dB — otherwise the BPD SNR story
+    # of the paper would not close.
+    assert ArmLossBudget().total_loss_db(10) < 5.0

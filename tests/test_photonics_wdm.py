@@ -1,0 +1,85 @@
+"""Tests for repro.photonics.wdm — grids and crosstalk."""
+
+import numpy as np
+import pytest
+
+from repro.photonics.microring import MicroringDesign, MicroringResonator
+from repro.photonics.wdm import WdmGrid, crosstalk_matrix, effective_arm_transmission
+
+
+def test_grid_wavelengths_centred_and_spaced():
+    grid = WdmGrid(num_channels=10)
+    wavelengths = grid.wavelengths_m()
+    assert len(wavelengths) == 10
+    assert np.mean(wavelengths) == pytest.approx(grid.center_wavelength_m)
+    np.testing.assert_allclose(np.diff(wavelengths), grid.channel_spacing_m)
+
+
+def test_grid_span_within_fsr():
+    grid = WdmGrid()
+    ring = MicroringResonator()
+    assert grid.span_m() < ring.fsr_m  # all channels inside one FSR
+
+
+def test_channel_detunings():
+    grid = WdmGrid(num_channels=4)
+    detunings = grid.channel_detunings_m(0)
+    assert detunings[0] == 0.0
+    assert detunings[-1] == pytest.approx(3 * grid.channel_spacing_m)
+
+
+def test_crosstalk_matrix_shape_and_diagonal():
+    grid = WdmGrid(num_channels=5)
+    matrix = crosstalk_matrix(grid)
+    assert matrix.shape == (5, 5)
+    ring = MicroringResonator()
+    # On-channel rings at rest sit on resonance: diagonal ~ T_min.
+    np.testing.assert_allclose(np.diag(matrix), ring.min_transmission, rtol=1e-6)
+    # Off-diagonals are near-transparent.
+    off = matrix[~np.eye(5, dtype=bool)]
+    assert np.all(off > 0.95)
+
+
+def test_crosstalk_decays_with_distance():
+    grid = WdmGrid(num_channels=8)
+    matrix = crosstalk_matrix(grid)
+    # Attenuation of channel i by ring j weakens with |i - j|.
+    assert matrix[1, 0] < matrix[4, 0] <= matrix[7, 0]
+
+
+def test_weighted_crosstalk_diagonal_matches_weights():
+    grid = WdmGrid(num_channels=6)
+    weights = np.linspace(0.2, 0.9, 6)
+    matrix = crosstalk_matrix(grid, weights=weights)
+    np.testing.assert_allclose(np.diag(matrix), weights, rtol=1e-9)
+
+
+def test_effective_arm_transmission_error_small():
+    grid = WdmGrid()
+    weights = np.linspace(0.1, 0.95, grid.num_channels)
+    effective = effective_arm_transmission(grid, weights)
+    rel_err = np.abs(effective - weights) / weights
+    assert np.all(rel_err < 0.05)  # a few percent crosstalk
+    assert np.all(rel_err > 0.0)  # but not zero — the effect exists
+
+
+def test_wider_spacing_less_crosstalk():
+    weights = np.full(5, 0.8)
+    tight = WdmGrid(channel_spacing_m=0.8e-9, num_channels=5)
+    loose = WdmGrid(channel_spacing_m=2.4e-9, num_channels=5)
+    err_tight = np.abs(effective_arm_transmission(tight, weights) - weights).max()
+    err_loose = np.abs(effective_arm_transmission(loose, weights) - weights).max()
+    assert err_loose < err_tight
+
+
+def test_weights_shape_validated():
+    grid = WdmGrid(num_channels=4)
+    with pytest.raises(ValueError):
+        crosstalk_matrix(grid, weights=np.ones(3))
+
+
+def test_grid_validation():
+    with pytest.raises(ValueError):
+        WdmGrid(num_channels=0)
+    with pytest.raises(ValueError):
+        WdmGrid(channel_spacing_m=-1.0)

@@ -1,0 +1,113 @@
+"""Tests for repro.sim.accuracy — the Fig. 7 loop (tiny scale for speed)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import SyntheticSpec, generate_dataset
+from repro.datasets.catalog import Dataset
+from repro.nn.models import FirstLayerConfig
+from repro.sim.accuracy import (
+    TABLE2_CONFIGS,
+    Table2Settings,
+    evaluate_hardware_accuracy,
+    run_cell,
+    run_table2,
+    train_qat_model,
+)
+
+
+def _tiny_dataset(seed=0):
+    spec = SyntheticSpec(
+        name="tiny",
+        num_classes=4,
+        image_size=12,
+        channels=1,
+        train_size=160,
+        test_size=80,
+        noise_sigma=0.05,
+        jitter_px=1,
+        clutter=0.05,
+        seed=seed,
+    )
+    x_train, y_train, x_test, y_test = generate_dataset(spec)
+    return Dataset(
+        name="tiny",
+        x_train=x_train,
+        y_train=y_train,
+        x_test=x_test,
+        y_test=y_test,
+        num_classes=4,
+        image_size=12,
+        channels=1,
+        paper_model="LeNet",
+    )
+
+
+def _tiny_settings():
+    return Table2Settings(dataset_scale=1.0, epochs=2, batch_size=32, seed=0)
+
+
+def test_train_qat_model_learns():
+    dataset = _tiny_dataset()
+    model, accuracy = train_qat_model(
+        dataset, FirstLayerConfig(weight_bits=2), _tiny_settings()
+    )
+    assert accuracy > 0.5  # far above the 0.25 chance level
+
+
+def test_hardware_accuracy_close_to_software():
+    dataset = _tiny_dataset()
+    settings = _tiny_settings()
+    model, software = train_qat_model(
+        dataset, FirstLayerConfig(weight_bits=2), settings
+    )
+    hardware, weight_error = evaluate_hardware_accuracy(
+        model, dataset, weight_bits=2, oisa_seed=7
+    )
+    assert 0.0 < weight_error < 0.1
+    assert hardware > software - 0.25  # hardware noise costs a few points
+
+
+def test_run_cell_baseline_has_no_hardware_pass():
+    dataset = _tiny_dataset()
+    result = run_cell(
+        dataset, FirstLayerConfig(weight_bits=None, ternary_input=False), _tiny_settings()
+    )
+    assert result.hardware_accuracy is None
+    assert result.config_label == "baseline"
+    assert result.reported_accuracy == result.software_accuracy
+
+
+def test_run_cell_quantized_reports_hardware():
+    dataset = _tiny_dataset()
+    result = run_cell(dataset, FirstLayerConfig(weight_bits=3), _tiny_settings())
+    assert result.hardware_accuracy is not None
+    assert result.reported_accuracy == result.hardware_accuracy
+    assert result.config_label == "[3:2]"
+
+
+def test_table2_configs_order():
+    labels = [config.label for config in TABLE2_CONFIGS]
+    assert labels == ["baseline", "[4:2]", "[3:2]", "[2:2]", "[1:2]"]
+
+
+def test_run_table2_cache_roundtrip(tmp_path):
+    cache_file = str(tmp_path / "cache.json")
+    settings = Table2Settings(
+        dataset_scale=0.05, epochs=1, batch_size=32, seed=0
+    )
+    configs = (FirstLayerConfig(weight_bits=2),)
+    first = run_table2(
+        settings=settings,
+        datasets=("mnist",),
+        configs=configs,
+        cache_path=cache_file,
+    )
+    second = run_table2(
+        settings=settings,
+        datasets=("mnist",),
+        configs=configs,
+        cache_path=cache_file,
+    )
+    assert len(first) == len(second) == 1
+    assert first[0] == second[0]  # served from cache, identical record

@@ -1,0 +1,124 @@
+"""Tests for repro.sim.faults — fault injection on the optical core."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import OISAConfig
+from repro.core.opc import OpticalProcessingCore
+from repro.nn.quant import UniformWeightQuantizer
+from repro.sim.faults import FaultSpec, FaultyOpticalCore
+
+
+def _programmed_core(spec: FaultSpec, seed=0, fault_seed=1):
+    opc = OpticalProcessingCore(OISAConfig(), seed=seed, enable_read_noise=False)
+    faulty = FaultyOpticalCore(opc, spec, seed=fault_seed)
+    rng = np.random.default_rng(2)
+    weights = rng.normal(size=(8, 3, 3, 3)) * 0.1
+    quantizer = UniformWeightQuantizer(4)
+    faulty.program(quantizer.quantize(weights), quantizer.scale(weights))
+    return faulty
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        FaultSpec(dead_mr_rate=1.5)
+    with pytest.raises(ValueError):
+        FaultSpec(bpd_gain_sigma=-0.1)
+    assert not FaultSpec().any_faults
+    assert FaultSpec(dead_mr_rate=0.1).any_faults
+
+
+def test_no_faults_matches_healthy_core():
+    healthy = OpticalProcessingCore(OISAConfig(), seed=0, enable_read_noise=False)
+    rng = np.random.default_rng(2)
+    weights = rng.normal(size=(8, 3, 3, 3)) * 0.1
+    quantizer = UniformWeightQuantizer(4)
+    quantized = quantizer.quantize(weights)
+    scale = quantizer.scale(weights)
+    healthy.program(quantized, scale)
+    x = rng.choice([0.0, 0.5, 1.0], size=(2, 3, 10, 10))
+    expected = healthy.convolve(x, padding=1)
+
+    faulty = _programmed_core(FaultSpec())
+    out = faulty.convolve(x, padding=1)
+    np.testing.assert_allclose(out, expected)
+
+
+def test_dead_mrs_zero_weights():
+    faulty = _programmed_core(FaultSpec(dead_mr_rate=0.3))
+    mask = faulty._weight_mask
+    dead_fraction = float((mask == 0).mean())
+    assert 0.15 < dead_fraction < 0.45  # ~rate, binomial spread
+
+
+def test_dead_vcsel_kills_channel_contribution():
+    faulty = _programmed_core(FaultSpec(dead_vcsel_rate=1.0))
+    x = np.random.default_rng(3).choice([0.5, 1.0], size=(1, 3, 8, 8))
+    out = faulty.convolve(x, padding=1)
+    np.testing.assert_allclose(out, 0.0)  # every input channel dark
+
+
+def test_bpd_gain_drift_scales_outputs():
+    spec = FaultSpec(bpd_gain_sigma=0.2)
+    faulty = _programmed_core(spec)
+    x = np.random.default_rng(4).choice([0.0, 0.5, 1.0], size=(1, 3, 8, 8))
+    out_faulty = faulty.convolve(x, padding=1)
+    healthy = _programmed_core(FaultSpec())
+    out_healthy = healthy.convolve(x, padding=1)
+    ratio = out_faulty / np.where(out_healthy == 0, 1.0, out_healthy)
+    # Per-output-channel constant gain ratios, not identical to 1.
+    assert not np.allclose(out_faulty, out_healthy)
+    per_channel = ratio[0].reshape(8, -1)
+    spread = np.nanstd(per_channel, axis=1)
+    assert np.all(spread < 1e-6)  # constant within a channel
+
+
+def test_fault_pattern_frozen_per_seed():
+    a = _programmed_core(FaultSpec(dead_mr_rate=0.2), fault_seed=5)
+    b = _programmed_core(FaultSpec(dead_mr_rate=0.2), fault_seed=5)
+    np.testing.assert_array_equal(a._weight_mask, b._weight_mask)
+    c = _programmed_core(FaultSpec(dead_mr_rate=0.2), fault_seed=6)
+    assert not np.array_equal(a._weight_mask, c._weight_mask)
+
+
+def test_convolve_requires_program():
+    opc = OpticalProcessingCore(OISAConfig(), seed=0)
+    faulty = FaultyOpticalCore(opc, FaultSpec(), seed=0)
+    with pytest.raises(RuntimeError):
+        faulty.convolve(np.zeros((1, 3, 8, 8)))
+
+
+def test_accuracy_degrades_gracefully_with_fault_rate():
+    # More dead MRs -> monotonically (on average) worse accuracy.
+    from repro.core.pipeline import HardwareFirstLayerPipeline
+    from repro.datasets.synthetic import SyntheticSpec, generate_dataset
+    from repro.datasets.catalog import Dataset
+    from repro.nn.models import FirstLayerConfig, build_lenet
+    from repro.nn.optim import SGD, CosineLR
+    from repro.nn.train import Trainer
+
+    spec = SyntheticSpec(
+        name="faults", num_classes=4, image_size=12, channels=1,
+        train_size=160, test_size=80, noise_sigma=0.04, jitter_px=1,
+        clutter=0.05, seed=3,
+    )
+    x_train, y_train, x_test, y_test = generate_dataset(spec)
+    dataset = Dataset("faults", x_train, y_train, x_test, y_test, 4, 12, 1, "LeNet")
+    model = build_lenet(
+        num_classes=4, input_size=12,
+        first_layer=FirstLayerConfig(weight_bits=3), seed=0,
+    )
+    trainer = Trainer(
+        model, SGD(model.parameters(), momentum=0.9), CosineLR(0.05, 1e-4), seed=0
+    )
+    trainer.fit(x_train, y_train, epochs=3, batch_size=32)
+
+    accuracies = []
+    for rate in (0.0, 0.5):
+        opc = OpticalProcessingCore(
+            OISAConfig().with_weight_bits(3), seed=7
+        )
+        faulty = FaultyOpticalCore(opc, FaultSpec(dead_mr_rate=rate), seed=9)
+        pipeline = HardwareFirstLayerPipeline(model, faulty)
+        accuracies.append(pipeline.evaluate(x_test, y_test))
+    assert accuracies[0] > accuracies[1]  # losing half the MRs hurts

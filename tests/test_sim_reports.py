@@ -1,0 +1,41 @@
+"""Tests for repro.sim.reports."""
+
+import pytest
+
+from repro.core.energy import PowerBreakdown
+from repro.sim.reports import SimulationReport, render_report
+
+
+def _report(platform="OISA", bits=4):
+    return SimulationReport(
+        platform=platform,
+        workload="conv3x3-64k-3c-128x128",
+        weight_bits=bits,
+        compute_cycles=16384,
+        compute_time_s=0.914e-6,
+        frame_energy_j=1.2e-6,
+        average_power_w=1.2e-3,
+        breakdown=PowerBreakdown({"vcsel": 0.5e-3, "ted": 0.25e-3}),
+        peak_throughput_tops=7.17,
+        efficiency_tops_per_watt=6.67,
+        frame_rate_fps=1000.0,
+    )
+
+
+def test_energy_conversion_property():
+    report = _report()
+    assert report.energy_per_frame_uj == pytest.approx(1.2)
+
+
+def test_render_report_columns():
+    text = render_report([_report(), _report("ASIC", 2)], title="t")
+    lines = text.splitlines()
+    assert lines[0] == "t"
+    assert "platform" in lines[1]
+    assert any("OISA" in line for line in lines)
+    assert any("ASIC" in line for line in lines)
+
+
+def test_render_report_empty_list():
+    text = render_report([])
+    assert "platform" in text

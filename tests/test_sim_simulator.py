@@ -1,0 +1,74 @@
+"""Tests for repro.sim.simulator — the in-house simulator."""
+
+import pytest
+
+from repro.core.mapping import ConvWorkload, MlpWorkload
+from repro.sim.reports import render_report
+from repro.sim.simulator import InHouseSimulator
+
+
+@pytest.fixture
+def simulator():
+    return InHouseSimulator()
+
+
+@pytest.fixture
+def workload():
+    return ConvWorkload(3, 64, 3, 128, 128, padding=1)
+
+
+def test_oisa_report_fields(simulator, workload):
+    report = simulator.simulate_oisa_conv(workload)
+    assert report.platform == "OISA"
+    assert report.compute_cycles == workload.windows_per_channel
+    assert report.efficiency_tops_per_watt == pytest.approx(6.68, rel=0.03)
+    assert report.frame_energy_j > 0.0
+
+
+def test_oisa_bit_width_override(simulator, workload):
+    report = simulator.simulate_oisa_conv(workload, weight_bits=2)
+    assert report.weight_bits == 2
+
+
+def test_include_mapping_adds_energy(simulator, workload):
+    steady = simulator.simulate_oisa_conv(workload)
+    first = simulator.simulate_oisa_conv(workload, include_mapping=True)
+    assert first.frame_energy_j > steady.frame_energy_j
+
+
+def test_oisa_mlp_simulation(simulator):
+    workload = MlpWorkload(input_features=784, output_features=100)
+    report = simulator.simulate_oisa_mlp(workload)
+    assert report.compute_cycles == 20  # from the mapping plan
+    assert report.frame_energy_j > 0.0
+
+
+def test_baseline_platforms(simulator, workload):
+    for platform, expected_name in (
+        ("crosslight", "Crosslight"),
+        ("appcip", "AppCip"),
+        ("asic", "ASIC"),
+    ):
+        report = simulator.simulate_baseline(platform, workload)
+        assert report.platform == expected_name
+        assert report.average_power_w > 0.0
+
+
+def test_unknown_platform_rejected(simulator, workload):
+    with pytest.raises(ValueError):
+        simulator.simulate_baseline("tpu", workload)
+
+
+def test_compare_all_order_and_winner(simulator, workload):
+    reports = simulator.compare_all(workload, weight_bits=4)
+    assert [r.platform for r in reports] == ["OISA", "Crosslight", "AppCip", "ASIC"]
+    oisa_power = reports[0].average_power_w
+    for report in reports[1:]:
+        assert report.average_power_w > oisa_power
+
+
+def test_render_report_table(simulator, workload):
+    reports = simulator.compare_all(workload)
+    text = render_report(reports, title="cmp")
+    assert "OISA" in text and "ASIC" in text
+    assert text.splitlines()[0] == "cmp"

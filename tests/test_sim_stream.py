@@ -1,0 +1,78 @@
+"""Tests for repro.sim.stream — video-stream simulation."""
+
+import math
+
+import pytest
+
+from repro.core.config import OISAConfig
+from repro.core.mapping import ConvWorkload
+from repro.sim.stream import StreamSimulator
+
+
+@pytest.fixture
+def simulator():
+    return StreamSimulator(OISAConfig())
+
+
+@pytest.fixture
+def workload():
+    return ConvWorkload(3, 64, 3, 128, 128, padding=1)
+
+
+def test_at_budget_no_drops(simulator, workload):
+    report = simulator.run(workload, num_frames=50, offered_fps=1000.0)
+    assert report.dropped == 0
+    assert report.frames == 50
+
+
+def test_oversubscription_drops_frames(simulator, workload):
+    report = simulator.run(workload, num_frames=100, offered_fps=2500.0)
+    assert report.dropped > 0
+    assert 0.0 < report.drop_rate < 1.0
+
+
+def test_max_sustainable_matches_paper_rate(simulator, workload):
+    assert simulator.max_sustainable_fps(workload) == pytest.approx(1000.0, rel=0.01)
+
+
+def test_latency_spans_exposure_plus_compute(simulator, workload):
+    report = simulator.run(workload, num_frames=10, offered_fps=500.0)
+    # Latency includes the full sequential path: ~1 ms exposure, ~1 us of
+    # compute, and ~0.5 ms shipping 64 x 128 x 128 features at 10 Gb/s.
+    assert report.mean_latency_s > 1e-3
+    assert report.mean_latency_s < 1.7e-3
+
+
+def test_remap_frames_cost_more_energy(simulator, workload):
+    steady = simulator.run(workload, num_frames=20, offered_fps=500.0)
+    swapping = simulator.run(
+        workload, num_frames=20, offered_fps=500.0, remap_every=5
+    )
+    assert swapping.total_energy_j > steady.total_energy_j
+    assert sum(e.remapped for e in swapping.events) == 4
+
+
+def test_sustained_fps_accounts_drops(simulator, workload):
+    report = simulator.run(workload, num_frames=200, offered_fps=2000.0)
+    assert report.sustained_fps < 2000.0
+    assert report.sustained_fps == pytest.approx(1000.0, rel=0.1)
+
+
+def test_average_power_near_single_frame_model(simulator, workload):
+    report = simulator.run(workload, num_frames=100, offered_fps=1000.0)
+    # ~1.2 mW at the paper's frame rate.
+    assert report.average_power_w == pytest.approx(1.2e-3, rel=0.25)
+
+
+def test_event_latency_nan_when_dropped(simulator, workload):
+    report = simulator.run(workload, num_frames=50, offered_fps=5000.0)
+    dropped = [e for e in report.events if e.dropped]
+    assert dropped
+    assert math.isnan(dropped[0].latency_s)
+
+
+def test_validation(simulator, workload):
+    with pytest.raises(ValueError):
+        simulator.run(workload, num_frames=0, offered_fps=100.0)
+    with pytest.raises(ValueError):
+        simulator.run(workload, num_frames=10, offered_fps=100.0, remap_every=-1)

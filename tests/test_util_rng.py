@@ -1,0 +1,48 @@
+"""Tests for repro.util.rng."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import DEFAULT_SEED, derive_rng, spawn_seeds
+
+
+def test_same_seed_same_stream():
+    a = derive_rng(42, "x").normal(size=8)
+    b = derive_rng(42, "x").normal(size=8)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_different_labels_independent():
+    a = derive_rng(42, "alpha").normal(size=8)
+    b = derive_rng(42, "beta").normal(size=8)
+    assert not np.allclose(a, b)
+
+
+def test_different_seeds_differ():
+    a = derive_rng(1, "x").normal(size=8)
+    b = derive_rng(2, "x").normal(size=8)
+    assert not np.allclose(a, b)
+
+
+def test_none_seed_uses_default():
+    a = derive_rng(None, "x").normal(size=4)
+    b = derive_rng(DEFAULT_SEED, "x").normal(size=4)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_empty_label_stable():
+    a = derive_rng(7).normal(size=4)
+    b = derive_rng(7).normal(size=4)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_spawn_seeds_deterministic_and_distinct():
+    seeds = spawn_seeds(0, 10)
+    assert seeds == spawn_seeds(0, 10)
+    assert len(set(seeds)) == 10
+
+
+def test_spawn_seeds_count_validation():
+    assert spawn_seeds(0, 0) == []
+    with pytest.raises(ValueError):
+        spawn_seeds(0, -1)

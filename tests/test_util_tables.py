@@ -1,0 +1,31 @@
+"""Tests for repro.util.tables."""
+
+import pytest
+
+from repro.util.tables import format_table
+
+
+def test_basic_alignment():
+    text = format_table(("a", "bb"), [(1, 2), (33, 4)])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    header, rule, row1, row2 = lines
+    assert len(header) == len(rule) == len(row1) == len(row2)
+    assert "a" in header and "bb" in header
+
+
+def test_title_included():
+    text = format_table(("x",), [(1,)], title="My Table")
+    assert text.splitlines()[0] == "My Table"
+
+
+def test_float_formatting():
+    text = format_table(("v",), [(0.000123456,), (12345.678,), (1.5,), (0.0,)])
+    assert "0.000123" in text
+    assert "1.23e+04" in text or "12345" in text.replace(" ", "")
+    assert "1.5" in text
+
+
+def test_row_width_mismatch_raises():
+    with pytest.raises(ValueError):
+        format_table(("a", "b"), [(1,)])

@@ -1,0 +1,57 @@
+"""Tests for repro.util.units."""
+
+import math
+
+import pytest
+
+from repro.util import units
+
+
+def test_wavelength_frequency_roundtrip():
+    wavelength = 1550e-9
+    frequency = units.wavelength_to_frequency(wavelength)
+    assert frequency == pytest.approx(193.414e12, rel=1e-3)
+    assert units.frequency_to_wavelength(frequency) == pytest.approx(wavelength)
+
+
+def test_wavelength_to_frequency_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        units.wavelength_to_frequency(0.0)
+    with pytest.raises(ValueError):
+        units.frequency_to_wavelength(-1.0)
+
+
+def test_db_linear_roundtrip():
+    assert units.db_to_linear(3.0103) == pytest.approx(2.0, rel=1e-4)
+    assert units.linear_to_db(10.0) == pytest.approx(10.0)
+    assert units.db_to_linear(units.linear_to_db(0.37)) == pytest.approx(0.37)
+
+
+def test_linear_to_db_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        units.linear_to_db(0.0)
+
+
+def test_dbm_watt_roundtrip():
+    assert units.dbm_to_watt(0.0) == pytest.approx(1e-3)
+    assert units.watt_to_dbm(1e-3) == pytest.approx(0.0)
+    assert units.watt_to_dbm(units.dbm_to_watt(-17.3)) == pytest.approx(-17.3)
+
+
+def test_photon_energy_at_1550nm():
+    # hc/lambda ~ 0.8 eV at 1550 nm.
+    energy_ev = units.photon_energy_j(1550e-9) / units.ELEMENTARY_CHARGE_C
+    assert energy_ev == pytest.approx(0.8, rel=0.01)
+
+
+def test_tops_per_watt():
+    assert units.tops_per_watt(7.1e12, 1.0) == pytest.approx(7.1)
+    with pytest.raises(ValueError):
+        units.tops_per_watt(1e12, 0.0)
+
+
+def test_scale_factors_consistent():
+    assert units.NM == 1e-9
+    assert units.UM == 1e-6
+    assert units.PS == 1e-12
+    assert math.isclose(units.GHZ * 1000, units.THZ)
