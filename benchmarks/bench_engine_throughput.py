@@ -1,0 +1,187 @@
+"""Frame-serving engine: batched+cached FrameServer vs naive per-frame loop.
+
+The acceptance scenario: a 64-frame stream with one mid-stream kernel swap
+(frames 0-31 on model A, 32-63 on model B).  The naive deployment — what
+the pre-engine API supports — walks the stream one frame at a time through
+``HardwareFirstLayerPipeline.forward`` and rebuilds the pipeline at every
+kernel-set boundary, re-running the AWC mapping chain.  The ``FrameServer``
+micro-batches the same frames and swaps kernel sets through the
+weight-program cache.
+
+Two streams are measured, one per engine mechanism:
+
+* **dense (MLP/VOM) stream** — the AWC mapping chain of a first dense
+  layer walks tens of thousands of MR targets, so the naive loop's
+  swap-time reprogramming dominates; the program cache removes it
+  entirely (orders of magnitude, asserted >= 2x).
+* **conv (CNN) stream** — kernel sets are small, so the win is
+  micro-batching the forward path (~2x on an idle machine; asserted
+  at a noise-proof floor and recorded in the artifact).
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.opc import OpticalProcessingCore
+from repro.core.pipeline import HardwareFirstLayerPipeline
+from repro.engine import FrameRequest, FrameServer
+from repro.nn.models import build_lenet, build_mlp
+
+NUM_FRAMES = 64
+SWAP_AT = NUM_FRAMES // 2
+MICRO_BATCH = 16
+KEYS = ["model-a" if i < SWAP_AT else "model-b" for i in range(NUM_FRAMES)]
+
+
+@pytest.fixture(scope="module")
+def conv_stream():
+    rng = np.random.default_rng(7)
+    frames = rng.uniform(0.0, 1.0, (NUM_FRAMES, 1, 28, 28))
+    models = {
+        "model-a": build_lenet(seed=0),
+        "model-b": build_lenet(seed=1),
+    }
+    return frames, models
+
+
+@pytest.fixture(scope="module")
+def dense_stream():
+    rng = np.random.default_rng(11)
+    frames = rng.uniform(0.0, 1.0, (NUM_FRAMES, 1, 28, 28))
+    models = {
+        "model-a": build_mlp(in_features=784, hidden=(32, 16), seed=0),
+        "model-b": build_mlp(in_features=784, hidden=(32, 16), seed=1),
+    }
+    return frames, models
+
+
+def run_naive(frames, models, seed=0, enable_noise=True):
+    """Today's per-frame deployment: one forward per frame, reprogram on swap."""
+    opc = OpticalProcessingCore(
+        seed=seed,
+        enable_crosstalk=enable_noise,
+        enable_read_noise=enable_noise,
+    )
+    pipeline = None
+    active = None
+    outputs = []
+    for frame, key in zip(frames, KEYS):
+        if key != active:
+            # A kernel swap re-runs quantize + AWC realization + crosstalk
+            # + tuning pricing from scratch.
+            pipeline = HardwareFirstLayerPipeline(models[key], opc)
+            active = key
+        outputs.append(pipeline.forward(frame[None]))
+    return np.concatenate(outputs, axis=0)
+
+
+def make_server(models, **kwargs):
+    server = FrameServer(num_nodes=1, micro_batch=MICRO_BATCH, seed=0, **kwargs)
+    for key, model in models.items():
+        server.register_model(key, model)
+    return server
+
+
+def run_server(server, frames):
+    requests = [
+        FrameRequest(frame, key) for frame, key in zip(frames, KEYS)
+    ]
+    return server.serve(requests, offered_fps=1000.0)
+
+
+def best_of(fn, repeats=3):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def measure(stream, save_artifact, label):
+    frames, models = stream
+    server = make_server(models)
+    # Warm-up: first contact programs both kernel sets (cache misses) and
+    # traces the timing tables; steady-state serving is what we measure.
+    warm = run_server(server, frames)
+    assert warm.cache_misses == 2
+
+    naive_s, _ = best_of(lambda: run_naive(frames, models))
+    server_s, report = best_of(lambda: run_server(server, frames))
+
+    assert report.delivered == NUM_FRAMES
+    assert report.cache_misses == 0  # swaps served from the program cache
+
+    speedup = naive_s / server_s
+    save_artifact(
+        f"engine_throughput_{label}.txt",
+        "\n".join(
+            [
+                f"FrameServer vs naive per-frame loop — {label} stream "
+                f"({NUM_FRAMES} frames, 1 kernel swap, micro-batch {MICRO_BATCH})",
+                f"naive per-frame : {NUM_FRAMES / naive_s:10.1f} frames/s "
+                f"({naive_s * 1e3:.1f} ms)",
+                f"batched server  : {NUM_FRAMES / server_s:10.1f} frames/s "
+                f"({server_s * 1e3:.1f} ms)",
+                f"speedup         : {speedup:10.2f}x",
+            ]
+        ),
+    )
+    return speedup
+
+
+def test_cached_server_at_least_2x_naive_on_swap_stream(dense_stream, save_artifact):
+    """The headline acceptance: cached/batched serving >= 2x the naive loop.
+
+    On the dense (VOM) first layer the naive loop re-runs a ~10^4-target
+    AWC mapping at the swap and at every stream restart; the server's
+    program cache eliminates both, so the measured gap is far beyond 2x.
+    """
+    speedup = measure(dense_stream, save_artifact, "dense")
+    assert speedup >= 2.0, f"expected >= 2x, measured {speedup:.2f}x"
+
+
+def test_batched_server_beats_naive_on_conv_stream(conv_stream, save_artifact):
+    """Micro-batching alone: ~2x on an idle box; assert a noise-proof floor."""
+    speedup = measure(conv_stream, save_artifact, "conv")
+    assert speedup >= 1.3, f"expected >= 1.3x, measured {speedup:.2f}x"
+
+
+def test_server_outputs_match_naive_numerics(conv_stream):
+    """Micro-batching must not change what is computed.
+
+    With read noise disabled the batched server and the per-frame loop are
+    the same arithmetic; the logits must agree to float tolerance.
+    """
+    frames, models = conv_stream
+    server = make_server(models, enable_noise=False)
+    report = run_server(server, frames)
+    served = np.stack([resp.output for resp in report.responses])
+
+    naive = run_naive(
+        frames,
+        models,
+        seed=server.nodes[0].opc.seed,
+        enable_noise=False,
+    )
+    np.testing.assert_allclose(served, naive, rtol=1e-9, atol=1e-9)
+
+
+def test_bench_server_steady_state(benchmark, conv_stream):
+    """Wall-clock of one steady-state 64-frame serve() call."""
+    frames, models = conv_stream
+    server = make_server(models)
+    run_server(server, frames)  # warm the cache
+
+    report = benchmark(run_server, server, frames)
+    assert report.delivered == NUM_FRAMES
+
+
+def test_bench_naive_per_frame(benchmark, conv_stream):
+    """Wall-clock of the naive per-frame loop on the same stream."""
+    frames, models = conv_stream
+    outputs = benchmark(run_naive, frames, models)
+    assert outputs.shape[0] == NUM_FRAMES

@@ -4,9 +4,9 @@ import numpy as np
 import pytest
 
 from repro.analysis.fig9 import build_fig9, render_fig9
-from repro.baselines import AsicAccelerator, CrosslightAccelerator
 from repro.core.config import OISAConfig
 from repro.core.energy import OISAEnergyModel, default_plan, resnet18_first_layer_workload
+from repro.sim.platforms import get_platform, platform_registry
 
 
 @pytest.fixture(scope="module")
@@ -50,17 +50,11 @@ def test_bench_oisa_average_power(benchmark):
     assert breakdown.total > 0.0
 
 
-def test_bench_crosslight_power(benchmark):
-    """Hot path: one Crosslight power evaluation."""
-    crosslight = CrosslightAccelerator()
+@pytest.mark.parametrize("key", platform_registry())
+def test_bench_platform_simulate_conv(benchmark, key):
+    """Hot path: one conv simulation per registered platform."""
+    platform = get_platform(key)
     workload = resnet18_first_layer_workload()
-    breakdown = benchmark(crosslight.average_power_w, workload, 4)
-    assert breakdown.total > 0.0
-
-
-def test_bench_asic_power(benchmark):
-    """Hot path: one ASIC power evaluation."""
-    asic = AsicAccelerator()
-    workload = resnet18_first_layer_workload()
-    breakdown = benchmark(asic.average_power_w, workload, 4)
-    assert breakdown.total > 0.0
+    report = benchmark(platform.simulate_conv, workload, 4)
+    assert report.average_power_w > 0.0
+    assert report.platform == platform.name

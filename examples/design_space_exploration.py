@@ -119,11 +119,19 @@ def sweep_arm_size() -> str:
     )
 
 
+def sweep_registry_platforms() -> str:
+    """Cross-platform sweep: every registered platform, one call."""
+    from repro.analysis.sweeps import render_platform_sweep, sweep_platforms
+
+    return "\n" + render_platform_sweep(sweep_platforms(bit_configs=((1, 2), (4, 2))))
+
+
 def main() -> None:
     print(sweep_banks())
     print(sweep_q_factor())
     print(sweep_weight_bits())
     print(sweep_arm_size())
+    print(sweep_registry_platforms())
 
 
 if __name__ == "__main__":

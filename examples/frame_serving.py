@@ -1,0 +1,54 @@
+"""Batched frame serving: multi-tenant streams over simulated OISA nodes.
+
+Two QAT models share a pool of OISA dies; requests alternate between them
+mid-stream, exercising the weight-program cache (kernel swaps restore the
+mapped weights instead of re-running the AWC chain) and the micro-batched
+compute path.  Prints the drop/latency statistics a deployment study needs
+plus the host-side serving throughput.
+
+Usage::
+
+    python examples/frame_serving.py [num_nodes]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.engine import FrameRequest, FrameServer
+from repro.nn.models import build_lenet
+
+
+def main() -> None:
+    num_nodes = int(sys.argv[1]) if len(sys.argv) > 1 else 2
+    rng = np.random.default_rng(0)
+
+    server = FrameServer(num_nodes=num_nodes, micro_batch=16, seed=0)
+    server.register_model("tenant-a", build_lenet(seed=0))
+    server.register_model("tenant-b", build_lenet(seed=1))
+
+    frames = rng.uniform(0.0, 1.0, (96, 1, 28, 28))
+    requests = [
+        FrameRequest(frames[i], "tenant-a" if (i // 24) % 2 == 0 else "tenant-b")
+        for i in range(len(frames))
+    ]
+
+    print(f"Frame serving on {num_nodes} simulated node(s)")
+    for label, fps in (("at budget", 1000.0), ("oversubscribed", 2500.0)):
+        report = server.serve(requests, offered_fps=fps)
+        print(f"\n{label} ({fps:.0f} FPS offered):")
+        print(f"  delivered        : {report.delivered}/{report.stream.frames}")
+        print(f"  drop rate        : {report.stream.drop_rate:.3f}")
+        print(f"  mean latency     : {report.stream.mean_latency_s * 1e3:.3f} ms")
+        print(f"  sustained (sim)  : {report.stream.sustained_fps:.0f} FPS")
+        print(f"  host throughput  : {report.wall_clock_fps:.0f} frames/s")
+        print(f"  cache hits/misses: {report.cache_hits}/{report.cache_misses}")
+        print(f"  frames per node  : {dict(sorted(report.node_frames.items()))}")
+        print(f"  payload shipped  : {report.payload_bytes / 1e3:.1f} kB")
+
+    print("\nsteady state: kernel swaps are cache hits, so a second pass")
+    print("over the same tenants re-runs no AWC mapping at all.")
+
+
+if __name__ == "__main__":
+    main()

@@ -32,8 +32,12 @@ Subpackages
     Crosslight-like, AppCiP-like and DaDianNao-like comparators plus the
     Table I literature registry.
 ``repro.sim`` / ``repro.analysis``
-    The in-house latency/power simulator, the Fig. 7 accuracy loop, and
-    one harness per paper table/figure.
+    The in-house latency/power simulator (with the platform registry in
+    ``repro.sim.platforms``), the Fig. 7 accuracy loop, and one harness
+    per paper table/figure.
+``repro.engine``
+    The batched frame-serving engine: weight-program cache plus the
+    micro-batched multi-node ``FrameServer``.
 """
 
 from repro.core import (

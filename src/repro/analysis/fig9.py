@@ -14,13 +14,19 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.config import OISAConfig
-from repro.core.energy import OISAEnergyModel, resnet18_first_layer_workload
-from repro.core.mapping import plan_convolution
-from repro.sim.simulator import InHouseSimulator
+from repro.core.energy import resnet18_first_layer_workload
+from repro.sim.platforms import iter_platforms
 from repro.util.tables import format_table
 
 #: The x-axis of Fig. 9.
 BIT_CONFIGS: tuple[tuple[int, int], ...] = ((1, 2), (2, 2), (3, 2), (4, 2))
+
+#: The paper's quoted average power reductions of OISA, by platform name.
+PAPER_REDUCTIONS: dict[str, float] = {
+    "Crosslight": 8.3,
+    "AppCip": 7.9,
+    "ASIC": 18.4,
+}
 
 
 @dataclass(frozen=True)
@@ -40,37 +46,32 @@ class Fig9Data:
 
 
 def build_fig9(config: OISAConfig | None = None) -> Fig9Data:
-    """Regenerate the Fig. 9 sweep."""
+    """Regenerate the Fig. 9 sweep by iterating the platform registry."""
     cfg = config or OISAConfig()
-    simulator = InHouseSimulator(cfg)
     workload = resnet18_first_layer_workload(cfg)
+    platforms = [p for p in iter_platforms(cfg) if p.supports_conv]
 
-    power: dict[str, list[float]] = {
-        "OISA": [],
-        "Crosslight": [],
-        "AppCip": [],
-        "ASIC": [],
-    }
+    power: dict[str, list[float]] = {p.name: [] for p in platforms}
     breakdowns: dict[str, list[dict[str, float]]] = {
         name: [] for name in power
     }
     for weight_bits, activation_bits in BIT_CONFIGS:
-        oisa = simulator.simulate_oisa_conv(workload, weight_bits)
-        power["OISA"].append(oisa.average_power_w)
-        breakdowns["OISA"].append(dict(oisa.breakdown.components))
-        for platform in ("crosslight", "appcip", "asic"):
-            report = simulator.simulate_baseline(
-                platform, workload, weight_bits, activation_bits
+        for platform in platforms:
+            report = platform.simulate_conv(
+                workload,
+                weight_bits=weight_bits,
+                activation_bits=activation_bits,
             )
-            power[report.platform].append(report.average_power_w)
-            breakdowns[report.platform].append(dict(report.breakdown.components))
+            power[platform.name].append(report.average_power_w)
+            breakdowns[platform.name].append(dict(report.breakdown.components))
 
     data = Fig9Data(
         bit_configs=BIT_CONFIGS, power_w=power, breakdowns=breakdowns
     )
     reductions = {
-        name: data.average_reduction(name)
-        for name in ("Crosslight", "AppCip", "ASIC")
+        platform.name: data.average_reduction(platform.name)
+        for platform in platforms
+        if platform.name != "OISA"
     }
     return Fig9Data(
         bit_configs=BIT_CONFIGS,
@@ -92,12 +93,8 @@ def render_fig9(data: Fig9Data | None = None) -> str:
     )
 
     reduction_rows = [
-        (name, data.reductions_vs_oisa[name], paper)
-        for name, paper in (
-            ("Crosslight", 8.3),
-            ("AppCip", 7.9),
-            ("ASIC", 18.4),
-        )
+        (name, measured, PAPER_REDUCTIONS.get(name, "-"))
+        for name, measured in data.reductions_vs_oisa.items()
     ]
     reductions = format_table(
         ("platform", "measured avg reduction vs OISA", "paper"),

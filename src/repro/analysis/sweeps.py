@@ -1,10 +1,12 @@
-"""Programmatic design-space exploration with Pareto extraction.
+"""Programmatic design-space and platform sweeps with Pareto extraction.
 
 Library counterpart of ``examples/design_space_exploration.py``: enumerate
 architecture variants, evaluate the metrics the paper trades off
 (throughput, efficiency, area, weight fidelity), and extract the Pareto
-frontier.  Used by the ablation benches and available to downstream users
-sizing their own OISA-style arrays.
+frontier.  :func:`sweep_platforms` additionally runs every *registered
+platform* (see :mod:`repro.sim.platforms`) over a bit-configuration grid —
+the uniform cross-platform sweep Fig. 9 and the ``repro sweep`` CLI
+command are built on.
 """
 
 from __future__ import annotations
@@ -15,10 +17,14 @@ from itertools import product
 import numpy as np
 
 from repro.core.config import OISAConfig
-from repro.core.energy import OISAEnergyModel
+from repro.core.energy import OISAEnergyModel, resnet18_first_layer_workload
+from repro.core.mapping import ConvWorkload
 from repro.core.opc import OpticalProcessingCore
 from repro.nn.quant import UniformWeightQuantizer
+from repro.sim.platforms import iter_platforms
+from repro.sim.reports import SimulationReport
 from repro.util.rng import derive_rng
+from repro.util.tables import format_table
 
 
 @dataclass(frozen=True)
@@ -74,6 +80,73 @@ def sweep_design_space(
         evaluate_design(banks, bits, seed=seed)
         for banks, bits in product(bank_options, bit_options)
     ]
+
+
+@dataclass(frozen=True)
+class PlatformSweepPoint:
+    """One (platform, bit-config) evaluation of the cross-platform sweep."""
+
+    platform: str
+    weight_bits: int
+    activation_bits: int
+    report: SimulationReport
+
+
+def sweep_platforms(
+    workload: ConvWorkload | None = None,
+    bit_configs: tuple[tuple[int, int], ...] | None = None,
+    config: OISAConfig | None = None,
+) -> list[PlatformSweepPoint]:
+    """Every registered platform x every bit configuration, one workload.
+
+    Iterates the platform registry, so a newly registered platform shows
+    up in the sweep (and everything built on it) without code changes.
+    The default bit grid is Fig. 9's x-axis.
+    """
+    if bit_configs is None:
+        from repro.analysis.fig9 import BIT_CONFIGS
+
+        bit_configs = BIT_CONFIGS
+    cfg = config or OISAConfig()
+    load = workload or resnet18_first_layer_workload(cfg)
+    points = []
+    for platform in iter_platforms(cfg):
+        if not platform.supports_conv:
+            continue
+        for weight_bits, activation_bits in bit_configs:
+            points.append(
+                PlatformSweepPoint(
+                    platform=platform.name,
+                    weight_bits=weight_bits,
+                    activation_bits=activation_bits,
+                    report=platform.simulate_conv(
+                        load,
+                        weight_bits=weight_bits,
+                        activation_bits=activation_bits,
+                    ),
+                )
+            )
+    return points
+
+
+def render_platform_sweep(points: list[PlatformSweepPoint] | None = None) -> str:
+    """Aligned table of the cross-platform sweep (power and efficiency)."""
+    points = points if points is not None else sweep_platforms()
+    rows = [
+        (
+            point.platform,
+            f"[{point.weight_bits},{point.activation_bits}]",
+            point.report.average_power_w * 1e3,
+            point.report.energy_per_frame_uj,
+            point.report.efficiency_tops_per_watt,
+        )
+        for point in points
+    ]
+    return format_table(
+        ("platform", "bits", "avg power [mW]", "energy [uJ]", "TOp/s/W"),
+        rows,
+        title="Cross-platform sweep (registry-driven)",
+    )
 
 
 def pareto_front(

@@ -2,7 +2,9 @@
 
 Literature rows come from :mod:`repro.baselines.literature` (the paper
 reports, not re-simulated); the OISA row is generated live from the
-architecture model.
+architecture model via the platform registry, and one measured row is
+appended per rebuilt comparison platform so the table tracks whatever the
+registry contains.
 """
 
 from __future__ import annotations
@@ -15,37 +17,41 @@ from repro.baselines.literature import (
     LiteratureDesign,
 )
 from repro.core.config import OISAConfig
-from repro.core.energy import OISAEnergyModel, default_plan
+from repro.sim.platforms import get_platform, iter_platforms
 from repro.util.tables import format_table
 
 
 @dataclass(frozen=True)
 class Table1Data:
-    """Literature rows plus the measured OISA row."""
+    """Literature rows plus the measured platform rows."""
 
     literature: tuple[LiteratureDesign, ...]
     oisa_row: dict
     paper_oisa_row: dict
+    #: (label, row) per rebuilt comparison platform, measured live.
+    platform_rows: tuple[tuple[str, dict], ...] = ()
 
 
 def build_oisa_row(config: OISAConfig | None = None) -> dict:
     """Compute OISA's Table I entries from the architecture model."""
-    cfg = config or OISAConfig()
-    model = OISAEnergyModel(cfg)
-    plan = default_plan(cfg)
-    electronics_mw = model.electronics_power_w(plan) * 1e3
-    return {
-        "technology_nm": 65,
-        "purpose": "1st-layer CNN",
-        "compute_scheme": "entire-array",
-        "has_memory": True,
-        "has_nvm": False,
-        "pixel_size_um": cfg.pixel_pitch_m * 1e6,
-        "array_size": f"{cfg.pixel_rows}x{cfg.pixel_cols}",
-        "frame_rate_fps": f"{cfg.frame_rate_hz:.0f}",
-        "power_mw": f"{electronics_mw:.4f}",
-        "efficiency_tops_per_watt": f"{model.efficiency_tops_per_watt():.2f}",
-    }
+    return get_platform("oisa", config).table1_row()
+
+
+def build_platform_rows(
+    config: OISAConfig | None = None,
+) -> tuple[tuple[str, dict], ...]:
+    """One measured row per rebuilt (non-OISA) registry platform.
+
+    Each adapter describes its own Table-I facts via ``table1_row``
+    (structural flags live on the :class:`~repro.sim.platforms.Platform`
+    subclass), so a newly registered platform renders correctly without
+    touching this module.
+    """
+    return tuple(
+        (f"{platform.name} (rebuilt)", platform.table1_row())
+        for platform in iter_platforms(config)
+        if platform.name != "OISA" and hasattr(platform, "table1_row")
+    )
 
 
 def build_table1(config: OISAConfig | None = None) -> Table1Data:
@@ -54,11 +60,12 @@ def build_table1(config: OISAConfig | None = None) -> Table1Data:
         literature=LITERATURE_DESIGNS,
         oisa_row=build_oisa_row(config),
         paper_oisa_row=PAPER_OISA_ROW,
+        platform_rows=build_platform_rows(config),
     )
 
 
 def render_table1(data: Table1Data | None = None) -> str:
-    """Print Table I with the measured OISA row appended."""
+    """Print Table I with the measured platform rows appended."""
     data = data or build_table1()
     headers = (
         "design",
@@ -90,10 +97,12 @@ def render_table1(data: Table1Data | None = None) -> str:
                 design.efficiency_tops_per_watt,
             )
         )
-    for label, row in (
+    measured_rows = (
+        *data.platform_rows,
         ("OISA (measured)", data.oisa_row),
         ("OISA (paper)", data.paper_oisa_row),
-    ):
+    )
+    for label, row in measured_rows:
         rows.append(
             (
                 label,

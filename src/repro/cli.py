@@ -8,6 +8,10 @@ Usage::
     python -m repro.cli table1             # Table I
     python -m repro.cli table2 [--fast]    # Table II (trains networks!)
     python -m repro.cli compare            # platform comparison report
+    python -m repro.cli sweep              # registry-driven platform sweep
+    python -m repro.cli serve              # batched frame-serving demo
+
+(Installed as the ``repro`` console script via ``pyproject.toml``.)
 """
 
 from __future__ import annotations
@@ -98,6 +102,66 @@ def _cmd_compare(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.analysis.sweeps import render_platform_sweep, sweep_platforms
+
+    print(render_platform_sweep(sweep_platforms()))
+    if args.platforms:
+        from repro.sim.platforms import iter_platforms
+
+        print("\nregistered platforms:")
+        for platform in iter_platforms():
+            print(f"  {platform.key:12s}: {platform.parameters()}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.engine import FrameRequest, FrameServer
+    from repro.nn.models import build_lenet
+    from repro.util.tables import format_table
+
+    rng = np.random.default_rng(args.seed)
+    server = FrameServer(
+        num_nodes=args.nodes, micro_batch=args.batch, seed=args.seed
+    )
+    # Two seeded QAT models stand in for a multi-tenant request mix; the
+    # stream swaps kernel sets mid-way to exercise the program cache.
+    server.register_model("model-a", build_lenet(seed=args.seed))
+    server.register_model("model-b", build_lenet(seed=args.seed + 1))
+    frames = rng.uniform(0.0, 1.0, (args.frames, 1, 28, 28))
+    requests = [
+        FrameRequest(frames[i], "model-a" if i < args.frames // 2 else "model-b")
+        for i in range(args.frames)
+    ]
+    report = server.serve(requests, offered_fps=args.fps)
+    rows = [
+        ("frames offered", report.stream.frames),
+        ("frames delivered", report.delivered),
+        ("drop rate", f"{report.stream.drop_rate:.3f}"),
+        ("mean latency [ms]", f"{report.stream.mean_latency_s * 1e3:.3f}"),
+        ("sustained FPS (simulated)", f"{report.stream.sustained_fps:.0f}"),
+        ("wall-clock FPS (host)", f"{report.wall_clock_fps:.0f}"),
+        ("cache hits / misses", f"{report.cache_hits} / {report.cache_misses}"),
+        ("frame energy total [uJ]", f"{report.stream.total_energy_j * 1e6:.3f}"),
+        ("radio energy [mJ]", f"{report.radio_energy_j * 1e3:.3f}"),
+        ("payload [kB]", f"{report.payload_bytes / 1e3:.1f}"),
+    ]
+    rows.extend(
+        (f"frames on node {node}", count)
+        for node, count in sorted(report.node_frames.items())
+    )
+    print(
+        format_table(
+            ("metric", "value"),
+            rows,
+            title=f"FrameServer — {args.nodes} node(s), micro-batch {args.batch}",
+        )
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -124,6 +188,22 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--output", default="REPORT.md")
     report.add_argument("--table2-cache", default=".table2_bench_cache.json")
     report.set_defaults(handler=_cmd_report)
+    sweep = subparsers.add_parser(
+        "sweep", help="registry-driven cross-platform sweep"
+    )
+    sweep.add_argument(
+        "--platforms", action="store_true", help="also list platform metadata"
+    )
+    sweep.set_defaults(handler=_cmd_sweep)
+    serve = subparsers.add_parser(
+        "serve", help="batched frame-serving engine demo"
+    )
+    serve.add_argument("--frames", type=int, default=64)
+    serve.add_argument("--fps", type=float, default=1000.0)
+    serve.add_argument("--nodes", type=int, default=2)
+    serve.add_argument("--batch", type=int, default=16)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.set_defaults(handler=_cmd_serve)
     return parser
 
 

@@ -214,6 +214,40 @@ class OISAEnergyModel:
             energy["kernel_bank"] = self.kernel_bank.read_energy_j() * updates
         return PowerBreakdown(energy)
 
+    def mlp_compute_time_s(self, plan) -> float:
+        """Pure OPC compute time of one dense (VOM-split) first layer."""
+        return plan.compute_cycles * self.config.mac_cycle_s
+
+    def mlp_frame_energy_j(
+        self,
+        plan,
+        kernel_size: int = 3,
+        include_mapping: bool = False,
+        mapping_energy_j: float = 0.0,
+    ) -> PowerBreakdown:
+        """Per-frame energy of a dense first layer (VOM-split partial sums).
+
+        The OPC draws its peak compute power for the plan's cycles and the
+        VOM pays one combine per bank-split partial sum; ``kernel_size``
+        only selects the VCSEL/SA activity pattern (dense mode drives the
+        3x3 grouping).  ``include_mapping`` adds the one-off weight-mapping
+        cost exactly as :meth:`frame_energy_j` does.
+        """
+        compute_s = self.mlp_compute_time_s(plan)
+        peak = self.peak_power_w(kernel_size)
+        energy = {
+            "compute": peak.total * compute_s,
+            "vom": plan.vom_combines * self.VOM_ENERGY_PER_COMBINE_J,
+        }
+        if include_mapping:
+            updates = self.config.total_mrs
+            energy["mapping"] = (
+                self.config.awc_design.energy_per_update_j * updates
+                + mapping_energy_j
+            )
+            energy["kernel_bank"] = self.kernel_bank.read_energy_j() * updates
+        return PowerBreakdown(energy)
+
     def average_power_w(
         self, plan: MappingPlan, frame_rate_hz: float | None = None
     ) -> PowerBreakdown:

@@ -119,6 +119,24 @@ class OpticalProcessingCore:
         )
         return self._programmed
 
+    def install(self, programmed: ProgrammedWeights) -> ProgrammedWeights:
+        """Restore a previously computed weight mapping without re-running it.
+
+        The serving engine caches :class:`ProgrammedWeights` per (kernel
+        set, weight bits, die seed); installing a cached record makes a
+        kernel swap back to a known set O(1) instead of repeating the
+        AWC realization + crosstalk + tuning-budget chain.  The record must
+        come from an OPC with the same configuration and seed — the cache
+        key enforces that.
+        """
+        self._programmed = programmed
+        return programmed
+
+    @property
+    def is_programmed(self) -> bool:
+        """Whether a weight set is currently mapped."""
+        return self._programmed is not None
+
     @property
     def programmed(self) -> ProgrammedWeights:
         """The currently-mapped weights (raises if nothing is programmed)."""

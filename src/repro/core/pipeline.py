@@ -29,9 +29,20 @@ class HardwareFirstLayerPipeline:
     opc:
         The optical core to run the first layer on.  Its bit-width must
         match the model's first-layer quantizer.
+    program_cache:
+        Optional weight-program cache (duck-typed to
+        :class:`repro.engine.cache.WeightProgramCache`).  When given, the
+        expensive AWC mapping chain runs once per distinct (kernel set,
+        weight bits, die seed) and kernel swaps back to a known set are
+        restored from the cache.
     """
 
-    def __init__(self, model: Sequential, opc: OpticalProcessingCore) -> None:
+    def __init__(
+        self,
+        model: Sequential,
+        opc: OpticalProcessingCore,
+        program_cache=None,
+    ) -> None:
         first = self._find_first_quant_layer(model)
         if first is None:
             raise ValueError(
@@ -43,6 +54,7 @@ class HardwareFirstLayerPipeline:
         self.model = model
         self.conv = first  # historical name; may be a QuantDense
         self.opc = opc
+        self.program_cache = program_cache
         self._program()
 
     @staticmethod
@@ -66,7 +78,20 @@ class HardwareFirstLayerPipeline:
     def _program(self) -> None:
         quantized = self.conv.quantizer.quantize(self.conv.weight.data)
         scale = self.conv.quantizer.scale(self.conv.weight.data)
-        self.opc.program(quantized, scale)
+        if self.program_cache is not None:
+            self.program_cache.get_or_program(self.opc, quantized, scale)
+        else:
+            self.opc.program(quantized, scale)
+
+    def activate(self) -> None:
+        """(Re)install this model's first-layer weights on the shared OPC.
+
+        Serving engines multiplex several pipelines over one optical core;
+        call this before ``forward`` when another model may have programmed
+        the OPC since this pipeline last ran.  With a program cache the
+        reactivation is a cache hit, not a fresh AWC mapping.
+        """
+        self._program()
 
     def _split_index(self) -> int:
         for index, layer in enumerate(self.model):

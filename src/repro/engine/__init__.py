@@ -1,0 +1,27 @@
+"""Batched frame-serving engine (cache + micro-batching + multi-node).
+
+* :mod:`repro.engine.cache` — weight-program cache keyed by (kernel set,
+  weight bits, die seed); kernel swaps stop re-running the AWC mapping
+  chain.
+* :mod:`repro.engine.server` — :class:`FrameServer`: admission control with
+  :mod:`repro.sim.stream` semantics, micro-batched compute through
+  :class:`~repro.core.pipeline.HardwareFirstLayerPipeline`, scheduling
+  across N simulated nodes with :mod:`repro.sim.fleet` transport budgets.
+"""
+
+from repro.engine.cache import CacheStats, WeightProgramCache
+from repro.engine.server import (
+    FrameRequest,
+    FrameResponse,
+    FrameServer,
+    ServeReport,
+)
+
+__all__ = [
+    "CacheStats",
+    "FrameRequest",
+    "FrameResponse",
+    "FrameServer",
+    "ServeReport",
+    "WeightProgramCache",
+]

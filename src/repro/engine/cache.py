@@ -1,0 +1,118 @@
+"""Weight-program cache: AWC mapping results keyed by kernel set.
+
+Programming the OPC is the expensive half of serving: the AWC realization,
+per-arm crosstalk solve and tuning-budget pricing walk every mapped MR in
+Python.  Steady-state video amortises it away, but a *serving* workload
+swaps kernel sets whenever the request mix changes model.  The cache stores
+each :class:`~repro.core.opc.ProgrammedWeights` record under a digest of
+(kernel set, quantizer scale, full architecture config, die seed, crosstalk
+flag), so a swap back to a previously mapped set restores the realized
+weights in O(1) via
+:meth:`~repro.core.opc.OpticalProcessingCore.install`.
+
+The die seed is part of the key on purpose: two chips with different AWC
+mismatch patterns realize the same ideal kernel set differently, so their
+programs must never be shared.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.opc import OpticalProcessingCore, ProgrammedWeights
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (0.0 when never used)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class WeightProgramCache:
+    """LRU cache of OPC weight programs.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of cached programs; ``None`` means unbounded.  One
+        entry holds the realized weight tensor (same size as the kernel
+        set), so bound this when serving many models.
+    """
+
+    def __init__(self, capacity: int | None = None) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError(f"capacity must be positive or None, got {capacity}")
+        self.capacity = capacity
+        self.stats = CacheStats()
+        self._entries: OrderedDict[str, ProgrammedWeights] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @staticmethod
+    def key_for(
+        opc: OpticalProcessingCore,
+        quantized_weights: np.ndarray,
+        scale: float,
+    ) -> str:
+        """Digest of the kernel set and everything that shapes its mapping."""
+        weights = np.ascontiguousarray(quantized_weights, dtype=float)
+        digest = hashlib.sha256()
+        digest.update(weights.tobytes())
+        digest.update(repr(weights.shape).encode())
+        digest.update(repr(float(scale)).encode())
+        # The full config repr: every architecture/device parameter shapes
+        # the realization (AWC design, microring Q, WDM grid, ...), so two
+        # differently configured cores must never share a program.
+        digest.update(repr(opc.config).encode())
+        digest.update(repr((opc.seed, opc.enable_crosstalk)).encode())
+        return digest.hexdigest()
+
+    def get_or_program(
+        self,
+        opc: OpticalProcessingCore,
+        quantized_weights: np.ndarray,
+        scale: float,
+    ) -> tuple[ProgrammedWeights, bool]:
+        """Install a cached program or run the mapping chain once.
+
+        Returns ``(programmed, hit)``.  On a hit the record is installed on
+        ``opc`` without re-running AWC realization/crosstalk/tuning; on a
+        miss the OPC programs normally and the result is cached.
+        """
+        key = self.key_for(opc, quantized_weights, scale)
+        cached = self._entries.get(key)
+        if cached is not None:
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            opc.install(cached)
+            return cached, True
+
+        self.stats.misses += 1
+        programmed = opc.program(quantized_weights, scale)
+        self._entries[key] = programmed
+        if self.capacity is not None and len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        return programmed, False
+
+    def clear(self) -> None:
+        """Drop every entry (stats are kept)."""
+        self._entries.clear()

@@ -6,6 +6,9 @@
 * :mod:`repro.sim.accuracy` — the full Fig. 7 loop: quantization-aware
   training (NumPy substrate), first layer through the behavioral hardware,
   remaining layers as the behavioral DNN model, inference accuracy out.
+* :mod:`repro.sim.platforms` — the platform registry: one adapter per
+  evaluated platform (OISA + rebuilt baselines) behind a uniform
+  ``simulate_conv``/``simulate_mlp`` interface.
 * :mod:`repro.sim.reports` — typed result records and text rendering.
 """
 
@@ -18,6 +21,13 @@ from repro.sim.accuracy import (
 )
 from repro.sim.faults import FaultSpec, FaultyOpticalCore, accuracy_under_faults
 from repro.sim.fleet import FleetModel, FleetReport, RadioModel
+from repro.sim.platforms import (
+    Platform,
+    get_platform,
+    iter_platforms,
+    platform_registry,
+    register_platform,
+)
 from repro.sim.reports import SimulationReport, render_report
 from repro.sim.simulator import InHouseSimulator
 from repro.sim.stream import StreamReport, StreamSimulator
@@ -29,10 +39,15 @@ __all__ = [
     "FleetModel",
     "FleetReport",
     "InHouseSimulator",
+    "Platform",
     "RadioModel",
     "SimulationReport",
     "StreamReport",
     "StreamSimulator",
+    "get_platform",
+    "iter_platforms",
+    "platform_registry",
+    "register_platform",
     "Table2Settings",
     "accuracy_under_faults",
     "evaluate_hardware_accuracy",

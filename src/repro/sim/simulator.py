@@ -4,17 +4,26 @@
 given an array configuration and a workload it computes cycle counts,
 latency, per-component energy and the headline efficiency numbers, for OISA
 itself and for the three rebuilt baselines.
+
+Since the platform-registry refactor the simulator is a thin facade over
+:mod:`repro.sim.platforms`: each platform is an adapter registered under a
+stable key, and the simulator just routes calls.  Use the registry directly
+(:func:`~repro.sim.platforms.iter_platforms`) for new code; the facade keeps
+the historical one-method-per-platform API alive.
 """
 
 from __future__ import annotations
 
-from repro.baselines.appcip import AppCipAccelerator
-from repro.baselines.asic import AsicAccelerator
-from repro.baselines.crosslight import CrosslightAccelerator
 from repro.core.config import OISAConfig
 from repro.core.controller import TimingController
 from repro.core.energy import OISAEnergyModel
-from repro.core.mapping import ConvWorkload, MlpWorkload, plan_convolution, plan_mlp
+from repro.core.mapping import ConvWorkload, MlpWorkload
+from repro.sim.platforms import (
+    Platform,
+    conv_workload_tag,
+    get_platform,
+    platform_registry,
+)
 from repro.sim.reports import SimulationReport
 
 
@@ -25,9 +34,13 @@ class InHouseSimulator:
         self.config = config or OISAConfig()
         self.energy_model = OISAEnergyModel(self.config)
         self.controller = TimingController(self.config)
-        self.crosslight = CrosslightAccelerator()
-        self.appcip = AppCipAccelerator()
-        self.asic = AsicAccelerator()
+        self.platforms: dict[str, Platform] = {
+            key: get_platform(key, self.config) for key in platform_registry()
+        }
+        # Backend accelerators, kept as attributes for API compatibility.
+        self.crosslight = self.platforms["crosslight"].backend
+        self.appcip = self.platforms["appcip"].backend
+        self.asic = self.platforms["asic"].backend
 
     # ------------------------------------------------------------------
     # OISA
@@ -40,53 +53,18 @@ class InHouseSimulator:
         frame_rate_hz: float | None = None,
     ) -> SimulationReport:
         """Simulate a convolutional first layer on OISA."""
-        bits = weight_bits if weight_bits is not None else self.config.weight_bits
-        config = self.config.with_weight_bits(bits)
-        model = OISAEnergyModel(config)
-        plan = plan_convolution(config, workload)
-        rate = frame_rate_hz if frame_rate_hz is not None else config.frame_rate_hz
-        energy = model.frame_energy_j(plan, include_mapping=include_mapping)
-        return SimulationReport(
-            platform="OISA",
-            workload=self._workload_tag(workload),
-            weight_bits=bits,
-            compute_cycles=plan.compute_cycles,
-            compute_time_s=model.compute_time_s(plan),
-            frame_energy_j=energy.total,
-            average_power_w=energy.total * rate,
-            breakdown=energy.scaled(rate),
-            peak_throughput_tops=model.peak_throughput_ops() / 1e12,
-            efficiency_tops_per_watt=model.efficiency_tops_per_watt(
-                workload.kernel_size
-            ),
-            frame_rate_fps=rate,
+        return self.platforms["oisa"].simulate_conv(
+            workload,
+            weight_bits=weight_bits,
+            frame_rate_hz=frame_rate_hz,
+            include_mapping=include_mapping,
         )
 
     def simulate_oisa_mlp(
         self, workload: MlpWorkload, weight_bits: int | None = None
     ) -> SimulationReport:
         """Simulate a dense first layer on OISA (VOM-split partial sums)."""
-        bits = weight_bits if weight_bits is not None else self.config.weight_bits
-        config = self.config.with_weight_bits(bits)
-        plan = plan_mlp(config, workload)
-        model = OISAEnergyModel(config)
-        compute_s = plan.compute_cycles * config.mac_cycle_s
-        peak = model.peak_power_w(kernel_size=3)
-        vom_energy = plan.vom_combines * OISAEnergyModel.VOM_ENERGY_PER_COMBINE_J
-        energy = peak.total * compute_s + vom_energy
-        rate = config.frame_rate_hz
-        return SimulationReport(
-            platform="OISA",
-            workload=f"mlp-{workload.input_features}x{workload.output_features}",
-            weight_bits=bits,
-            compute_cycles=plan.compute_cycles,
-            compute_time_s=compute_s,
-            frame_energy_j=energy,
-            average_power_w=energy * rate,
-            peak_throughput_tops=model.peak_throughput_ops() / 1e12,
-            efficiency_tops_per_watt=model.efficiency_tops_per_watt(3),
-            frame_rate_fps=rate,
-        )
+        return self.platforms["oisa"].simulate_mlp(workload, weight_bits)
 
     # ------------------------------------------------------------------
     # Baselines
@@ -101,47 +79,14 @@ class InHouseSimulator:
     ) -> SimulationReport:
         """Simulate a baseline platform (``crosslight``/``appcip``/``asic``)."""
         key = platform.lower()
-        if key == "crosslight":
-            backend = self.crosslight
-            cycles = backend.compute_cycles(workload)
-            compute_s = cycles * self.config.mac_cycle_s
-            tops = backend.peak_throughput_ops() / 1e12
-        elif key == "appcip":
-            backend = self.appcip
-            cycles = workload.windows_per_channel
-            compute_s = min(1.0 / backend.frame_rate_limit_hz(workload), 1.0)
-            tops = 0.0
-        elif key == "asic":
-            backend = self.asic
-            macs = workload.total_macs
-            peak = backend.peak_throughput_macs()
-            cycles = macs
-            compute_s = macs / peak
-            tops = 2.0 * peak / 1e12
-        else:
+        adapter = self.platforms.get(key)
+        if adapter is None or key == "oisa":
             raise ValueError(f"unknown platform {platform!r}")
-
-        breakdown = backend.average_power_w(
+        return adapter.simulate_conv(
             workload,
             weight_bits=weight_bits,
             activation_bits=activation_bits,
             frame_rate_hz=frame_rate_hz,
-        )
-        power = breakdown.total
-        return SimulationReport(
-            platform=backend.name,
-            workload=self._workload_tag(workload),
-            weight_bits=weight_bits,
-            compute_cycles=int(cycles),
-            compute_time_s=compute_s,
-            frame_energy_j=power / frame_rate_hz,
-            average_power_w=power,
-            breakdown=breakdown,
-            peak_throughput_tops=tops,
-            efficiency_tops_per_watt=(
-                tops / power if power > 0 and tops > 0 else 0.0
-            ),
-            frame_rate_fps=frame_rate_hz,
         )
 
     def compare_all(
@@ -150,20 +95,17 @@ class InHouseSimulator:
         weight_bits: int = 4,
         activation_bits: int = 2,
     ) -> list[SimulationReport]:
-        """OISA plus every baseline on the same workload/bit config."""
-        reports = [self.simulate_oisa_conv(workload, weight_bits)]
-        for platform in ("crosslight", "appcip", "asic"):
-            reports.append(
-                self.simulate_baseline(
-                    platform, workload, weight_bits, activation_bits
-                )
+        """Every registered platform on the same workload/bit config."""
+        return [
+            adapter.simulate_conv(
+                workload,
+                weight_bits=weight_bits,
+                activation_bits=activation_bits,
             )
-        return reports
+            for adapter in self.platforms.values()
+            if adapter.supports_conv
+        ]
 
     @staticmethod
     def _workload_tag(workload: ConvWorkload) -> str:
-        return (
-            f"conv{workload.kernel_size}x{workload.kernel_size}-"
-            f"{workload.num_kernels}k-{workload.in_channels}c-"
-            f"{workload.image_height}x{workload.image_width}"
-        )
+        return conv_workload_tag(workload)

@@ -43,3 +43,22 @@ def test_claims_command_exit_code(capsys):
     # All claims hold on the default configuration -> exit 0.
     assert main(["claims"]) == 0
     assert "MACs/cycle K=3" in capsys.readouterr().out
+
+
+def test_sweep_command(capsys):
+    assert main(["sweep", "--platforms"]) == 0
+    out = capsys.readouterr().out
+    assert "Cross-platform sweep" in out
+    assert "registered platforms:" in out
+    for key in ("oisa", "crosslight", "appcip", "asic"):
+        assert key in out
+
+
+def test_serve_command(capsys):
+    assert main(
+        ["serve", "--frames", "16", "--nodes", "2", "--batch", "8"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "FrameServer" in out
+    assert "cache hits / misses" in out
+    assert "frames on node 1" in out

@@ -1,0 +1,316 @@
+"""Tests for repro.engine — weight-program cache and FrameServer."""
+
+import numpy as np
+import pytest
+
+from repro.core.opc import OpticalProcessingCore
+from repro.core.pipeline import HardwareFirstLayerPipeline
+from repro.engine import FrameRequest, FrameServer, WeightProgramCache
+from repro.nn.models import build_lenet, build_mlp
+from repro.nn.quant import UniformWeightQuantizer
+
+
+@pytest.fixture
+def kernel_set():
+    rng = np.random.default_rng(0)
+    weights = rng.normal(size=(8, 1, 3, 3)) * 0.1
+    quantizer = UniformWeightQuantizer(4)
+    return quantizer.quantize(weights), quantizer.scale(weights)
+
+
+# --------------------------------------------------------------------------
+# WeightProgramCache
+# --------------------------------------------------------------------------
+def test_cache_miss_then_hit(kernel_set):
+    quantized, scale = kernel_set
+    cache = WeightProgramCache()
+    opc = OpticalProcessingCore(seed=1)
+
+    first, hit1 = cache.get_or_program(opc, quantized, scale)
+    again, hit2 = cache.get_or_program(opc, quantized, scale)
+    assert (hit1, hit2) == (False, True)
+    assert again is first
+    assert cache.stats.hits == 1 and cache.stats.misses == 1
+    assert cache.stats.hit_rate == 0.5
+    # The hit installed the cached record on the OPC.
+    assert opc.programmed is first
+
+
+def test_cache_hit_skips_remapping_work(kernel_set):
+    """A hit restores the exact realized tensor without recomputation."""
+    quantized, scale = kernel_set
+    cache = WeightProgramCache()
+    opc = OpticalProcessingCore(seed=1)
+    programmed, _ = cache.get_or_program(opc, quantized, scale)
+
+    other = np.zeros_like(quantized)
+    opc.program(other, 1.0)  # kernel swap to a different set
+    restored, hit = cache.get_or_program(opc, quantized, scale)
+    assert hit
+    np.testing.assert_array_equal(restored.realized, programmed.realized)
+    np.testing.assert_array_equal(opc.programmed.realized, programmed.realized)
+
+
+def test_cache_is_seed_sensitive(kernel_set):
+    """Two dies (different AWC mismatch) must never share a program."""
+    quantized, scale = kernel_set
+    cache = WeightProgramCache()
+    die_a = OpticalProcessingCore(seed=1)
+    die_b = OpticalProcessingCore(seed=2)
+
+    program_a, hit_a = cache.get_or_program(die_a, quantized, scale)
+    program_b, hit_b = cache.get_or_program(die_b, quantized, scale)
+    assert not hit_a and not hit_b  # same kernels, different dies -> two entries
+    assert len(cache) == 2
+    assert not np.array_equal(program_a.realized, program_b.realized)
+
+
+def test_cache_key_varies_with_bits_and_scale(kernel_set):
+    quantized, scale = kernel_set
+    opc = OpticalProcessingCore(seed=1)
+    key = WeightProgramCache.key_for(opc, quantized, scale)
+    assert WeightProgramCache.key_for(opc, quantized, scale * 2) != key
+
+    coarse = OpticalProcessingCore(
+        opc.config.with_weight_bits(2), seed=1
+    )
+    assert WeightProgramCache.key_for(coarse, quantized, scale) != key
+
+
+def test_cache_key_covers_whole_config(kernel_set):
+    """Any architecture/device parameter change must separate programs."""
+    from dataclasses import replace
+
+    from repro.core.config import OISAConfig
+
+    quantized, scale = kernel_set
+    reference = OpticalProcessingCore(OISAConfig(), seed=1)
+    key = WeightProgramCache.key_for(reference, quantized, scale)
+    retuned = OpticalProcessingCore(
+        replace(OISAConfig(), num_banks=40), seed=1
+    )
+    assert WeightProgramCache.key_for(retuned, quantized, scale) != key
+    no_crosstalk = OpticalProcessingCore(
+        OISAConfig(), seed=1, enable_crosstalk=False
+    )
+    assert WeightProgramCache.key_for(no_crosstalk, quantized, scale) != key
+
+
+def test_cache_lru_eviction():
+    cache = WeightProgramCache(capacity=2)
+    opc = OpticalProcessingCore(seed=1)
+    quantizer = UniformWeightQuantizer(4)
+    sets = []
+    for seed in range(3):
+        weights = np.random.default_rng(seed).normal(size=(8, 1, 3, 3)) * 0.1
+        sets.append((quantizer.quantize(weights), quantizer.scale(weights)))
+    for quantized, scale in sets:
+        cache.get_or_program(opc, quantized, scale)
+    assert len(cache) == 2
+    assert cache.stats.evictions == 1
+    # The first (evicted) set misses again.
+    _, hit = cache.get_or_program(opc, *sets[0][:2])
+    assert not hit
+
+
+def test_cache_rejects_bad_capacity():
+    with pytest.raises(ValueError):
+        WeightProgramCache(capacity=0)
+
+
+def test_pipeline_uses_shared_cache():
+    """Two models multiplexed over one OPC swap via cache, not remapping."""
+    cache = WeightProgramCache()
+    opc = OpticalProcessingCore(seed=0, enable_read_noise=False)
+    pipe_a = HardwareFirstLayerPipeline(build_lenet(seed=0), opc, program_cache=cache)
+    pipe_b = HardwareFirstLayerPipeline(build_lenet(seed=1), opc, program_cache=cache)
+    assert cache.stats.misses == 2
+
+    frame = np.random.default_rng(3).uniform(0, 1, (1, 1, 28, 28))
+    pipe_a.activate()
+    out_a = pipe_a.forward(frame)
+    pipe_b.activate()
+    pipe_b.forward(frame)
+    pipe_a.activate()
+    out_a_again = pipe_a.forward(frame)
+    assert cache.stats.misses == 2  # swaps were all hits
+    assert cache.stats.hits >= 3
+    np.testing.assert_allclose(out_a, out_a_again)
+
+
+# --------------------------------------------------------------------------
+# FrameServer
+# --------------------------------------------------------------------------
+@pytest.fixture
+def frames():
+    return np.random.default_rng(5).uniform(0.0, 1.0, (32, 1, 28, 28))
+
+
+@pytest.fixture
+def server():
+    server = FrameServer(num_nodes=1, micro_batch=8, seed=0)
+    server.register_model("a", build_lenet(seed=0))
+    server.register_model("b", build_lenet(seed=1))
+    return server
+
+
+def test_serve_delivers_all_at_budget(server, frames):
+    report = server.serve_frames(frames, "a", offered_fps=1000.0)
+    assert report.stream.frames == 32
+    assert report.stream.dropped == 0
+    assert report.delivered == 32
+    assert report.wall_clock_fps > 0.0
+    assert all(resp.output is not None for resp in report.responses)
+    assert report.responses[0].output.shape == (10,)
+
+
+def test_serve_drop_statistics_under_oversubscription(server, frames):
+    report = server.serve_frames(frames, "a", offered_fps=5000.0)
+    assert report.stream.dropped > 0
+    assert 0.0 < report.stream.drop_rate < 1.0
+    dropped = [resp for resp in report.responses if resp.dropped]
+    assert dropped and all(resp.output is None for resp in dropped)
+    assert all(resp.node_id == -1 for resp in dropped)
+
+
+def test_kernel_swaps_are_remap_events_and_cache_hits(server, frames):
+    requests = [
+        FrameRequest(frames[i], "a" if (i // 8) % 2 == 0 else "b")
+        for i in range(32)
+    ]
+    first = server.serve(requests, offered_fps=500.0)
+    # Two fresh kernel sets -> two misses; later swap-backs hit.
+    assert first.cache_misses == 2
+    remaps = sum(event.remapped for event in first.stream.events)
+    assert remaps == 4  # initial load of "a" plus the three run boundaries
+    steady = server.serve(requests, offered_fps=500.0)
+    assert steady.cache_misses == 0
+    assert steady.cache_hits > 0
+
+
+def test_remapped_frames_cost_more_simulated_energy(server, frames):
+    steady = server.serve_frames(frames, "a", offered_fps=500.0)
+    alternating = server.serve(
+        [
+            FrameRequest(frames[i], "a" if i % 2 == 0 else "b")
+            for i in range(32)
+        ],
+        offered_fps=500.0,
+    )
+    assert alternating.stream.total_energy_j > steady.stream.total_energy_j
+
+
+def test_multi_node_spreads_load():
+    server = FrameServer(num_nodes=2, micro_batch=8, seed=0)
+    server.register_model("a", build_lenet(seed=0))
+    server.register_model("b", build_lenet(seed=1))
+    frames = np.random.default_rng(6).uniform(0, 1, (32, 1, 28, 28))
+    requests = [
+        FrameRequest(frames[i], "a" if i < 16 else "b") for i in range(32)
+    ]
+    report = server.serve(requests, offered_fps=1000.0)
+    assert report.stream.dropped == 0
+    assert sorted(report.node_frames.values()) == [16, 16]
+
+
+def test_two_nodes_double_drop_free_capacity():
+    frames = np.random.default_rng(6).uniform(0, 1, (40, 1, 28, 28))
+    single = FrameServer(num_nodes=1, micro_batch=8, seed=0)
+    double = FrameServer(num_nodes=2, micro_batch=8, seed=0)
+    for server in (single, double):
+        server.register_model("a", build_lenet(seed=0))
+    at_2x = lambda server: server.serve_frames(frames, "a", offered_fps=1990.0)
+    assert at_2x(single).stream.dropped > 0
+    assert at_2x(double).stream.dropped == 0
+
+
+def test_unknown_model_key_rejected(server, frames):
+    with pytest.raises(ValueError):
+        server.serve([FrameRequest(frames[0], "nope")])
+
+
+def test_duplicate_model_key_rejected(server):
+    with pytest.raises(ValueError):
+        server.register_model("a", build_lenet(seed=9))
+
+
+def test_fleet_payload_and_radio_accounting(server, frames):
+    report = server.serve_frames(frames, "a", offered_fps=1000.0)
+    assert report.payload_bytes > 0
+    assert report.radio_energy_j > 0.0
+    # Payload scales with delivered frames.
+    half = server.serve_frames(frames[:16], "a", offered_fps=1000.0)
+    assert report.payload_bytes == 2 * half.payload_bytes
+
+
+def test_explicit_arrival_times_respected(server, frames):
+    requests = [
+        FrameRequest(frames[i], "a", arrival_s=i * 0.01) for i in range(4)
+    ]
+    report = server.serve(requests)
+    arrivals = [event.arrival_s for event in report.stream.events]
+    assert arrivals == [0.0, 0.01, 0.02, 0.03]
+    assert report.stream.dropped == 0
+
+
+def test_out_of_order_arrivals_scheduled_by_time(server, frames):
+    """Explicit timestamps may interleave; admission sorts by arrival."""
+    requests = [
+        FrameRequest(frames[0], "a", arrival_s=0.005),
+        FrameRequest(frames[1], "a", arrival_s=0.001),
+    ]
+    report = server.serve(requests)
+    assert report.stream.dropped == 0
+    assert [resp.index for resp in report.responses] == [0, 1]
+
+
+def test_interleaved_nodes_do_not_fragment_batches(monkeypatch):
+    """Load spreading across nodes must keep per-node micro-batches intact."""
+    server = FrameServer(num_nodes=2, micro_batch=8, seed=0)
+    server.register_model("a", build_lenet(seed=0))
+    frames = np.random.default_rng(6).uniform(0, 1, (32, 1, 28, 28))
+
+    batch_sizes = []
+    original = HardwareFirstLayerPipeline.forward
+
+    def spy(self, x, batch_size=256):
+        batch_sizes.append(x.shape[0])
+        return original(self, x, batch_size=batch_size)
+
+    monkeypatch.setattr(HardwareFirstLayerPipeline, "forward", spy)
+    # ~2x one node's rate: admitted frames alternate between the two dies.
+    report = server.serve_frames(frames, "a", offered_fps=1990.0)
+    assert report.stream.dropped == 0
+    assert set(report.node_frames.values()) == {16}
+    assert batch_sizes == [8, 8, 8, 8]
+
+
+def test_wrong_frame_shape_rejected_clearly(server, frames):
+    with pytest.raises(ValueError, match="1-channel frames"):
+        server.serve([FrameRequest(np.zeros((3, 28, 28)), "a")])
+    with pytest.raises(ValueError, match=r"\(C, H, W\)"):
+        server.serve([FrameRequest(np.zeros((28, 28)), "a")])
+
+
+def test_dense_model_serving():
+    """The MLP (VOM-split) mode serves through the same engine."""
+    server = FrameServer(num_nodes=1, micro_batch=8, seed=0)
+    server.register_model(
+        "mlp", build_mlp(in_features=64, hidden=(16,), num_classes=4, seed=0)
+    )
+    frames = np.random.default_rng(8).uniform(0, 1, (16, 1, 8, 8))
+    report = server.serve_frames(frames, "mlp", offered_fps=500.0)
+    assert report.delivered == 16
+    assert report.responses[0].output.shape == (4,)
+    assert report.payload_bytes > 0
+
+
+def test_server_validation():
+    with pytest.raises(ValueError):
+        FrameServer(num_nodes=0)
+    with pytest.raises(ValueError):
+        FrameServer(micro_batch=0)
+    server = FrameServer()
+    server.register_model("a", build_lenet(seed=0))
+    with pytest.raises(ValueError):
+        server.serve_frames(np.zeros((2, 1, 28, 28)), "a", offered_fps=0.0)

@@ -42,3 +42,11 @@ def test_design_space_exploration_example(capsys):
     assert "Q-factor sweep" in out
     assert "Weight-bit sweep" in out
     assert "Arm-size sweep" in out
+    assert "Cross-platform sweep" in out
+
+
+def test_frame_serving_example(capsys):
+    out = _run_example(f"{EXAMPLES}/frame_serving.py", ["2"], capsys)
+    assert "Frame serving on 2 simulated node(s)" in out
+    assert "drop rate" in out
+    assert "cache hits/misses" in out

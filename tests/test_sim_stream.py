@@ -76,3 +76,69 @@ def test_validation(simulator, workload):
         simulator.run(workload, num_frames=0, offered_fps=100.0)
     with pytest.raises(ValueError):
         simulator.run(workload, num_frames=10, offered_fps=100.0, remap_every=-1)
+
+
+# --------------------------------------------------------------------------
+# Drop / remap statistics in detail
+# --------------------------------------------------------------------------
+def test_double_rate_drops_every_other_frame(simulator, workload):
+    """At 2x the sustainable rate the pipe alternates serve/drop."""
+    report = simulator.run(workload, num_frames=100, offered_fps=2000.0)
+    assert report.drop_rate == pytest.approx(0.5, abs=0.02)
+    fates = [event.dropped for event in report.events[:10]]
+    assert fates == [False, True] * 5
+
+
+def test_drop_count_consistency(simulator, workload):
+    report = simulator.run(workload, num_frames=120, offered_fps=3000.0)
+    assert report.dropped == sum(e.dropped for e in report.events)
+    assert report.frames == len(report.events)
+    assert report.drop_rate == report.dropped / report.frames
+
+
+def test_remap_cadence_and_flags(simulator, workload):
+    """``remap_every=N`` marks exactly the frames at indices 0, N, 2N, ..."""
+    report = simulator.run(
+        workload, num_frames=20, offered_fps=500.0, remap_every=7
+    )
+    remapped = [event.index for event in report.events if event.remapped]
+    assert remapped == [0, 7, 14]
+
+
+def test_remap_marks_apply_even_to_dropped_frames(simulator, workload):
+    """A swap frame arriving into a busy pipe is both remapped and dropped."""
+    report = simulator.run(
+        workload, num_frames=40, offered_fps=2000.0, remap_every=3
+    )
+    both = [e for e in report.events if e.remapped and e.dropped]
+    assert both  # the cadences collide somewhere in 40 frames
+    # Dropped swap frames must not contribute mapping energy.
+    delivered_remaps = [
+        e for e in report.events if e.remapped and not e.dropped
+    ]
+    baseline = simulator.run(workload, num_frames=40, offered_fps=2000.0)
+    assert report.total_energy_j > baseline.total_energy_j
+    assert delivered_remaps  # some swaps do land
+
+
+def test_remap_energy_scales_with_swap_count(simulator, workload):
+    sparse = simulator.run(
+        workload, num_frames=40, offered_fps=500.0, remap_every=20
+    )
+    dense = simulator.run(
+        workload, num_frames=40, offered_fps=500.0, remap_every=5
+    )
+    assert dense.total_energy_j > sparse.total_energy_j
+    assert sum(e.remapped for e in dense.events) == 8
+    assert sum(e.remapped for e in sparse.events) == 2
+
+
+def test_empty_report_statistics():
+    from repro.sim.stream import StreamReport
+
+    report = StreamReport()
+    assert report.frames == 0
+    assert report.drop_rate == 0.0
+    assert report.sustained_fps == 0.0
+    assert report.average_power_w == 0.0
+    assert math.isnan(report.mean_latency_s)
