@@ -1,0 +1,230 @@
+"""Perf-trajectory bench: weight-programming latency + engine throughput.
+
+This module is the measurement core behind ``repro bench`` and
+``benchmarks/bench_program_latency.py``.  It times the three serving-path
+phases the engine cares about:
+
+* **cold program** — one full :meth:`~repro.core.opc.OpticalProcessingCore.
+  program` call (AWC realization + batched crosstalk + batched tuning
+  budget) on a VGG16-sized first layer, against the retained scalar
+  reference (:mod:`repro.core.reference`) that preserves the
+  pre-vectorization loops;
+* **warm install** — reinstalling a cached
+  :class:`~repro.core.opc.ProgrammedWeights` record through
+  :class:`~repro.engine.cache.WeightProgramCache`;
+* **engine throughput** — a warmed :class:`~repro.engine.FrameServer`
+  serving a kernel-swapping stream, in delivered frames per wall-clock
+  second.
+
+The result dict is written to ``BENCH_program.json`` at the repo root —
+the first entry of the perf trajectory, so every future PR has a baseline
+to beat.  Timings are environment-dependent; the *speedup* and the
+bit-identity flag are the stable claims.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from typing import Any, Callable
+
+import numpy as np
+
+#: The bench workload: VGG16's first convolution (64 kernels, 3x3x3).
+VGG16_FIRST_LAYER_SHAPE: tuple[int, ...] = (64, 3, 3, 3)
+
+
+def _best_of(fn: Callable[[], Any], repeats: int) -> tuple[float, Any]:
+    """(best wall-clock [s], last result) over ``repeats`` calls."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def bench_cold_program(
+    shape: tuple[int, ...] = VGG16_FIRST_LAYER_SHAPE,
+    bits: int = 4,
+    seed: int = 0,
+    repeats: int = 5,
+    scalar_repeats: int = 2,
+) -> dict[str, Any]:
+    """Time vectorized vs scalar-reference cold ``program()`` on one layer."""
+    from repro.core.opc import OpticalProcessingCore
+    from repro.core.reference import program_scalar
+    from repro.nn.quant import UniformWeightQuantizer
+
+    rng = np.random.default_rng(seed)
+    weights = rng.normal(size=shape) * 0.1
+    quantizer = UniformWeightQuantizer(bits)
+    quantized = quantizer.quantize(weights)
+    scale = quantizer.scale(weights)
+
+    opc = OpticalProcessingCore(seed=seed)
+    vectorized_s, programmed = _best_of(
+        lambda: opc.program(quantized, scale), repeats
+    )
+    scalar_s, reference = _best_of(
+        lambda: program_scalar(opc, quantized, scale), scalar_repeats
+    )
+    bit_identical = bool(
+        np.array_equal(programmed.realized, reference.realized)
+        and programmed.tuning == reference.tuning
+    )
+    return {
+        "workload": {
+            "shape": list(shape),
+            "weight_bits": bits,
+            "num_weights": int(np.prod(shape)),
+        },
+        "vectorized_s": vectorized_s,
+        "scalar_reference_s": scalar_s,
+        "speedup": scalar_s / vectorized_s,
+        "bit_identical": bit_identical,
+    }
+
+
+def bench_warm_install(
+    shape: tuple[int, ...] = VGG16_FIRST_LAYER_SHAPE,
+    bits: int = 4,
+    seed: int = 0,
+    installs: int = 200,
+) -> dict[str, Any]:
+    """Time a cache-hit reinstall against the cold program it replaces."""
+    from repro.core.opc import OpticalProcessingCore
+    from repro.engine.cache import WeightProgramCache
+    from repro.nn.quant import UniformWeightQuantizer
+
+    rng = np.random.default_rng(seed)
+    weights = rng.normal(size=shape) * 0.1
+    quantizer = UniformWeightQuantizer(bits)
+    quantized = quantizer.quantize(weights)
+    scale = quantizer.scale(weights)
+
+    opc = OpticalProcessingCore(seed=seed)
+    cache = WeightProgramCache()
+    cold_s, _ = _best_of(lambda: opc.program(quantized, scale), 3)
+    cache.get_or_program(opc, quantized, scale)  # prime: one miss
+
+    started = time.perf_counter()
+    for _ in range(installs):
+        cache.get_or_program(opc, quantized, scale)
+    per_install_s = (time.perf_counter() - started) / installs
+    assert cache.stats.hits == installs
+    return {
+        "per_install_s": per_install_s,
+        "cold_program_s": cold_s,
+        "speedup_vs_cold": cold_s / per_install_s if per_install_s > 0 else float("inf"),
+    }
+
+
+def bench_engine_throughput(
+    frames: int = 64,
+    num_nodes: int = 1,
+    micro_batch: int = 16,
+    seed: int = 0,
+    repeats: int = 3,
+) -> dict[str, Any]:
+    """Throughput of a warmed FrameServer on a kernel-swapping stream."""
+    from repro.engine import FrameRequest, FrameServer
+    from repro.nn.models import build_lenet
+
+    server = FrameServer(
+        num_nodes=num_nodes, micro_batch=micro_batch, seed=seed
+    )
+    server.register_model("model-a", build_lenet(seed=seed))
+    server.register_model("model-b", build_lenet(seed=seed + 1))
+
+    rng = np.random.default_rng(seed)
+    stack = rng.uniform(0.0, 1.0, (frames, 1, 28, 28))
+    requests = [
+        FrameRequest(stack[i], "model-a" if i < frames // 2 else "model-b")
+        for i in range(frames)
+    ]
+    warm = server.warmup(frame_shape=(1, 28, 28))
+
+    best_fps = 0.0
+    report = None
+    for _ in range(repeats):
+        report = server.serve(requests, offered_fps=1000.0)
+        best_fps = max(best_fps, report.wall_clock_fps)
+    return {
+        "frames": frames,
+        "num_nodes": num_nodes,
+        "micro_batch": micro_batch,
+        "delivered": report.delivered,
+        "wall_clock_fps": best_fps,
+        "warmup": warm,
+        "cache_hits": report.cache_hits,
+        "cache_misses": report.cache_misses,
+    }
+
+
+def run_bench(quick: bool = False, seed: int = 0) -> dict[str, Any]:
+    """Run the whole perf-trajectory bench and return the JSON payload.
+
+    ``quick`` is the CI smoke mode: fewer repeats and a shorter stream so
+    the job stays in seconds; the measured *speedups* are noisier but the
+    bit-identity claim is exact either way.
+    """
+    cold = bench_cold_program(
+        repeats=2 if quick else 5, scalar_repeats=1 if quick else 2, seed=seed
+    )
+    warm = bench_warm_install(installs=50 if quick else 200, seed=seed)
+    engine = bench_engine_throughput(
+        frames=32 if quick else 64, repeats=1 if quick else 3, seed=seed
+    )
+    return {
+        "bench": "program_latency",
+        "schema": 1,
+        "quick": quick,
+        "cold_program": cold,
+        "warm_install": warm,
+        "engine": engine,
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+    }
+
+
+def render_bench(result: dict[str, Any]) -> str:
+    """Human-readable summary of one :func:`run_bench` payload."""
+    from repro.util.tables import format_table
+
+    cold = result["cold_program"]
+    warm = result["warm_install"]
+    engine = result["engine"]
+    shape = "x".join(str(d) for d in cold["workload"]["shape"])
+    rows = [
+        ("workload", f"{shape} @ {cold['workload']['weight_bits']}-bit"),
+        ("cold program (vectorized)", f"{cold['vectorized_s'] * 1e3:.2f} ms"),
+        ("cold program (scalar ref)", f"{cold['scalar_reference_s'] * 1e3:.2f} ms"),
+        ("cold-program speedup", f"{cold['speedup']:.1f}x"),
+        ("scalar/vectorized bit-identical", str(cold["bit_identical"])),
+        ("warm install (cache hit)", f"{warm['per_install_s'] * 1e6:.1f} us"),
+        ("warm vs cold", f"{warm['speedup_vs_cold']:.0f}x"),
+        (
+            "engine throughput",
+            f"{engine['wall_clock_fps']:.0f} frames/s "
+            f"({engine['frames']} frames, {engine['num_nodes']} node(s))",
+        ),
+        ("engine cache hits/misses", f"{engine['cache_hits']} / {engine['cache_misses']}"),
+    ]
+    return format_table(
+        ("metric", "value"),
+        rows,
+        title="repro bench — weight-programming perf trajectory",
+    )
+
+
+def write_bench(path: str, result: dict[str, Any]) -> str:
+    """Write the payload as pretty JSON; returns ``path``."""
+    with open(path, "w") as handle:
+        json.dump(result, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return path

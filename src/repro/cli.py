@@ -10,6 +10,7 @@ Usage::
     python -m repro.cli compare            # platform comparison report
     python -m repro.cli sweep              # registry-driven platform sweep
     python -m repro.cli serve              # batched frame-serving demo
+    python -m repro.cli bench              # perf bench -> BENCH_program.json
 
 (Installed as the ``repro`` console script via ``pyproject.toml``.)
 """
@@ -162,6 +163,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.analysis.perf import render_bench, run_bench, write_bench
+
+    result = run_bench(quick=args.quick, seed=args.seed)
+    print(render_bench(result))
+    path = write_bench(args.output, result)
+    print(f"\nperf trajectory entry written to {path}")
+    if not result["cold_program"]["bit_identical"]:
+        print("ERROR: vectorized program() diverged from the scalar reference")
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -204,6 +218,16 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--batch", type=int, default=16)
     serve.add_argument("--seed", type=int, default=0)
     serve.set_defaults(handler=_cmd_serve)
+    bench = subparsers.add_parser(
+        "bench",
+        help="weight-programming perf bench (writes BENCH_program.json)",
+    )
+    bench.add_argument("--output", default="BENCH_program.json")
+    bench.add_argument(
+        "--quick", action="store_true", help="CI smoke mode (fewer repeats)"
+    )
+    bench.add_argument("--seed", type=int, default=0)
+    bench.set_defaults(handler=_cmd_bench)
     return parser
 
 

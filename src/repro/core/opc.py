@@ -32,7 +32,7 @@ from repro.core.config import OISAConfig
 from repro.nn.functional import conv2d_forward
 from repro.photonics.microring import MicroringResonator
 from repro.photonics.tuning import TuningBudget
-from repro.photonics.wdm import WdmGrid, effective_arm_transmission
+from repro.photonics.wdm import WdmGrid, effective_arm_transmissions
 from repro.util.rng import derive_rng
 from repro.util.validation import check_positive
 
@@ -106,9 +106,7 @@ class OpticalProcessingCore:
         """
         check_positive("scale", scale)
         ideal = np.asarray(quantized_weights, dtype=float)
-        realized = self.awc.realize_quantized_weights(ideal, scale)
-        if self.enable_crosstalk:
-            realized = self._apply_crosstalk(realized, scale)
+        realized = self._realize(ideal, scale)
         tuning = self._mapping_tuning_budget(realized, scale)
         self._programmed = ProgrammedWeights(
             ideal=ideal,
@@ -144,14 +142,25 @@ class OpticalProcessingCore:
             raise RuntimeError("no weights programmed; call program() first")
         return self._programmed
 
+    def _realize(self, quantized: np.ndarray, scale: float) -> np.ndarray:
+        """AWC realization + (optional) crosstalk — the shared cold chain.
+
+        Single owner of the realize logic for both :meth:`program` and the
+        :meth:`weight_transform` QAT hook.
+        """
+        realized = self.awc.realize_quantized_weights(quantized, scale)
+        if self.enable_crosstalk:
+            realized = self._apply_crosstalk(realized, scale)
+        return realized
+
     def _apply_crosstalk(self, weights: np.ndarray, scale: float) -> np.ndarray:
         """Perturb weights by each arm's inter-channel crosstalk.
 
         Weights are grouped into arms (one 3x3 plane per arm; larger
         kernels chunk across arms), magnitudes are mapped onto MR
-        transmissions in [T_min, 1], the arm's effective transmissions are
-        computed with every ring's Lorentzian tail, and the result is
-        mapped back to weight units.
+        transmissions in [T_min, 1], every arm's effective transmissions
+        are computed in one batched Lorentzian-tail tensor, and the result
+        is mapped back to weight units.
         """
         flat = weights.reshape(-1)
         arm_size = self.config.mrs_per_arm
@@ -165,16 +174,14 @@ class OpticalProcessingCore:
         padded[: flat.size] = flat
         arms = padded.reshape(-1, arm_size)
 
-        out = np.empty_like(arms)
         span = 1.0 - t_min
-        for index, arm in enumerate(arms):
-            magnitudes = np.abs(arm) / full_scale
-            transmissions = t_min + magnitudes * span
-            effective = effective_arm_transmission(
-                self.grid, transmissions, ring=self.ring
-            )
-            recovered = np.clip((effective - t_min) / span, 0.0, None) * full_scale
-            out[index] = np.sign(arm) * recovered
+        magnitudes = np.abs(arms) / full_scale
+        transmissions = t_min + magnitudes * span
+        effective = effective_arm_transmissions(
+            self.grid, transmissions, ring=self.ring
+        )
+        recovered = np.clip((effective - t_min) / span, 0.0, None) * full_scale
+        out = np.sign(arms) * recovered
         return out.reshape(-1)[: flat.size].reshape(weights.shape)
 
     def _mapping_tuning_budget(self, weights: np.ndarray, scale: float) -> TuningBudget:
@@ -183,7 +190,8 @@ class OpticalProcessingCore:
         Each weight needs a resonance shift proportional to its target
         transmission; the controller runs ``weight_mapping_iterations``
         sequential AWC sweeps, so total latency is iterations x per-sweep
-        settle time while energy sums over all MRs.
+        settle time while energy sums over all MRs.  The detuning solve and
+        the cost aggregation are one batched call each.
         """
         flat = np.abs(weights.reshape(-1))
         full_scale = float(flat.max())
@@ -191,10 +199,9 @@ class OpticalProcessingCore:
         if full_scale == 0.0:
             return TuningBudget(0.0, 0.0, 0.0)
         transmissions = t_min + (flat / full_scale) * (1.0 - t_min)
-        shifts = [
-            self.ring.detuning_for_transmission(float(t))
-            for t in np.clip(transmissions, t_min, 1.0)
-        ]
+        shifts = self.ring.detuning_for_transmission(
+            np.clip(transmissions, t_min, 1.0)
+        )
         per_sweep = self.config.tuning.mapping_cost(shifts)
         iterations = self.config.weight_mapping_iterations
         return TuningBudget(
@@ -272,9 +279,6 @@ class OpticalProcessingCore:
                 return quantized
             top_level = self.awc.num_levels - 1 if self.awc.design.num_bits > 1 else 1
             scale = scale_hint if scale_hint is not None else max_abs / top_level
-            realized = self.awc.realize_quantized_weights(quantized, scale)
-            if self.enable_crosstalk:
-                realized = self._apply_crosstalk(realized, scale)
-            return realized
+            return self._realize(quantized, scale)
 
         return transform

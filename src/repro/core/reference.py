@@ -1,0 +1,172 @@
+"""Retained scalar reference for the weight-programming chain.
+
+The programming hot path (AWC realization -> per-arm crosstalk ->
+tuning-budget pricing) was vectorized end-to-end; these functions preserve
+the original scalar loops *verbatim* so that
+
+* equivalence tests can assert the batched implementations are
+  **bit-identical** (same elementwise float ops, just batched), and
+* :mod:`repro.analysis.perf` can measure the speedup against the real
+  pre-vectorization baseline instead of a guess.
+
+Nothing here is exported through the public API and nothing in the serving
+path calls it — it is deliberately slow.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.photonics.microring import MicroringResonator
+from repro.photonics.tuning import HybridTuning, TuningBudget
+from repro.photonics.wdm import WdmGrid
+
+
+def detuning_for_transmission_scalar(
+    ring: MicroringResonator, transmission: float
+) -> float:
+    """Original scalar Lorentzian inversion (one weight at a time)."""
+    t_min = ring.min_transmission
+    if not (t_min <= transmission <= 1.0):
+        raise ValueError(
+            f"transmission {transmission!r} outside reachable range "
+            f"[{t_min:.4f}, 1.0]"
+        )
+    if transmission >= 1.0:
+        return 0.5 * ring.fsr_m  # effectively "parked" far off resonance
+    depth = 1.0 - t_min
+    ratio = depth / (1.0 - transmission) - 1.0
+    return 0.5 * ring.fwhm_m * math.sqrt(max(ratio, 0.0))
+
+
+def crosstalk_matrix_scalar(
+    grid: WdmGrid,
+    ring: MicroringResonator | None = None,
+    weights: np.ndarray | None = None,
+) -> np.ndarray:
+    """Original per-channel crosstalk matrix loop."""
+    prototype = ring or MicroringResonator()
+    n = grid.num_channels
+    if weights is not None:
+        weights = np.asarray(weights, dtype=float)
+        if weights.shape != (n,):
+            raise ValueError(
+                f"weights must have shape ({n},), got {weights.shape}"
+            )
+
+    matrix = np.empty((n, n), dtype=float)
+    wavelengths = grid.wavelengths_m()
+    for j in range(n):
+        shift = (
+            detuning_for_transmission_scalar(prototype, float(weights[j]))
+            if weights is not None
+            else 0.0
+        )
+        # Detuning of channel i from ring j's *tuned* resonance position.
+        detunings = wavelengths - (wavelengths[j] + shift)
+        matrix[:, j] = prototype.lorentzian_transmission(detunings)
+    return matrix
+
+
+def effective_arm_transmission_scalar(
+    grid: WdmGrid,
+    weights: np.ndarray,
+    ring: MicroringResonator | None = None,
+) -> np.ndarray:
+    """Original one-arm effective transmission (matrix row product)."""
+    matrix = crosstalk_matrix_scalar(
+        grid, ring=ring, weights=np.asarray(weights, float)
+    )
+    return matrix.prod(axis=1)
+
+
+def mapping_cost_scalar(
+    tuner: HybridTuning, shifts_m: list[float] | tuple[float, ...]
+) -> TuningBudget:
+    """Original list-based aggregate over per-shift :meth:`retune` calls."""
+    budgets = [tuner.retune(shift) for shift in shifts_m]
+    if not budgets:
+        return TuningBudget(0.0, 0.0, 0.0)
+    return TuningBudget(
+        energy_j=sum(budget.energy_j for budget in budgets),
+        latency_s=max(budget.latency_s for budget in budgets),
+        holding_power_w=sum(budget.holding_power_w for budget in budgets),
+    )
+
+
+def apply_crosstalk_scalar(opc, weights: np.ndarray, scale: float) -> np.ndarray:
+    """Original arm-by-arm crosstalk application of ``OpticalProcessingCore``."""
+    flat = weights.reshape(-1)
+    arm_size = opc.config.mrs_per_arm
+    t_min = opc.ring.min_transmission
+    full_scale = float(np.max(np.abs(flat)))
+    if full_scale == 0.0:
+        return weights.copy()
+
+    padded_len = -(-flat.size // arm_size) * arm_size
+    padded = np.zeros(padded_len)
+    padded[: flat.size] = flat
+    arms = padded.reshape(-1, arm_size)
+
+    out = np.empty_like(arms)
+    span = 1.0 - t_min
+    for index, arm in enumerate(arms):
+        magnitudes = np.abs(arm) / full_scale
+        transmissions = t_min + magnitudes * span
+        effective = effective_arm_transmission_scalar(
+            opc.grid, transmissions, ring=opc.ring
+        )
+        recovered = np.clip((effective - t_min) / span, 0.0, None) * full_scale
+        out[index] = np.sign(arm) * recovered
+    return out.reshape(-1)[: flat.size].reshape(weights.shape)
+
+
+def mapping_tuning_budget_scalar(
+    opc, weights: np.ndarray, scale: float
+) -> TuningBudget:
+    """Original per-weight detuning list comprehension + list mapping cost."""
+    flat = np.abs(weights.reshape(-1))
+    full_scale = float(flat.max())
+    t_min = opc.ring.min_transmission
+    if full_scale == 0.0:
+        return TuningBudget(0.0, 0.0, 0.0)
+    transmissions = t_min + (flat / full_scale) * (1.0 - t_min)
+    shifts = [
+        detuning_for_transmission_scalar(opc.ring, float(t))
+        for t in np.clip(transmissions, t_min, 1.0)
+    ]
+    per_sweep = mapping_cost_scalar(opc.config.tuning, shifts)
+    iterations = opc.config.weight_mapping_iterations
+    return TuningBudget(
+        energy_j=per_sweep.energy_j,
+        latency_s=per_sweep.latency_s * iterations,
+        holding_power_w=per_sweep.holding_power_w,
+    )
+
+
+def program_scalar(opc, quantized_weights: np.ndarray, scale: float):
+    """Original cold ``program()``: scalar crosstalk + scalar tuning budget.
+
+    Returns the same :class:`~repro.core.opc.ProgrammedWeights` record the
+    vectorized :meth:`~repro.core.opc.OpticalProcessingCore.program`
+    produces (and must match it bit-for-bit).  Does *not* install the
+    record on ``opc``.
+    """
+    from repro.core.opc import ProgrammedWeights
+    from repro.util.validation import check_positive
+
+    check_positive("scale", scale)
+    ideal = np.asarray(quantized_weights, dtype=float)
+    realized = opc.awc.realize_quantized_weights(ideal, scale)
+    if opc.enable_crosstalk:
+        realized = apply_crosstalk_scalar(opc, realized, scale)
+    tuning = mapping_tuning_budget_scalar(opc, realized, scale)
+    return ProgrammedWeights(
+        ideal=ideal,
+        realized=realized,
+        scale=scale,
+        tuning=tuning,
+        mapping_iterations=opc.config.weight_mapping_iterations,
+    )

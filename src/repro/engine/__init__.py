@@ -6,7 +6,9 @@
 * :mod:`repro.engine.server` — :class:`FrameServer`: admission control with
   :mod:`repro.sim.stream` semantics, micro-batched compute through
   :class:`~repro.core.pipeline.HardwareFirstLayerPipeline`, scheduling
-  across N simulated nodes with :mod:`repro.sim.fleet` transport budgets.
+  across N simulated nodes with :mod:`repro.sim.fleet` transport budgets,
+  and :meth:`FrameServer.warmup` to pre-program known kernel sets through
+  the vectorized cold path so mid-stream swaps never stall.
 """
 
 from repro.engine.cache import CacheStats, WeightProgramCache

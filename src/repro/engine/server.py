@@ -121,10 +121,15 @@ class _ModelEntry:
         self.model = model
         self._config = config
         self._fleet = fleet
-        #: Per-die timing/energy tables, keyed by the node's die seed (the
-        #: tuning budget is die-specific: each die's AWC mismatch realizes
-        #: the kernels differently).
-        self._timed: dict[int | None, tuple[FrameTiming, FrameTiming, float, float]] = {}
+        #: Per-die timing/energy tables, keyed by (die seed, frame shape):
+        #: the tuning budget is die-specific (each die's AWC mismatch
+        #: realizes the kernels differently) and the plan is
+        #: geometry-specific, so a warmup() shape must never answer for a
+        #: stream serving different frames.
+        self._timed: dict[
+            tuple[int | None, tuple[int, ...]],
+            tuple[FrameTiming, FrameTiming, float, float],
+        ] = {}
         #: (payload bytes, radio energy [J]) per delivered frame;
         #: die-independent.
         self._transport: tuple[int, float] = (0, 0.0)
@@ -167,12 +172,13 @@ class _ModelEntry:
     ) -> tuple[FrameTiming, FrameTiming, float, float]:
         """(steady, remap) timings + energies for this model on this die.
 
-        Computed once per die from the first admitted frame's shape; the
-        engine serves fixed-geometry streams per model (the sensor's
-        geometry).
+        Computed once per (die, frame geometry) — normally from the first
+        admitted frame's shape, or ahead of time by
+        :meth:`FrameServer.warmup`.
         """
         die = pipeline.opc.seed
-        cached = self._timed.get(die)
+        key = (die, tuple(frame_shape))
+        cached = self._timed.get(key)
         if cached is not None:
             return cached
         config = self._config.with_weight_bits(pipeline.conv.quantizer.bits)
@@ -216,8 +222,8 @@ class _ModelEntry:
             payload = node_report.payload_bytes
             radio = node_report.radio_energy_j
         self._transport = (payload, radio)
-        self._timed[die] = (steady, remap, steady_energy, remap_energy)
-        return self._timed[die]
+        self._timed[key] = (steady, remap, steady_energy, remap_energy)
+        return self._timed[key]
 
 
 class _Node:
@@ -325,6 +331,56 @@ class FrameServer:
     def model_keys(self) -> tuple[str, ...]:
         """Registered model keys."""
         return tuple(self._models)
+
+    def warmup(
+        self,
+        model_keys: list[str] | tuple[str, ...] | None = None,
+        frame_shape: tuple[int, ...] | None = None,
+    ) -> dict[str, float]:
+        """Pre-program known kernel sets so mid-stream swaps never stall.
+
+        Runs the (vectorized, now-cheap) cold program path for every
+        ``(model, node)`` pair up front: pipelines are built, each die's
+        :class:`~repro.core.opc.ProgrammedWeights` lands in the program
+        cache, and — when ``frame_shape`` is given — the per-die
+        timing/energy tables are traced too.  After a warmup, every kernel
+        swap during :meth:`serve` is a cache hit and the first frame of a
+        new model pays no host-side mapping cost.
+
+        Parameters
+        ----------
+        model_keys:
+            Kernel sets to warm; defaults to every registered model.
+        frame_shape:
+            Optional ``(C, H, W)`` (conv) or flat-feature shape (dense) of
+            the frames the stream will carry; warms the timing tables as
+            well.
+
+        Returns
+        -------
+        dict
+            ``{"models", "nodes", "cache_hits", "cache_misses",
+            "wall_clock_s"}`` for the warmup pass.
+        """
+        keys = list(model_keys) if model_keys is not None else list(self._models)
+        for key in keys:
+            if key not in self._models:
+                raise ValueError(f"unknown model key {key!r}")
+        hits0, misses0 = self.cache.stats.hits, self.cache.stats.misses
+        started = time.perf_counter()
+        for key in keys:
+            entry = self._models[key]
+            for node in self.nodes:
+                pipeline = node.activate(entry)
+                if frame_shape is not None:
+                    entry.timing_for(pipeline, tuple(frame_shape))
+        return {
+            "models": len(keys),
+            "nodes": len(self.nodes),
+            "cache_hits": self.cache.stats.hits - hits0,
+            "cache_misses": self.cache.stats.misses - misses0,
+            "wall_clock_s": time.perf_counter() - started,
+        }
 
     # ------------------------------------------------------------------
     # Serving

@@ -32,7 +32,13 @@ from repro.photonics.photodiode import BalancedPhotodiode, Photodiode
 from repro.photonics.tuning import HybridTuning, TuningBudget
 from repro.photonics.vcsel import TernaryVcselEncoder, Vcsel
 from repro.photonics.waveguide import ArmLossBudget, Waveguide
-from repro.photonics.wdm import WdmGrid, crosstalk_matrix
+from repro.photonics.wdm import (
+    WdmGrid,
+    crosstalk_matrices,
+    crosstalk_matrix,
+    effective_arm_transmission,
+    effective_arm_transmissions,
+)
 
 __all__ = [
     "ArmLossBudget",
@@ -52,5 +58,8 @@ __all__ = [
     "Vcsel",
     "Waveguide",
     "WdmGrid",
+    "crosstalk_matrices",
     "crosstalk_matrix",
+    "effective_arm_transmission",
+    "effective_arm_transmissions",
 ]

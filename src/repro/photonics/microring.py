@@ -239,23 +239,43 @@ class MicroringResonator:
         depth = 1.0 - self.min_transmission
         return 1.0 - depth / (1.0 + (2.0 * detuning / self.fwhm_m) ** 2)
 
-    def detuning_for_transmission(self, transmission: float) -> float:
+    def detuning_for_transmission(
+        self, transmission: np.ndarray | float
+    ) -> np.ndarray | float:
         """Invert the Lorentzian: detuning [m] that yields ``transmission``.
 
-        Raises ``ValueError`` when the target lies below the on-resonance
-        floor ``T_min`` (unreachable) or above 1.
+        Accepts a scalar (returns ``float``) or an ndarray of any shape
+        (returns an ndarray of the same shape) — the inversion is
+        closed-form, so a whole kernel set's targets solve in one batched
+        call.  Raises ``ValueError`` when any target lies below the
+        on-resonance floor ``T_min`` (unreachable) or above 1; targets of
+        exactly 1 park the ring half an FSR off resonance.
         """
         t_min = self.min_transmission
-        if not (t_min <= transmission <= 1.0):
+        values = np.asarray(transmission, dtype=float)
+        # NaN must fail the check (as the scalar chained comparison did),
+        # so test for validity rather than for violation.
+        valid = (values >= t_min) & (values <= 1.0)
+        if not np.all(valid):
+            if values.ndim == 0:
+                offender = transmission
+            else:
+                offender = float(values[~valid].flat[0])
             raise ValueError(
-                f"transmission {transmission!r} outside reachable range "
+                f"transmission {offender!r} outside reachable range "
                 f"[{t_min:.4f}, 1.0]"
             )
-        if transmission >= 1.0:
-            return 0.5 * self.fsr_m  # effectively "parked" far off resonance
         depth = 1.0 - t_min
-        ratio = depth / (1.0 - transmission) - 1.0
-        return 0.5 * self.fwhm_m * math.sqrt(max(ratio, 0.0))
+        parked = values >= 1.0
+        # Mask the parked targets before the division so 1/(1-T) never
+        # divides by zero; their lanes are overwritten below.
+        safe = np.where(parked, 0.0, values)
+        ratio = depth / (1.0 - safe) - 1.0
+        shifts = 0.5 * self.fwhm_m * np.sqrt(np.maximum(ratio, 0.0))
+        shifts = np.where(parked, 0.5 * self.fsr_m, shifts)
+        if values.ndim == 0:
+            return float(shifts)
+        return shifts
 
     # ------------------------------------------------------------------
     # Weight encoding

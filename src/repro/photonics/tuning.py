@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.util.units import MW, NM, NS, US
 from repro.util.validation import check_non_negative, check_positive
 
@@ -85,19 +87,40 @@ class HybridTuning:
         return TuningBudget(energy_j=energy, latency_s=latency, holding_power_w=holding)
 
     def mapping_cost(
-        self, shifts_m: list[float] | tuple[float, ...]
+        self, shifts_m: np.ndarray | list[float] | tuple[float, ...]
     ) -> TuningBudget:
         """Aggregate cost of mapping a whole set of MR shifts.
 
         All MRs retune in parallel, so latency is the max over devices while
         energy and holding power add up.  This is the "weight mapping" step
         the paper performs once per kernel set (then bypasses).
+
+        Accepts an ndarray of any shape (flattened) or a list/tuple; the
+        whole set prices in a handful of array ops instead of one
+        :meth:`retune` call per MR.  The sums run left-to-right over the
+        flat order (``cumsum``, not pairwise), so totals are bit-identical
+        to the original sequential Python accumulation.
         """
-        budgets = [self.retune(shift) for shift in shifts_m]
-        if not budgets:
+        shifts = np.asarray(shifts_m, dtype=float).reshape(-1)
+        if shifts.size == 0:
             return TuningBudget(0.0, 0.0, 0.0)
+        # Elementwise the same arithmetic as split_shift()/retune(): the EO
+        # stage absorbs up to its range, the heater takes the remainder.
+        magnitude = np.abs(shifts)
+        eo = np.minimum(magnitude, self.eo_range_m)
+        to = magnitude - eo
+        has_to = to != 0.0
+        has_eo = eo != 0.0
+        to_power = self.to_power_per_nm_w * (to / NM)
+        energy = np.where(
+            has_to,
+            to_power * self.to_settle_time_s + self.eo_energy_per_shift_j,
+            np.where(has_eo, self.eo_energy_per_shift_j, 0.0),
+        )
+        latency = np.where(has_to, self.to_settle_time_s, self.eo_settle_time_s)
+        holding = to_power + np.where(has_eo, self.eo_holding_power_w, 0.0)
         return TuningBudget(
-            energy_j=sum(budget.energy_j for budget in budgets),
-            latency_s=max(budget.latency_s for budget in budgets),
-            holding_power_w=sum(budget.holding_power_w for budget in budgets),
+            energy_j=float(np.cumsum(energy)[-1]),
+            latency_s=float(np.max(latency)),
+            holding_power_w=float(np.cumsum(holding)[-1]),
         )

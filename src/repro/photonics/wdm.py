@@ -89,19 +89,42 @@ def crosstalk_matrix(
             raise ValueError(
                 f"weights must have shape ({n},), got {weights.shape}"
             )
+        shifts = np.asarray(prototype.detuning_for_transmission(weights))
+    else:
+        shifts = np.zeros(n)
 
-    matrix = np.empty((n, n), dtype=float)
+    # Detuning of channel i from ring j's *tuned* resonance position.
     wavelengths = grid.wavelengths_m()
-    for j in range(n):
-        shift = (
-            prototype.detuning_for_transmission(float(weights[j]))
-            if weights is not None
-            else 0.0
+    detunings = wavelengths[:, None] - (wavelengths[None, :] + shifts[None, :])
+    return prototype.lorentzian_transmission(detunings)
+
+
+def crosstalk_matrices(
+    grid: WdmGrid,
+    weights: np.ndarray,
+    ring: MicroringResonator | None = None,
+) -> np.ndarray:
+    """Batched :func:`crosstalk_matrix` over a stack of arms.
+
+    ``weights`` is ``(..., num_channels)`` — one per-ring transmission
+    vector per arm; any number of leading batch dimensions is allowed.
+    Returns the ``(..., num_channels, num_channels)`` Lorentzian-tail
+    tensor whose entry ``[..., i, j]`` is the transmission channel *i*
+    experiences from ring *j* of that arm.  Elementwise the float ops are
+    exactly :func:`crosstalk_matrix`'s, just broadcast — results are
+    bit-identical to the arm-by-arm loop.
+    """
+    prototype = ring or MicroringResonator()
+    n = grid.num_channels
+    weights = np.asarray(weights, dtype=float)
+    if weights.ndim < 1 or weights.shape[-1] != n:
+        raise ValueError(
+            f"weights must have shape (..., {n}), got {weights.shape}"
         )
-        # Detuning of channel i from ring j's *tuned* resonance position.
-        detunings = wavelengths - (wavelengths[j] + shift)
-        matrix[:, j] = prototype.lorentzian_transmission(detunings)
-    return matrix
+    shifts = np.asarray(prototype.detuning_for_transmission(weights))
+    wavelengths = grid.wavelengths_m()
+    detunings = wavelengths[:, None] - (wavelengths[None, :] + shifts[..., None, :])
+    return prototype.lorentzian_transmission(detunings)
 
 
 def effective_arm_transmission(
@@ -118,3 +141,18 @@ def effective_arm_transmission(
     """
     matrix = crosstalk_matrix(grid, ring=ring, weights=np.asarray(weights, float))
     return matrix.prod(axis=1)
+
+
+def effective_arm_transmissions(
+    grid: WdmGrid,
+    weights: np.ndarray,
+    ring: MicroringResonator | None = None,
+) -> np.ndarray:
+    """Batched :func:`effective_arm_transmission` over ``(..., n)`` arms.
+
+    One broadcasted tail tensor and one product reduction replace the
+    per-arm Python loop; the reduction runs over the same contiguous
+    ``num_channels`` axis in the same order, so results are bit-identical.
+    """
+    matrices = crosstalk_matrices(grid, weights, ring=ring)
+    return matrices.prod(axis=-1)

@@ -314,3 +314,64 @@ def test_server_validation():
     server.register_model("a", build_lenet(seed=0))
     with pytest.raises(ValueError):
         server.serve_frames(np.zeros((2, 1, 28, 28)), "a", offered_fps=0.0)
+
+
+# ----------------------------------------------------------------------
+# warmup()
+# ----------------------------------------------------------------------
+def test_warmup_preprograms_all_models_on_all_nodes():
+    server = FrameServer(num_nodes=2, micro_batch=8, seed=0)
+    server.register_model("a", build_lenet(seed=0))
+    server.register_model("b", build_lenet(seed=1))
+    stats = server.warmup()
+    assert stats["models"] == 2
+    assert stats["nodes"] == 2
+    # One cold program per (model, node) pair — die seeds differ.
+    assert stats["cache_misses"] == 4
+    assert stats["wall_clock_s"] > 0.0
+
+
+def test_warmup_makes_serving_miss_free(server, frames):
+    server.warmup(frame_shape=(1, 28, 28))
+    requests = [
+        FrameRequest(frame, "a" if i % 2 == 0 else "b")
+        for i, frame in enumerate(frames)
+    ]
+    report = server.serve(requests, offered_fps=200.0)
+    assert report.delivered == len(frames)
+    assert report.cache_misses == 0
+
+
+def test_warmup_is_idempotent(server):
+    first = server.warmup()
+    second = server.warmup()
+    assert first["cache_misses"] == 2
+    assert second["cache_misses"] == 0
+    # Re-warming swaps each model back in through the cache.
+    assert second["cache_hits"] == 2
+
+
+def test_warmup_subset_and_validation(server):
+    stats = server.warmup(model_keys=["a"])
+    assert stats["models"] == 1
+    assert stats["cache_misses"] == 1
+    with pytest.raises(ValueError, match="unknown model key"):
+        server.warmup(model_keys=["nope"])
+
+
+def test_warmup_shape_does_not_poison_other_geometries(frames):
+    """Timing tables are keyed by frame geometry, not just die.
+
+    A warmup() traced with one shape must not answer for a stream of a
+    different shape — the served stream recomputes its own tables.
+    """
+    warmed = FrameServer(num_nodes=1, micro_batch=8, seed=0)
+    warmed.register_model("a", build_lenet(seed=0))
+    warmed.warmup(frame_shape=(1, 32, 32))
+    fresh = FrameServer(num_nodes=1, micro_batch=8, seed=0)
+    fresh.register_model("a", build_lenet(seed=0))
+
+    report_warmed = warmed.serve_frames(frames, "a", offered_fps=200.0)
+    report_fresh = fresh.serve_frames(frames, "a", offered_fps=200.0)
+    assert report_warmed.stream.mean_latency_s == report_fresh.stream.mean_latency_s
+    assert report_warmed.stream.total_energy_j == report_fresh.stream.total_energy_j

@@ -1,0 +1,117 @@
+"""Golden ``repr()`` regression tests for Table 1 / Fig 9 / claims.
+
+The perf work on the weight-programming path must keep every paper
+artifact **bit-identical** — no tolerance, the exact same floats.  A
+formatted table can round away a 1-ulp drift, so the goldens capture the
+raw ``repr()`` of the underlying data (full float precision, dict
+insertion order included — ``PowerBreakdown.total`` sums components in
+insertion order, so reordering a breakdown dict is a real change even
+when the total survives) *and* the rendered text.
+
+Regenerate after an intentional numeric change with::
+
+    PYTHONPATH=src python tests/test_goldens.py --write
+
+and eyeball the diff — these files changing is the review event the
+goldens exist to trigger.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "goldens")
+
+
+def _table1_repr() -> str:
+    from repro.analysis.table1 import build_table1
+
+    data = build_table1()
+    lines = [f"oisa_row: {data.oisa_row!r}"]
+    lines.extend(f"{label}: {row!r}" for label, row in data.platform_rows)
+    return "\n".join(lines)
+
+
+def _table1_render() -> str:
+    from repro.analysis.table1 import render_table1
+
+    return render_table1()
+
+
+def _fig9_repr() -> str:
+    from repro.analysis.fig9 import build_fig9
+
+    data = build_fig9()
+    lines = [f"bit_configs: {data.bit_configs!r}"]
+    for platform, series in data.power_w.items():
+        lines.append(f"power_w[{platform}]: {series!r}")
+    for platform, entries in data.breakdowns.items():
+        for (w, a), entry in zip(data.bit_configs, entries):
+            lines.append(f"breakdown[{platform}][{w},{a}]: {entry!r}")
+    for platform, reduction in data.reductions_vs_oisa.items():
+        lines.append(f"reduction[{platform}]: {reduction!r}")
+    return "\n".join(lines)
+
+
+def _fig9_render() -> str:
+    from repro.analysis.fig9 import render_fig9
+
+    return render_fig9()
+
+
+def _claims_repr() -> str:
+    from repro.analysis.claims import build_claims
+
+    claims = build_claims(include_fig9=True)
+    return "\n".join(
+        f"{claim.name}: paper={claim.paper_value!r} "
+        f"measured={claim.measured_value!r} holds={claim.holds!r}"
+        for claim in claims
+    )
+
+
+GOLDENS = {
+    "table1_repr.txt": _table1_repr,
+    "table1_render.txt": _table1_render,
+    "fig9_repr.txt": _fig9_repr,
+    "fig9_render.txt": _fig9_render,
+    "claims_repr.txt": _claims_repr,
+}
+
+
+@pytest.mark.parametrize("name", sorted(GOLDENS))
+def test_golden(name):
+    path = os.path.join(GOLDEN_DIR, name)
+    assert os.path.exists(path), (
+        f"golden {name} missing — run "
+        "`PYTHONPATH=src python tests/test_goldens.py --write`"
+    )
+    with open(path) as handle:
+        expected = handle.read()
+    actual = GOLDENS[name]() + "\n"
+    assert actual == expected, (
+        f"{name} drifted from the golden. If the numeric change is "
+        "intentional, regenerate with "
+        "`PYTHONPATH=src python tests/test_goldens.py --write` and "
+        "review the diff."
+    )
+
+
+def write_goldens() -> None:
+    os.makedirs(GOLDEN_DIR, exist_ok=True)
+    for name, build in sorted(GOLDENS.items()):
+        path = os.path.join(GOLDEN_DIR, name)
+        with open(path, "w") as handle:
+            handle.write(build() + "\n")
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--write" in sys.argv:
+        write_goldens()
+    else:
+        print(__doc__)

@@ -1,0 +1,260 @@
+"""Scalar-vs-batched bit-identity of the weight-programming hot path.
+
+The vectorized chain (array ``detuning_for_transmission``, batched
+crosstalk tensors, ndarray ``mapping_cost``, batched OPC crosstalk/tuning)
+must produce **exactly** the floats the original scalar loops produced —
+``np.testing.assert_array_equal``, no tolerance.  The scalar loops are
+retained verbatim in :mod:`repro.core.reference`; every test here pits the
+live implementation against that reference over random inputs, including
+the edge lanes (T exactly 1.0 parks the ring, T_min sits on the range
+floor, zero weights, EO-only vs TO+EO shifts).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import reference
+from repro.core.opc import OpticalProcessingCore
+from repro.nn.quant import UniformWeightQuantizer
+from repro.photonics.microring import MicroringResonator
+from repro.photonics.tuning import HybridTuning
+from repro.photonics.wdm import (
+    WdmGrid,
+    crosstalk_matrices,
+    crosstalk_matrix,
+    effective_arm_transmission,
+    effective_arm_transmissions,
+)
+
+RING = MicroringResonator()
+GRID = WdmGrid()
+
+
+def _random_transmissions(rng, shape):
+    t_min = RING.min_transmission
+    values = rng.uniform(t_min, 1.0, size=shape)
+    # Sprinkle in the edges: exact floor and exact parking target.
+    flat = values.reshape(-1)
+    if flat.size >= 2:
+        flat[0] = t_min
+        flat[1] = 1.0
+    return values
+
+
+# --------------------------------------------------------------------------
+# detuning_for_transmission
+# --------------------------------------------------------------------------
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_detuning_array_matches_scalar(seed):
+    rng = np.random.default_rng(seed)
+    targets = _random_transmissions(rng, (257,))
+    batched = RING.detuning_for_transmission(targets)
+    scalar = np.array(
+        [
+            reference.detuning_for_transmission_scalar(RING, float(t))
+            for t in targets
+        ]
+    )
+    np.testing.assert_array_equal(batched, scalar)
+
+
+def test_detuning_scalar_input_returns_float():
+    target = 0.5 * (RING.min_transmission + 1.0)
+    result = RING.detuning_for_transmission(target)
+    assert isinstance(result, float)
+    assert result == reference.detuning_for_transmission_scalar(RING, target)
+
+
+def test_detuning_parked_branch():
+    assert RING.detuning_for_transmission(1.0) == 0.5 * RING.fsr_m
+    parked = RING.detuning_for_transmission(np.array([1.0, 1.0]))
+    np.testing.assert_array_equal(parked, np.full(2, 0.5 * RING.fsr_m))
+
+
+def test_detuning_range_checks_preserved():
+    with pytest.raises(ValueError):
+        RING.detuning_for_transmission(RING.min_transmission / 2.0)
+    with pytest.raises(ValueError):
+        RING.detuning_for_transmission(1.5)
+    good = 0.9
+    with pytest.raises(ValueError):
+        RING.detuning_for_transmission(np.array([good, 1.5]))
+    with pytest.raises(ValueError):
+        RING.detuning_for_transmission(
+            np.array([good, RING.min_transmission / 2.0])
+        )
+
+
+def test_detuning_rejects_nan_like_scalar():
+    # The scalar chained comparison raised on NaN; the batched check must
+    # not let NaN slide through into the tuning budgets.
+    with pytest.raises(ValueError):
+        RING.detuning_for_transmission(float("nan"))
+    with pytest.raises(ValueError):
+        RING.detuning_for_transmission(np.array([0.9, float("nan")]))
+
+
+def test_detuning_preserves_input_shape():
+    rng = np.random.default_rng(3)
+    targets = _random_transmissions(rng, (4, 5, 6))
+    assert RING.detuning_for_transmission(targets).shape == (4, 5, 6)
+
+
+# --------------------------------------------------------------------------
+# crosstalk matrices
+# --------------------------------------------------------------------------
+@pytest.mark.parametrize("seed", [0, 5])
+def test_crosstalk_matrix_weighted_matches_scalar(seed):
+    rng = np.random.default_rng(seed)
+    weights = _random_transmissions(rng, (GRID.num_channels,))
+    np.testing.assert_array_equal(
+        crosstalk_matrix(GRID, ring=RING, weights=weights),
+        reference.crosstalk_matrix_scalar(GRID, ring=RING, weights=weights),
+    )
+
+
+def test_crosstalk_matrix_unweighted_matches_scalar():
+    np.testing.assert_array_equal(
+        crosstalk_matrix(GRID, ring=RING),
+        reference.crosstalk_matrix_scalar(GRID, ring=RING),
+    )
+
+
+@pytest.mark.parametrize("arms", [1, 7, 40])
+def test_crosstalk_matrices_match_per_arm_loop(arms):
+    rng = np.random.default_rng(arms)
+    weights = _random_transmissions(rng, (arms, GRID.num_channels))
+    batched = crosstalk_matrices(GRID, weights, ring=RING)
+    assert batched.shape == (arms, GRID.num_channels, GRID.num_channels)
+    for index in range(arms):
+        np.testing.assert_array_equal(
+            batched[index],
+            reference.crosstalk_matrix_scalar(
+                GRID, ring=RING, weights=weights[index]
+            ),
+        )
+
+
+def test_effective_arm_transmissions_match_per_arm_loop():
+    rng = np.random.default_rng(9)
+    weights = _random_transmissions(rng, (23, GRID.num_channels))
+    batched = effective_arm_transmissions(GRID, weights, ring=RING)
+    assert batched.shape == weights.shape
+    for index in range(weights.shape[0]):
+        np.testing.assert_array_equal(
+            batched[index],
+            reference.effective_arm_transmission_scalar(
+                GRID, weights[index], ring=RING
+            ),
+        )
+        np.testing.assert_array_equal(
+            batched[index],
+            effective_arm_transmission(GRID, weights[index], ring=RING),
+        )
+
+
+def test_crosstalk_matrices_rejects_wrong_channel_count():
+    with pytest.raises(ValueError):
+        crosstalk_matrices(GRID, np.ones((4, GRID.num_channels + 1)))
+
+
+# --------------------------------------------------------------------------
+# mapping_cost
+# --------------------------------------------------------------------------
+@given(
+    shifts=st.lists(
+        st.floats(
+            min_value=-2e-9, max_value=2e-9, allow_nan=False, allow_infinity=False
+        ),
+        min_size=0,
+        max_size=64,
+    )
+)
+@settings(max_examples=80, deadline=None)
+def test_mapping_cost_ndarray_matches_scalar(shifts):
+    tuner = HybridTuning()
+    batched = tuner.mapping_cost(np.asarray(shifts))
+    scalar = reference.mapping_cost_scalar(tuner, shifts)
+    assert batched.energy_j == scalar.energy_j
+    assert batched.latency_s == scalar.latency_s
+    assert batched.holding_power_w == scalar.holding_power_w
+
+
+def test_mapping_cost_edge_shifts():
+    tuner = HybridTuning()
+    # Zero, EO-only (inside the 50 pm range), exactly at range, TO+EO.
+    shifts = [0.0, 1e-12, -1e-12, tuner.eo_range_m, -tuner.eo_range_m, 1e-9, -1e-9]
+    batched = tuner.mapping_cost(np.asarray(shifts))
+    scalar = reference.mapping_cost_scalar(tuner, shifts)
+    assert batched == scalar
+
+
+def test_mapping_cost_still_accepts_lists():
+    tuner = HybridTuning()
+    shifts = [1e-10, 5e-10]
+    assert tuner.mapping_cost(shifts) == reference.mapping_cost_scalar(
+        tuner, shifts
+    )
+    assert tuner.mapping_cost([]).energy_j == 0.0
+
+
+# --------------------------------------------------------------------------
+# Full OPC program chain
+# --------------------------------------------------------------------------
+def _program_pair(shape, bits, seed, enable_crosstalk=True):
+    rng = np.random.default_rng(seed)
+    weights = rng.normal(size=shape) * 0.1
+    quantizer = UniformWeightQuantizer(bits)
+    quantized = quantizer.quantize(weights)
+    scale = quantizer.scale(weights)
+    opc = OpticalProcessingCore(
+        seed=seed, enable_crosstalk=enable_crosstalk, enable_read_noise=False
+    )
+    return opc.program(quantized, scale), reference.program_scalar(
+        opc, quantized, scale
+    )
+
+
+@pytest.mark.parametrize("bits", [1, 2, 3, 4])
+def test_program_conv_bit_identical_all_bit_widths(bits):
+    programmed, scalar = _program_pair((8, 3, 3, 3), bits, seed=bits)
+    np.testing.assert_array_equal(programmed.realized, scalar.realized)
+    np.testing.assert_array_equal(programmed.ideal, scalar.ideal)
+    assert programmed.tuning == scalar.tuning
+
+
+@pytest.mark.parametrize("bits", [1, 2, 3, 4])
+def test_program_dense_bit_identical_all_bit_widths(bits):
+    programmed, scalar = _program_pair((16, 100), bits, seed=10 + bits)
+    np.testing.assert_array_equal(programmed.realized, scalar.realized)
+    assert programmed.tuning == scalar.tuning
+
+
+def test_program_bit_identical_without_crosstalk():
+    programmed, scalar = _program_pair(
+        (4, 3, 3, 3), 4, seed=42, enable_crosstalk=False
+    )
+    np.testing.assert_array_equal(programmed.realized, scalar.realized)
+    assert programmed.tuning == scalar.tuning
+
+
+def test_program_ragged_arm_padding_bit_identical():
+    # 75 weights do not tile the 10-MR arms evenly; the padded tail lanes
+    # must still match the scalar loop.
+    programmed, scalar = _program_pair((3, 1, 5, 5), 4, seed=21)
+    np.testing.assert_array_equal(programmed.realized, scalar.realized)
+    assert programmed.tuning == scalar.tuning
+
+
+def test_weight_transform_uses_shared_realize_chain():
+    rng = np.random.default_rng(33)
+    weights = rng.normal(size=(4, 3, 3, 3)) * 0.1
+    quantizer = UniformWeightQuantizer(4)
+    quantized = quantizer.quantize(weights)
+    scale = quantizer.scale(weights)
+    opc = OpticalProcessingCore(seed=33, enable_read_noise=False)
+    realized_hook = opc.weight_transform(scale_hint=scale)(quantized)
+    scalar = reference.program_scalar(opc, quantized, scale)
+    np.testing.assert_array_equal(realized_hook, scalar.realized)
