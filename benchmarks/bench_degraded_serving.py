@@ -1,0 +1,153 @@
+"""Degraded-mode serving: throughput through a fault → recalibrate cycle.
+
+The acceptance scenario for the serving-health subsystem
+(:mod:`repro.engine.health`): a two-node :class:`~repro.engine.FrameServer`
+runs a steady 1000 FPS stream under the named ``"transient"`` fault
+profile — each node suffers one recoverable upset mid-stream, the SNR
+watchdog trips, the node recalibrates (cache invalidated, deterministic
+remap) and rejoins the fleet.  The bench splits the stream into three
+simulated-time windows:
+
+* **pre-fault** — before the first upset;
+* **degraded** — between the first upset and the last recalibration;
+* **recovered** — after the last recalibration.
+
+and asserts the recovered window sustains **>= 90% of the pre-fault
+throughput** (simulated delivered FPS, so the number is deterministic and
+environment-independent).  The run writes ``BENCH_degraded.json`` at the
+repo root as the degraded-serving perf-trajectory entry, next to
+``BENCH_program.json``.
+
+Set ``REPRO_BENCH_QUICK=1`` (CI smoke) for a shorter stream; the window
+arithmetic and the recovery assertion are identical either way.
+"""
+
+import json
+import os
+import platform
+
+import numpy as np
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BENCH_JSON = os.path.join(REPO_ROOT, "BENCH_degraded.json")
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") == "1"
+
+PROFILE = "transient"
+OFFERED_FPS = 1000.0
+
+
+def _window_fps(events, start_s: float, end_s: float) -> float:
+    """Delivered frames per simulated second with arrival in [start, end)."""
+    delivered = [
+        e for e in events if not e.dropped and start_s <= e.arrival_s < end_s
+    ]
+    span = end_s - start_s
+    return len(delivered) / span if span > 0 else 0.0
+
+
+def run_degraded_bench(quick: bool = QUICK, seed: int = 0) -> dict:
+    """Serve one degraded stream and measure the three throughput windows."""
+    from repro.engine import FrameServer
+    from repro.nn.models import build_lenet
+
+    frames = 250 if quick else 400
+    server = FrameServer(
+        num_nodes=2, micro_batch=8, seed=seed, fault_profile=PROFILE
+    )
+    server.register_model("model-a", build_lenet(seed=seed))
+    server.warmup(frame_shape=(1, 28, 28))
+    stack = np.random.default_rng(seed).uniform(0.0, 1.0, (frames, 1, 28, 28))
+    report = server.serve_frames(stack, "model-a", offered_fps=OFFERED_FPS)
+
+    health = report.health
+    upsets = [e for e in health.events if e.kind == "upset"]
+    recals = [e for e in health.events if e.kind == "recalibrated"]
+    if not upsets or not recals:
+        raise RuntimeError(
+            f"profile {PROFILE!r} produced no full fault cycle in {frames} "
+            f"frames (upsets={len(upsets)}, recals={len(recals)})"
+        )
+    fault_start = min(e.time_s for e in upsets)
+    recovered_at = max(e.time_s for e in recals)
+    end = report.stream.events[-1].arrival_s + 1.0 / OFFERED_FPS
+
+    pre_fps = _window_fps(report.stream.events, 0.0, fault_start)
+    degraded_fps = _window_fps(report.stream.events, fault_start, recovered_at)
+    post_fps = _window_fps(report.stream.events, recovered_at, end)
+    return {
+        "bench": "degraded_serving",
+        "schema": 1,
+        "quick": quick,
+        "profile": PROFILE,
+        "frames": frames,
+        "offered_fps": OFFERED_FPS,
+        "fault_start_s": fault_start,
+        "recovered_at_s": recovered_at,
+        "pre_fault_fps": pre_fps,
+        "degraded_fps": degraded_fps,
+        "recovered_fps": post_fps,
+        "recovery_ratio": post_fps / pre_fps if pre_fps > 0 else 0.0,
+        "upsets": health.upsets,
+        "recalibrations": health.recalibrations,
+        "degraded_frames": health.degraded_frames,
+        "degraded_fraction": health.degraded_fraction,
+        "dropped": report.stream.dropped,
+        "cache_invalidations": server.cache.stats.invalidations,
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+    }
+
+
+@pytest.fixture(scope="module")
+def bench_result(save_artifact):
+    result = run_degraded_bench()
+    with open(BENCH_JSON, "w") as handle:
+        json.dump(result, handle, indent=2)
+        handle.write("\n")
+    save_artifact("degraded_serving.txt", json.dumps(result, indent=2))
+    print(f"[degraded-serving trajectory entry written to {BENCH_JSON}]")
+    return result
+
+
+def test_watchdog_recovers_90pct_throughput(bench_result):
+    """The headline acceptance: post-recalibration >= 90% of pre-fault FPS."""
+    assert bench_result["recalibrations"] >= 1
+    assert bench_result["recovery_ratio"] >= 0.9, (
+        f"watchdog recovered only {bench_result['recovery_ratio']:.2f} of "
+        f"pre-fault throughput"
+    )
+
+
+def test_fault_cycle_actually_degraded_the_stream(bench_result):
+    """The scenario is non-trivial: upsets fired and frames ran degraded."""
+    assert bench_result["upsets"] >= 1
+    assert bench_result["degraded_frames"] >= 1
+    assert bench_result["cache_invalidations"] >= 1
+
+
+def test_degraded_stream_is_deterministic():
+    """Two identical servers reproduce the same degraded outputs exactly."""
+    first = run_degraded_bench(quick=True, seed=0)
+    second = run_degraded_bench(quick=True, seed=0)
+    for key in (
+        "fault_start_s",
+        "recovered_at_s",
+        "pre_fault_fps",
+        "degraded_fps",
+        "recovered_fps",
+        "degraded_frames",
+        "dropped",
+    ):
+        assert first[key] == second[key], key
+
+
+def test_degraded_json_written_at_repo_root(bench_result):
+    """The trajectory artifact exists and round-trips as JSON."""
+    assert os.path.exists(BENCH_JSON)
+    with open(BENCH_JSON) as handle:
+        payload = json.load(handle)
+    assert payload["bench"] == "degraded_serving"
+    assert payload["recovery_ratio"] > 0.0

@@ -1,13 +1,19 @@
 """Table II: accuracy across datasets and [W:A] configs — regeneration.
 
-Training cost is the bottleneck, so the bench honours two environment
+Training cost is the bottleneck, so the bench honours three environment
 knobs (results are cached in ``.table2_bench_cache.json`` either way):
 
 * ``REPRO_TABLE2_DATASETS`` — comma-separated subset of
   ``mnist,svhn,cifar10,cifar100`` (default: ``mnist,svhn`` keeps the bench
   suite in the minutes range; the full table is what
-  ``examples/table2_full.py`` runs).
+  ``examples/table2_full.py`` runs).  The default is a constant: it no
+  longer flips to the full table when a cache file happens to exist, so a
+  first run and a warm rerun train the same cells deterministically.
 * ``REPRO_TABLE2_EPOCHS`` — training epochs per cell (default 2).
+* ``REPRO_BENCH_QUICK=1`` — CI smoke mode (see ``conftest.py``): MNIST
+  only, 1 epoch, quarter-scale splits.  The accuracy-ordering assertions
+  are **flaky by design** at any scale (tiny QAT nets) and are skipped in
+  smoke mode so the bench can gate CI on the deterministic shape checks.
 """
 
 import os
@@ -23,26 +29,29 @@ from repro.nn.models import FirstLayerConfig, build_lenet
 from repro.sim.accuracy import Table2Settings, train_qat_model
 
 CACHE_PATH = os.path.join(os.path.dirname(__file__), "..", ".table2_bench_cache.json")
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") == "1"
+
+FLAKY_REASON = (
+    "accuracy orderings of 1-2-epoch QAT nets are flaky by design; "
+    "smoke mode asserts only the deterministic table shape"
+)
 
 
 def _bench_datasets() -> tuple[str, ...]:
-    default = (
-        "mnist,svhn,cifar10,cifar100"
-        if os.path.exists(CACHE_PATH)
-        else "mnist,svhn"
-    )
+    default = "mnist" if QUICK else "mnist,svhn"
     raw = os.environ.get("REPRO_TABLE2_DATASETS", default)
     return tuple(name.strip() for name in raw.split(",") if name.strip())
 
 
-#: Snapshot once at import: ``_bench_datasets()``'s default flips from the
-#: two-dataset subset to the full table as soon as ``build_table2`` writes
-#: the cache file, so re-evaluating it mid-run is inconsistent.
+#: Snapshot once at import so every test in the module trains (and renders
+#: artifacts for) the same deterministic dataset set.
 DATASETS = _bench_datasets()
 
 
 def _bench_settings() -> Table2Settings:
-    epochs = int(os.environ.get("REPRO_TABLE2_EPOCHS", "2"))
+    epochs = int(os.environ.get("REPRO_TABLE2_EPOCHS", "1" if QUICK else "2"))
+    if QUICK:
+        return Table2Settings(dataset_scale=0.25, epochs=epochs, vgg_epochs=epochs)
     return Table2Settings(epochs=epochs)
 
 
@@ -64,6 +73,7 @@ def test_table2_regenerates(table2_data, save_artifact):
         assert len(row) == len(DATASETS)
 
 
+@pytest.mark.skipif(QUICK, reason=FLAKY_REASON)
 def test_table2_quantized_configs_useful(table2_data):
     """Every OISA cell stays well above its dataset's chance level."""
     for result in table2_data.results:
@@ -73,6 +83,7 @@ def test_table2_quantized_configs_useful(table2_data):
         assert result.reported_accuracy > 5 * chance
 
 
+@pytest.mark.skipif(QUICK, reason=FLAKY_REASON)
 def test_table2_qualitative_orderings(table2_data):
     """The paper's robust Table II claims (see ordering_checks docstring)."""
     checks = ordering_checks(table2_data)

@@ -3,6 +3,16 @@
 Every ``bench_*`` module regenerates one of the paper's tables/figures.
 Rendered text artifacts are written to ``benchmarks/output/`` so a bench
 run leaves the same deliverables the paper prints.
+
+Smoke-mode convention: ``REPRO_BENCH_QUICK=1`` puts every bench that
+honours it (``bench_program_latency``, ``bench_degraded_serving``,
+``bench_table2_accuracy``) into a CI-sized run — fewer repeats, shorter
+streams, smaller training splits — while keeping the *exact* claims
+(bit-identity, recovery ratio, determinism) asserted.  Flaky-by-design
+accuracy-ordering assertions are skipped in smoke mode so the benches can
+run in CI.  Each bench module reads the knob into a module-level ``QUICK``
+constant at import time (skipif decorators evaluate at collection, and a
+mid-run flip would be inconsistent).
 """
 
 from __future__ import annotations

@@ -113,6 +113,27 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print("\nregistered platforms:")
         for platform in iter_platforms():
             print(f"  {platform.key:12s}: {platform.parameters()}")
+    if args.fault_profile != "none":
+        from dataclasses import replace
+
+        from repro.engine.health import FaultProfile
+        from repro.analysis.robustness_report import (
+            RobustnessSettings,
+            build_robustness_report,
+            render_robustness_report,
+        )
+
+        profile = FaultProfile.named(args.fault_profile)
+        settings = (
+            RobustnessSettings.fast() if args.fast else RobustnessSettings()
+        )
+        # The profile's fault classes (stuck branches, gain drift, ...)
+        # ride along at every swept dead-MR rate.
+        settings = replace(
+            settings, base_spec=profile.fault_spec, label=profile.name
+        )
+        print()
+        print(render_robustness_report(build_robustness_report(settings)))
     return 0
 
 
@@ -125,7 +146,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     rng = np.random.default_rng(args.seed)
     server = FrameServer(
-        num_nodes=args.nodes, micro_batch=args.batch, seed=args.seed
+        num_nodes=args.nodes,
+        micro_batch=args.batch,
+        seed=args.seed,
+        fault_profile=args.fault_profile,
     )
     # Two seeded QAT models stand in for a multi-tenant request mix; the
     # stream swaps kernel sets mid-way to exercise the program cache.
@@ -153,6 +177,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         (f"frames on node {node}", count)
         for node, count in sorted(report.node_frames.items())
     )
+    if report.health is not None:
+        health = report.health
+        rows.extend(
+            (
+                ("fault profile", health.profile),
+                ("upsets / recalibrations", f"{health.upsets} / {health.recalibrations}"),
+                (
+                    "degraded frames",
+                    f"{health.degraded_frames} ({health.degraded_fraction * 100:.1f}%)",
+                ),
+                ("peak thermal drift [K]", f"{health.peak_drift_k:.3f}"),
+                ("recalibration energy [nJ]", f"{health.recalibration_energy_j * 1e9:.2f}"),
+                ("dead nodes", str(health.dead_nodes) if health.dead_nodes else "-"),
+            )
+        )
     print(
         format_table(
             ("metric", "value"),
@@ -160,6 +199,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             title=f"FrameServer — {args.nodes} node(s), micro-batch {args.batch}",
         )
     )
+    if report.health is not None and report.health.events:
+        print("\nhealth events:")
+        for event in report.health.events:
+            print(
+                f"  t={event.time_s * 1e3:8.2f} ms  node {event.node_id}  "
+                f"{event.kind}: {event.detail}"
+            )
     return 0
 
 
@@ -208,6 +254,18 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--platforms", action="store_true", help="also list platform metadata"
     )
+    sweep.add_argument(
+        "--fault-profile",
+        default="none",
+        choices=("none", "drift", "transient", "harsh"),
+        help="also run the accuracy-vs-fault-rate robustness sweep "
+        "(any non-none profile enables it and contributes its fault classes)",
+    )
+    sweep.add_argument(
+        "--fast",
+        action="store_true",
+        help="trimmed robustness rate grid (tier-1-test preset)",
+    )
     sweep.set_defaults(handler=_cmd_sweep)
     serve = subparsers.add_parser(
         "serve", help="batched frame-serving engine demo"
@@ -217,6 +275,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--nodes", type=int, default=2)
     serve.add_argument("--batch", type=int, default=16)
     serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--fault-profile",
+        default="none",
+        choices=("none", "drift", "transient", "harsh"),
+        help="degradation scenario to serve under",
+    )
     serve.set_defaults(handler=_cmd_serve)
     bench = subparsers.add_parser(
         "bench",

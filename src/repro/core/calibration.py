@@ -45,6 +45,7 @@ class CalibratedAwcMapper:
                 f"{measurement_noise_lsb}"
             )
         self.mapper = mapper
+        self._measurement_noise_lsb = measurement_noise_lsb
         # The measured table: what the calibration bench *believes* each
         # code produces.
         measured = mapper.level_table.copy()
@@ -67,6 +68,31 @@ class CalibratedAwcMapper:
     def num_levels(self) -> int:
         """Distinct magnitude levels of the underlying converter."""
         return self.mapper.num_levels
+
+    @property
+    def design(self):
+        """The wrapped converter's electrical design (delegated).
+
+        Makes the calibrated mapper a drop-in for
+        :class:`~repro.core.awc.AwcWeightMapper` wherever the OPC reads
+        design facts (e.g. ``weight_transform``'s top-level computation).
+        """
+        return self.mapper.design
+
+    @property
+    def num_units(self) -> int:
+        """Physical converter units in the wrapped bank (delegated)."""
+        return self.mapper.num_units
+
+    @property
+    def calibration_token(self) -> tuple[str, float]:
+        """Cache-key marker separating calibrated from raw programs.
+
+        :meth:`repro.engine.cache.WeightProgramCache.key_for` mixes this
+        into the digest so a pre-distorted die never shares cached programs
+        with an uncalibrated die of the same seed/config.
+        """
+        return ("awc-predistort", self._measurement_noise_lsb)
 
     def predistorted_codes(
         self, codes: np.ndarray, unit_assignment: np.ndarray

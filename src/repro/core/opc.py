@@ -19,6 +19,23 @@ The OPC realises a convolution in four physical steps (Fig. 2, circled
 mapping "can bypass this step" afterwards); ``convolve``/``dot`` run steps
 3-4 per frame, vectorised with the same im2col kernels the NN substrate
 uses.
+
+Units: weights and activations are dimensionless (weight units /
+ternary optical levels on a unit scale); tuning budgets are J/s/W;
+resonance detunings are metres of wavelength shift.  Paper anchors:
+Section III (OPC structure, AWC/weight mapping, MR device engineering)
+and Fig. 2's circled datapath stages.
+
+Bit-identity contract: the vectorized ``program`` chain (AWC realize →
+batched crosstalk → batched tuning budget) must produce *exactly* the
+same floats as the retained scalar loops in :mod:`repro.core.reference`
+— same elementwise operations, sequential-``sum`` accumulation order
+(``cumsum``, not pairwise) — enforced by
+``tests/test_vectorized_equivalence.py`` and the ``repr()`` goldens in
+``tests/goldens/``.  The serving cache
+(:mod:`repro.engine.cache`) and the recalibration path
+(:mod:`repro.engine.health`) both lean on this: reprogramming a die is
+guaranteed to reproduce the cached record bit-for-bit.
 """
 
 from __future__ import annotations

@@ -4,6 +4,21 @@ Implements the right-hand side of the paper's Fig. 7: a QAT-trained model's
 first convolution runs on the OISA behavioral hardware (realized weights,
 crosstalk, BPD noise), and the remaining layers run as the "behavioral DNN
 model" on the off-chip processor (here: the float NumPy layers).
+
+Units: frames are (N, C, H, W) float arrays on a unit pixel scale; the
+``TernaryInputLayer`` maps them to the VAM's three optical levels
+{0, 0.5, 1} (paper Fig. 8) before the optics multiply.  Accuracies are
+top-1 fractions in [0, 1].
+
+Serving integration: ``program_cache`` plugs the pipeline into
+:class:`repro.engine.cache.WeightProgramCache` (kernel swaps become O(1)
+installs), ``activate`` re-arms a multiplexed die, and ``forward``'s
+``core`` override lets :mod:`repro.engine.health` route a degraded
+window through a :class:`~repro.sim.faults.FaultyOpticalCore` without
+touching the healthy program.  Reprogramming is deterministic per die —
+the scalar-reference bit-identity contract of :mod:`repro.core.reference`
+guarantees a recovered node reproduces its pre-fault realized weights
+exactly.
 """
 
 from __future__ import annotations
@@ -99,19 +114,37 @@ class HardwareFirstLayerPipeline:
                 return index
         raise RuntimeError("quantized first layer disappeared from the model")
 
-    def forward(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
-        """Full-network logits with the first layer computed optically."""
+    def forward(
+        self, x: np.ndarray, batch_size: int = 256, core=None
+    ) -> np.ndarray:
+        """Full-network logits with the first layer computed optically.
+
+        Parameters
+        ----------
+        x:
+            Input frames, (N, C, H, W) for conv models or any (N, ...)
+            shape that flattens to the dense layer's features.
+        batch_size:
+            Frames per optical call (micro-batch).
+        core:
+            Optional stand-in for ``self.opc`` implementing the same
+            ``convolve``/``dot`` surface — e.g. a
+            :class:`~repro.sim.faults.FaultyOpticalCore` wrapping this
+            pipeline's die during a degraded serving window.  The default
+            runs on the healthy programmed core.
+        """
         x = np.asarray(x, dtype=float)
         split = self._split_index()
         rest = self.model.layers[split + 1 :]
+        optics = core if core is not None else self.opc
         outputs = []
         for start in range(0, x.shape[0], batch_size):
             chunk = x[start : start + batch_size]
             ternary = self.model.layers[0].forward(chunk)  # {0, 0.5, 1}
             if self.is_dense:
-                features = self.opc.dot(ternary.reshape(ternary.shape[0], -1))
+                features = optics.dot(ternary.reshape(ternary.shape[0], -1))
             else:
-                features = self.opc.convolve(
+                features = optics.convolve(
                     ternary, stride=self.conv.stride, padding=self.conv.padding
                 )
             hidden = features

@@ -1,17 +1,30 @@
-"""Batched frame-serving engine (cache + micro-batching + multi-node).
+"""Batched frame-serving engine (cache + micro-batching + multi-node + health).
 
 * :mod:`repro.engine.cache` — weight-program cache keyed by (kernel set,
   weight bits, die seed); kernel swaps stop re-running the AWC mapping
-  chain.
+  chain, and :meth:`WeightProgramCache.invalidate_die` supports the
+  online-recalibration path.
 * :mod:`repro.engine.server` — :class:`FrameServer`: admission control with
   :mod:`repro.sim.stream` semantics, micro-batched compute through
   :class:`~repro.core.pipeline.HardwareFirstLayerPipeline`, scheduling
   across N simulated nodes with :mod:`repro.sim.fleet` transport budgets,
   and :meth:`FrameServer.warmup` to pre-program known kernel sets through
   the vectorized cold path so mid-stream swaps never stall.
+* :mod:`repro.engine.health` — degraded-mode serving: named
+  :class:`FaultProfile` scenarios, the :class:`SnrWatchdog` precision
+  monitor, and the :class:`HealthMonitor` that samples thermal drift and
+  injected upsets mid-stream, routes frames around recalibrating/dead
+  nodes and restores bit-identical programs after recovery.
 """
 
 from repro.engine.cache import CacheStats, WeightProgramCache
+from repro.engine.health import (
+    FaultProfile,
+    HealthEvent,
+    HealthMonitor,
+    HealthReport,
+    SnrWatchdog,
+)
 from repro.engine.server import (
     FrameRequest,
     FrameResponse,
@@ -21,9 +34,14 @@ from repro.engine.server import (
 
 __all__ = [
     "CacheStats",
+    "FaultProfile",
     "FrameRequest",
     "FrameResponse",
     "FrameServer",
+    "HealthEvent",
+    "HealthMonitor",
+    "HealthReport",
     "ServeReport",
+    "SnrWatchdog",
     "WeightProgramCache",
 ]

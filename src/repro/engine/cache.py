@@ -12,7 +12,17 @@ weights in O(1) via
 
 The die seed is part of the key on purpose: two chips with different AWC
 mismatch patterns realize the same ideal kernel set differently, so their
-programs must never be shared.
+programs must never be shared.  A calibrated die (pre-distorted AWC,
+:mod:`repro.core.calibration`) gets its own key space via the mapper's
+``calibration_token``.
+
+Invalidation: the online-recalibration path
+(:mod:`repro.engine.health`) calls :meth:`WeightProgramCache.invalidate_die`
+when a node's watchdog trips — the die's stale programs are dropped and
+the next activation re-runs the mapping chain.  Because programming is
+deterministic per (die, config, kernel set) — the scalar-reference
+bit-identity contract of :mod:`repro.core.reference` — the reprogrammed
+entries are bit-identical to the invalidated ones.
 """
 
 from __future__ import annotations
@@ -33,6 +43,9 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    #: Entries dropped by health-driven :meth:`WeightProgramCache.invalidate_die`
+    #: calls (recalibration after a fault or thermal re-trim).
+    invalidations: int = 0
 
     @property
     def lookups(self) -> int:
@@ -62,6 +75,9 @@ class WeightProgramCache:
         self.capacity = capacity
         self.stats = CacheStats()
         self._entries: OrderedDict[str, ProgrammedWeights] = OrderedDict()
+        #: Die seed each entry was programmed on, for health-driven
+        #: invalidation (a recalibrated die's old programs are stale).
+        self._die_of: dict[str, int | None] = {}
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -83,6 +99,12 @@ class WeightProgramCache:
         # differently configured cores must never share a program.
         digest.update(repr(opc.config).encode())
         digest.update(repr((opc.seed, opc.enable_crosstalk)).encode())
+        # Calibrated AWC mappers (code pre-distortion, core/calibration)
+        # realize different levels than the raw bank; their programs must
+        # not be shared with an uncalibrated core of the same die.
+        digest.update(
+            repr(getattr(opc.awc, "calibration_token", None)).encode()
+        )
         return digest.hexdigest()
 
     def get_or_program(
@@ -108,11 +130,30 @@ class WeightProgramCache:
         self.stats.misses += 1
         programmed = opc.program(quantized_weights, scale)
         self._entries[key] = programmed
+        self._die_of[key] = opc.seed
         if self.capacity is not None and len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+            evicted, _ = self._entries.popitem(last=False)
+            self._die_of.pop(evicted, None)
             self.stats.evictions += 1
         return programmed, False
+
+    def invalidate_die(self, seed: int | None) -> int:
+        """Drop every program mapped on the die with ``seed``.
+
+        The online-recalibration path calls this when a node's watchdog
+        trips: after a thermal re-trim or an upset recovery the die's old
+        realized-weight records are stale, so the next ``activate`` of each
+        model on that node must re-run the (deterministic) mapping chain.
+        Returns the number of entries dropped.
+        """
+        stale = [key for key, die in self._die_of.items() if die == seed]
+        for key in stale:
+            self._entries.pop(key, None)
+            self._die_of.pop(key, None)
+        self.stats.invalidations += len(stale)
+        return len(stale)
 
     def clear(self) -> None:
         """Drop every entry (stats are kept)."""
         self._entries.clear()
+        self._die_of.clear()

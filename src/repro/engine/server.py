@@ -21,6 +21,20 @@ per-frame loop:
 Simulated-hardware semantics stay honest: a kernel swap still pays the
 mapping phase in *simulated* time and energy — the cache only removes the
 redundant *host-side* recomputation of the realized weights.
+
+Under a :class:`~repro.engine.health.FaultProfile` the server additionally
+samples per-node health mid-stream (thermal drift, injected upsets),
+routes frames around recalibrating or dead nodes, and reports
+degraded/recovered statistics (:class:`ServeReport.health`).  With no
+profile the health path is absent and serving is bit-identical to the
+pre-health engine.
+
+Units: arrivals/latencies in *simulated* seconds (``arrival_s``,
+``StreamEvent`` fields), energies in joules, ``wall_clock_s`` in host
+seconds — the two clocks are independent by design, so host-side caching
+never changes simulated physics.  Paper anchors: the 1000 FPS frame-rate
+claim (Section IV) sets the default offered rate; the fleet transport
+budget reuses Fig. 2's thing-centric payload accounting.
 """
 
 from __future__ import annotations
@@ -43,6 +57,7 @@ from repro.core.mapping import (
 from repro.core.opc import OpticalProcessingCore
 from repro.core.pipeline import HardwareFirstLayerPipeline
 from repro.engine.cache import WeightProgramCache
+from repro.engine.health import FaultProfile, HealthMonitor, HealthReport
 from repro.nn.layers import Sequential
 from repro.sim.fleet import FleetModel, RadioModel
 from repro.sim.stream import StreamEvent, StreamReport
@@ -69,6 +84,9 @@ class FrameResponse:
     node_id: int
     output: np.ndarray | None
     event: StreamEvent
+    #: Whether the frame computed on a degraded (upset) die — only ever
+    #: True when the server runs under a :class:`FaultProfile`.
+    degraded: bool = False
 
     @property
     def dropped(self) -> bool:
@@ -93,6 +111,9 @@ class ServeReport:
     #: First-layer feature payload shipped off-node (fleet radio model).
     payload_bytes: int = 0
     radio_energy_j: float = 0.0
+    #: Degraded/recovered statistics when serving under a
+    #: :class:`~repro.engine.health.FaultProfile` (``None`` otherwise).
+    health: HealthReport | None = None
 
     @property
     def delivered(self) -> int:
@@ -293,6 +314,12 @@ class FrameServer:
         Crosstalk + BPD read noise on each node's optics.
     radio:
         Edge-radio model for the feature payload accounting.
+    fault_profile:
+        Degradation scenario to serve under — a
+        :class:`~repro.engine.health.FaultProfile`, a named profile string
+        (``"none"``, ``"drift"``, ``"transient"``, ``"harsh"``), or
+        ``None``/``"none"`` for the healthy-die fast path (bit-identical
+        to a server built without the argument).
     """
 
     def __init__(
@@ -304,6 +331,7 @@ class FrameServer:
         seed: int | None = 0,
         enable_noise: bool = True,
         radio: RadioModel | None = None,
+        fault_profile: FaultProfile | str | None = None,
     ) -> None:
         check_positive("num_nodes", num_nodes)
         check_positive("micro_batch", micro_batch)
@@ -311,11 +339,22 @@ class FrameServer:
         self.micro_batch = micro_batch
         self.cache = cache if cache is not None else WeightProgramCache()
         self.fleet = FleetModel(self.config, radio=radio)
+        self._seed = seed
+        if isinstance(fault_profile, str):
+            fault_profile = FaultProfile.named(fault_profile)
+        if fault_profile is not None and not fault_profile.active:
+            fault_profile = None
+        self.fault_profile = fault_profile
         seeds = spawn_seeds(seed, num_nodes)
         self.nodes = [
             _Node(index, self.config, seeds[index], self.cache, enable_noise)
             for index in range(num_nodes)
         ]
+        if fault_profile is not None and fault_profile.calibrated:
+            from repro.core.calibration import CalibratedAwcMapper
+
+            for node in self.nodes:
+                node.opc.awc = CalibratedAwcMapper(node.opc.awc)
         self._models: dict[str, _ModelEntry] = {}
 
     # ------------------------------------------------------------------
@@ -413,10 +452,27 @@ class FrameServer:
             node.free_at = 0.0
             node.frames = 0
 
+        # Health monitoring covers one serve() call (the stream restarts at
+        # t = 0); cache invalidations it performs persist via the shared
+        # program cache.  With no profile, monitor is None and the loop
+        # below is bit-identical to the healthy-die server.
+        monitor = (
+            HealthMonitor(
+                self.fault_profile,
+                self.config,
+                self.nodes,
+                self.cache,
+                self._seed,
+            )
+            if self.fault_profile is not None
+            else None
+        )
+
         hits0, misses0 = self.cache.stats.hits, self.cache.stats.misses
         stream = StreamReport()
-        schedule: list[tuple[int, int, str]] = []  # (request idx, node, model)
-        placements: dict[int, tuple[int, StreamEvent]] = {}
+        #: (request idx, node, model, degradation tag); tag 0 = healthy.
+        schedule: list[tuple[int, int, str, int]] = []
+        placements: dict[int, tuple[int, StreamEvent, int]] = {}
 
         clock = time.perf_counter
         walled = 0.0
@@ -435,12 +491,14 @@ class FrameServer:
             # Building the pipeline (first sighting of a model on a node)
             # and the timing tables is host work; charge it to wall clock.
             started = clock()
+            if monitor is not None:
+                monitor.advance(arrival)
             node = self._pick_node(arrival, request.model_key)
             if node is None:
                 walled += clock() - started
                 event = StreamEvent(index, arrival, arrival, arrival, True, False)
                 stream.events.append(event)
-                placements[index] = (-1, event)
+                placements[index] = (-1, event, 0)
                 continue
             pipeline = node.pipeline_for(entry)
             steady, remap, steady_j, remap_j = entry.timing_for(
@@ -448,6 +506,7 @@ class FrameServer:
             )
             walled += clock() - started
 
+            tag = monitor.degradation_tag(node) if monitor is not None else 0
             remapped = node.active_model != entry.key
             timing = remap if remapped else steady
             start = arrival
@@ -458,20 +517,31 @@ class FrameServer:
             event = StreamEvent(index, arrival, start, finish, False, remapped)
             stream.events.append(event)
             stream.total_energy_j += remap_j if remapped else steady_j
-            placements[index] = (node.node_id, event)
-            schedule.append((index, node.node_id, entry.key))
+            placements[index] = (node.node_id, event, tag)
+            schedule.append((index, node.node_id, entry.key, tag))
+            if monitor is not None:
+                monitor.record_frame(tag > 0)
 
-        outputs, batch_wall = self._compute(requests, schedule)
+        outputs, batch_wall = self._compute(requests, schedule, monitor)
         walled += batch_wall
 
         report = ServeReport(stream=stream, wall_clock_s=walled)
         report.cache_hits = self.cache.stats.hits - hits0
         report.cache_misses = self.cache.stats.misses - misses0
+        if monitor is not None:
+            report.health = monitor.report
         for index, request in enumerate(requests):
-            node_id, event = placements[index]
+            node_id, event, tag = placements[index]
             output = outputs.get(index)
             report.responses.append(
-                FrameResponse(index, request.model_key, node_id, output, event)
+                FrameResponse(
+                    index,
+                    request.model_key,
+                    node_id,
+                    output,
+                    event,
+                    degraded=tag > 0,
+                )
             )
             if not event.dropped:
                 payload, radio_j = self._models[request.model_key].transport
@@ -506,38 +576,59 @@ class FrameServer:
     def _compute(
         self,
         requests: list[FrameRequest],
-        schedule: list[tuple[int, int, str]],
+        schedule: list[tuple[int, int, str, int]],
+        monitor=None,
     ) -> tuple[dict[int, np.ndarray], float]:
         """Run the admitted frames in per-(node, model) micro-batched runs.
 
         Runs are grouped within each node's own subsequence — two nodes
         interleaving in global arrival order must not fragment each
-        other's batches.
+        other's batches.  Under a fault profile, a run additionally breaks
+        at degradation boundaries: frames admitted during an upset window
+        compute through that upset's frozen
+        :class:`~repro.sim.faults.FaultyOpticalCore`, frames before/after
+        it on the healthy programmed core.
         """
         outputs: dict[int, np.ndarray] = {}
-        per_node: dict[int, list[tuple[int, str]]] = {}
-        for idx, node_id, model_key in schedule:
-            per_node.setdefault(node_id, []).append((idx, model_key))
+        per_node: dict[int, list[tuple[int, str, int]]] = {}
+        for idx, node_id, model_key, tag in schedule:
+            per_node.setdefault(node_id, []).append((idx, model_key, tag))
 
         started = time.perf_counter()
         for node_id, entries in per_node.items():
             node = self.nodes[node_id]
             position = 0
             while position < len(entries):
-                model_key = entries[position][1]
+                _, model_key, tag = entries[position]
                 run_end = position
-                while run_end < len(entries) and entries[run_end][1] == model_key:
+                while (
+                    run_end < len(entries)
+                    and entries[run_end][1:] == (model_key, tag)
+                ):
                     run_end += 1
                 run = entries[position:run_end]
                 position = run_end
 
                 pipeline = node.activate(self._models[model_key])
+                core = (
+                    monitor.fault_core(node, model_key, tag)
+                    if monitor is not None and tag > 0
+                    else None
+                )
                 for chunk_start in range(0, len(run), self.micro_batch):
                     chunk = run[chunk_start : chunk_start + self.micro_batch]
                     batch = np.stack(
-                        [np.asarray(requests[idx].frame, dtype=float) for idx, _ in chunk]
+                        [
+                            np.asarray(requests[idx].frame, dtype=float)
+                            for idx, _, _ in chunk
+                        ]
                     )
-                    logits = pipeline.forward(batch, batch_size=len(chunk))
-                    for offset, (idx, _) in enumerate(chunk):
+                    if core is not None:
+                        logits = pipeline.forward(
+                            batch, batch_size=len(chunk), core=core
+                        )
+                    else:
+                        logits = pipeline.forward(batch, batch_size=len(chunk))
+                    for offset, (idx, _, _) in enumerate(chunk):
                         outputs[idx] = logits[offset]
         return outputs, time.perf_counter() - started

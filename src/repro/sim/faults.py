@@ -76,6 +76,23 @@ class FaultyOpticalCore:
         self._channel_mask: np.ndarray | None = None
         self._output_gain: np.ndarray | None = None
 
+    @classmethod
+    def from_programmed(
+        cls,
+        opc: OpticalProcessingCore,
+        spec: FaultSpec,
+        seed: int | None = None,
+    ) -> "FaultyOpticalCore":
+        """Wrap an *already-programmed* core without re-running the mapping.
+
+        The serving-health path (:mod:`repro.engine.health`) injects upsets
+        mid-stream: the die's weights are already mapped (often restored
+        from the program cache), so only the fault patterns need drawing.
+        """
+        faulty = cls(opc, spec, seed=seed)
+        faulty.freeze(opc.programmed.realized.shape)
+        return faulty
+
     # -- delegation ------------------------------------------------------
     @property
     def config(self):
@@ -90,12 +107,22 @@ class FaultyOpticalCore:
     def program(self, quantized_weights: np.ndarray, scale: float):
         """Program the wrapped core, then freeze the fault patterns."""
         programmed = self.opc.program(quantized_weights, scale)
-        shape = programmed.realized.shape
+        self.freeze(programmed.realized.shape)
+        return programmed
+
+    def freeze(self, shape: tuple[int, ...]) -> None:
+        """Draw and freeze the fault patterns for a weight tensor shape.
+
+        Conv tensors (F, C, K, K) get a per-weight mask, a per-input-channel
+        VCSEL mask and a per-kernel BPD gain; dense tensors (out, in) get the
+        same three patterns over (out, in), in features and out features.
+        The draw order is fixed (weights, channels, gains) so patterns stay
+        frozen per seed regardless of how the wrapper was constructed.
+        """
         self._weight_mask = self._draw_weight_mask(shape)
-        if shape and len(shape) == 4:
+        if shape and len(shape) in (2, 4):
             self._channel_mask = self._draw_channel_mask(shape[1])
             self._output_gain = self._draw_output_gain(shape[0])
-        return programmed
 
     # -- fault pattern construction ---------------------------------------
     def _draw_weight_mask(self, shape: tuple[int, ...]) -> np.ndarray:
@@ -147,6 +174,50 @@ class FaultyOpticalCore:
         if self._output_gain is not None:
             out = out * self._output_gain[None, :, None, None]
         return out
+
+    def dot(self, activations: np.ndarray) -> np.ndarray:
+        """Faulty dense product (the MLP / VOM-split first-layer mode)."""
+        if self._weight_mask is None:
+            raise RuntimeError("program() must run before dot()")
+        activations = np.asarray(activations, dtype=float)
+        if self._channel_mask is not None:
+            activations = activations * self._channel_mask[None, :]
+        masked = self.opc.programmed.realized * self._weight_mask
+        out = activations @ masked.T
+        out = self.opc._add_read_noise(out, masked)
+        if self._output_gain is not None:
+            out = out * self._output_gain[None, :]
+        return out
+
+    @property
+    def weight_error_relative(self) -> float:
+        """RMS error the faults add to the realized weights, full-scale units.
+
+        The SNR watchdog (:mod:`repro.engine.health`) converts this into an
+        equivalent resolvable bit count and compares it against the
+        architecture's weight precision.
+        """
+        if self._weight_mask is None:
+            raise RuntimeError("program() must run before weight_error_relative")
+        realized = self.opc.programmed.realized
+        full_scale = float(np.max(np.abs(realized)))
+        if full_scale == 0.0:
+            return 0.0
+        faulted = realized * self._weight_mask
+        if self._channel_mask is not None:
+            # A dark input wavelength is equivalent (for the MAC) to
+            # zeroing every weight on that input channel — axis 1 of a
+            # conv tensor, the in-features axis of a dense tensor.
+            faulted = faulted * self._channel_mask.reshape(
+                (1, -1) + (1,) * (faulted.ndim - 2)
+            )
+        if self._output_gain is not None:
+            gain = self._output_gain.reshape(
+                (-1,) + (1,) * (faulted.ndim - 1)
+            )
+            faulted = faulted * gain
+        error = float(np.sqrt(np.mean((faulted - realized) ** 2)))
+        return error / full_scale
 
 
 def accuracy_under_faults(

@@ -16,8 +16,26 @@ by hand; this module makes the set *data*:
 
 Adding a platform is now a one-file change: subclass :class:`Platform`,
 decorate it, and every registry-driven consumer (``analysis/table1``,
-``analysis/fig9``, ``analysis/sweeps``, ``analysis/claims``, the
-``compare``/``sweep`` CLI commands and the benches) picks it up.
+``analysis/fig9``, ``analysis/sweeps``, ``analysis/claims``,
+``analysis/robustness_report``, the ``compare``/``sweep`` CLI commands
+and the benches) picks it up.
+
+Units: simulation reports carry energies in joules, powers in watts,
+times in seconds, throughputs in TOp/s and efficiencies in TOp/s/W —
+the quantities of the paper's Fig. 9 and Table I.  Paper anchors:
+Table I (structural flags: in-sensor, memory, NVM, technology node),
+Fig. 9 (the [weight:activation] bit grid all ``simulate_conv`` calls
+default to), Section V (the three rebuilt comparison platforms).
+
+Capability flags are honest interfaces: ``supports_conv``/
+``supports_mlp`` gate the ``simulate_*`` methods, and
+``fault_injectable`` marks the platforms whose hardware surface
+:mod:`repro.sim.faults` can degrade (only OISA models the optical fault
+physics; the digital baselines are exempt in robustness sweeps).
+Changing any adapter's numbers is a golden-guarded event: Table 1 /
+Fig. 9 / claims ``repr()`` outputs must stay bit-identical
+(``tests/test_goldens.py``) unless the change is intentional and the
+goldens are regenerated.
 """
 
 from __future__ import annotations
@@ -101,6 +119,10 @@ class Platform:
     has_nvm: bool = False
     #: Fabrication node reported in Table I.
     technology_nm: int = 65
+    #: Whether the platform exposes a hardware-in-the-loop fault surface
+    #: (:mod:`repro.sim.faults`) that :mod:`repro.analysis.robustness_report`
+    #: can degrade; digital baselines are assumed fault-free.
+    fault_injectable: bool = False
 
     def __init__(self, config: OISAConfig | None = None) -> None:
         self.config = config or OISAConfig()
@@ -119,6 +141,7 @@ class Platform:
             "has_memory": self.has_memory,
             "has_nvm": self.has_nvm,
             "technology_nm": self.technology_nm,
+            "fault_injectable": self.fault_injectable,
         }
 
     # ------------------------------------------------------------------
@@ -159,6 +182,7 @@ class OISAPlatform(Platform):
     supports_conv = True
     supports_mlp = True
     in_sensor = True
+    fault_injectable = True
 
     def __init__(self, config: OISAConfig | None = None) -> None:
         super().__init__(config)

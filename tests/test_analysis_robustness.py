@@ -1,0 +1,86 @@
+"""Tests for repro.analysis.robustness_report — registry-driven fault sweep."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.robustness_report import (
+    RobustnessSettings,
+    build_robustness_report,
+    render_robustness_report,
+)
+from repro.sim.platforms import iter_platforms, platform_registry
+
+
+@pytest.fixture(scope="module")
+def report():
+    return build_robustness_report(RobustnessSettings.fast())
+
+
+def test_covers_every_registered_platform(report):
+    names = {platform.name for platform in iter_platforms()}
+    assert set(report.platforms()) == names
+    # One cell per (platform, rate).
+    rates = report.settings.fault_rates
+    assert len(report.cells) == len(platform_registry()) * len(rates)
+
+
+def test_oisa_degrades_while_digital_platforms_hold(report):
+    matrix = report.accuracy_matrix()
+    low, high = report.settings.fault_rates[0], report.settings.fault_rates[-1]
+    assert matrix["OISA"][high] < matrix["OISA"][low]
+    for cell in report.cells:
+        if not cell.fault_injectable:
+            assert cell.accuracy == report.software_accuracy
+            assert cell.calibrated_accuracy is None
+
+
+def test_probe_model_learned_the_task(report):
+    """The sweep is meaningful only above chance level."""
+    chance = 1.0 / report.settings.num_classes
+    assert report.software_accuracy > 2 * chance
+    assert report.accuracy_matrix()["OISA"][0.0] > 2 * chance
+
+
+def test_calibrated_column_present_for_oisa(report):
+    oisa = [cell for cell in report.cells if cell.platform == "OISA"]
+    assert all(cell.calibrated_accuracy is not None for cell in oisa)
+
+
+def test_base_spec_rides_along_and_label_renders():
+    """A profile's extra fault classes must actually harshen the sweep."""
+    from repro.sim.faults import FaultSpec
+
+    settings = RobustnessSettings(
+        fault_rates=(0.0,),
+        base_spec=FaultSpec(bpd_gain_sigma=0.3, stuck_awc_branch_rate=0.2),
+        label="harsh",
+        include_calibrated=False,
+    )
+    harsh = build_robustness_report(settings)
+    plain = build_robustness_report(
+        RobustnessSettings(fault_rates=(0.0,), include_calibrated=False)
+    )
+    assert (
+        harsh.accuracy_matrix()["OISA"][0.0]
+        < plain.accuracy_matrix()["OISA"][0.0]
+    )
+    assert "Robustness [harsh]" in render_robustness_report(harsh)
+
+
+def test_report_is_deterministic():
+    settings = RobustnessSettings(
+        fault_rates=(0.0, 0.3), epochs=2, include_calibrated=False
+    )
+    first = build_robustness_report(settings)
+    second = build_robustness_report(settings)
+    assert first.software_accuracy == second.software_accuracy
+    for left, right in zip(first.cells, second.cells):
+        assert left == right
+
+
+def test_render_mentions_every_platform(report):
+    text = render_robustness_report(report)
+    for name in report.platforms():
+        assert name in text
+    assert "digital (exempt)" in text
+    assert "fault rate" in text

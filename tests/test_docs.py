@@ -1,0 +1,60 @@
+"""Tier-1 guard for the paper-to-code documentation layer.
+
+Runs the same checks as the CI docs job (``tools/check_docs.py``): every
+``repro.*`` pointer in ``docs/architecture.md``/``README.md`` must import,
+every referenced file must exist, and every ``src/repro`` package must
+have a paper-to-code row.
+"""
+
+import importlib.util
+import os
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+CHECKER_PATH = os.path.join(REPO_ROOT, "tools", "check_docs.py")
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location("check_docs", CHECKER_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_checker_script_exists():
+    assert os.path.isfile(CHECKER_PATH)
+
+
+def test_architecture_doc_exists():
+    assert os.path.isfile(os.path.join(REPO_ROOT, "docs", "architecture.md"))
+
+
+def test_module_references_import():
+    checker = _load_checker()
+    assert checker.check_module_references() == []
+
+
+def test_path_references_exist():
+    checker = _load_checker()
+    assert checker.check_path_references() == []
+
+
+def test_every_package_has_a_paper_to_code_row():
+    checker = _load_checker()
+    assert checker.check_package_coverage() == []
+
+
+def test_checker_catches_broken_pointers(tmp_path, monkeypatch):
+    """The checker is not vacuous: a bad pointer must fail."""
+    checker = _load_checker()
+    docs_dir = tmp_path / "docs"
+    docs_dir.mkdir()
+    (docs_dir / "architecture.md").write_text(
+        "`repro.engine.health` is real but `repro.engine.telepathy` and "
+        "`src/repro/engine/telepathy.py` are not.\n"
+    )
+    monkeypatch.setattr(checker, "REPO_ROOT", str(tmp_path))
+    docs = ("docs/architecture.md",)
+    module_failures = checker.check_module_references(doc_files=docs)
+    path_failures = checker.check_path_references(doc_files=docs)
+    assert any("telepathy" in failure for failure in module_failures)
+    assert any("telepathy" in failure for failure in path_failures)

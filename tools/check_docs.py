@@ -1,0 +1,128 @@
+"""Paper-to-code documentation checker.
+
+Validates the pointers in ``docs/architecture.md`` and ``README.md`` so
+the documentation layer cannot rot silently:
+
+1. every backticked dotted path starting with ``repro.`` must import (as
+   a module, or as an attribute of its parent module);
+2. every backticked repo-relative file/directory reference
+   (``src/...``, ``tests/...``, ``benchmarks/...``, ``examples/...``,
+   ``docs/...``, ``tools/...``) must exist;
+3. every package under ``src/repro`` must appear in
+   ``docs/architecture.md`` at least once (the paper-to-code map must be
+   total).
+
+Run from the repo root (CI docs job)::
+
+    PYTHONPATH=src python tools/check_docs.py
+
+Exit status 0 means every pointer resolves; failures are listed one per
+line.  ``tests/test_docs.py`` runs the same checks in the tier-1 suite.
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DOC_FILES = ("docs/architecture.md", "README.md")
+
+#: Backticked dotted module/attribute path, e.g. `repro.engine.health`.
+MODULE_RE = re.compile(r"`(repro(?:\.\w+)+)`")
+#: Backticked repo-relative path, e.g. `benchmarks/bench_robustness.py`.
+PATH_RE = re.compile(
+    r"`((?:src|tests|benchmarks|examples|docs|tools)/[\w./-]+)`"
+)
+#: Documented paths that are *generated* by running the benches and are
+#: legitimately absent from a clean checkout.
+GENERATED_PATHS = frozenset({"benchmarks/output/"})
+
+
+def _read(relative: str) -> str:
+    with open(os.path.join(REPO_ROOT, relative)) as handle:
+        return handle.read()
+
+
+def check_module_references(doc_files=DOC_FILES) -> list[str]:
+    """Import every backticked ``repro.*`` dotted path; return failures."""
+    failures = []
+    for doc in doc_files:
+        text = _read(doc)
+        for dotted in sorted(set(MODULE_RE.findall(text))):
+            if not _resolves(dotted):
+                failures.append(f"{doc}: `{dotted}` does not import")
+    return failures
+
+
+def _resolves(dotted: str) -> bool:
+    try:
+        importlib.import_module(dotted)
+        return True
+    except ImportError:
+        pass
+    # Maybe a module attribute (repro.engine.FrameServer).
+    parent, _, attribute = dotted.rpartition(".")
+    try:
+        module = importlib.import_module(parent)
+    except ImportError:
+        return False
+    return hasattr(module, attribute)
+
+
+def check_path_references(doc_files=DOC_FILES) -> list[str]:
+    """Verify every backticked repo-relative path exists; return failures."""
+    failures = []
+    for doc in doc_files:
+        text = _read(doc)
+        for path in sorted(set(PATH_RE.findall(text))):
+            if path in GENERATED_PATHS:
+                continue
+            if not os.path.exists(os.path.join(REPO_ROOT, path.rstrip("/"))):
+                failures.append(f"{doc}: `{path}` does not exist")
+    return failures
+
+
+def check_package_coverage(doc: str = "docs/architecture.md") -> list[str]:
+    """Every ``src/repro`` package needs at least one row in the map."""
+    text = _read(doc)
+    mentioned = set(MODULE_RE.findall(text))
+    mentioned_packages = {dotted.split(".")[1] for dotted in mentioned}
+    failures = []
+    packages_dir = os.path.join(REPO_ROOT, "src", "repro")
+    for name in sorted(os.listdir(packages_dir)):
+        package_init = os.path.join(packages_dir, name, "__init__.py")
+        if not os.path.isfile(package_init):
+            continue
+        if name not in mentioned_packages:
+            failures.append(
+                f"{doc}: package `repro.{name}` has no paper-to-code row"
+            )
+    return failures
+
+
+def run_all_checks() -> list[str]:
+    """Every check, concatenated failure list (empty = docs are sound)."""
+    return (
+        check_module_references()
+        + check_path_references()
+        + check_package_coverage()
+    )
+
+
+def main() -> int:
+    failures = run_all_checks()
+    for failure in failures:
+        print(f"FAIL {failure}")
+    if failures:
+        print(f"{len(failures)} broken documentation pointer(s)")
+        return 1
+    print("docs check: every module/path pointer resolves")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+    sys.exit(main())
