@@ -103,12 +103,18 @@ def run_degraded_bench(quick: bool = QUICK, seed: int = 0) -> dict:
 
 @pytest.fixture(scope="module")
 def bench_result(save_artifact):
+    from repro.analysis.perf import would_clobber_full_bench, write_bench
+
     result = run_degraded_bench()
-    with open(BENCH_JSON, "w") as handle:
-        json.dump(result, handle, indent=2)
-        handle.write("\n")
+    # Guarded writer: a quick (smoke) run never clobbers a full-mode
+    # trajectory entry at the repo root.
+    kept = would_clobber_full_bench(BENCH_JSON, result)
+    write_bench(BENCH_JSON, result)
     save_artifact("degraded_serving.txt", json.dumps(result, indent=2))
-    print(f"[degraded-serving trajectory entry written to {BENCH_JSON}]")
+    if kept:
+        print(f"[full-mode trajectory entry at {BENCH_JSON} kept]")
+    else:
+        print(f"[degraded-serving trajectory entry written to {BENCH_JSON}]")
     return result
 
 

@@ -1,0 +1,153 @@
+"""Scheduling-policy bench: SLO attainment on the mixed-tenant burst mix.
+
+The acceptance scenario for the multi-tenant scheduling engine
+(:mod:`repro.engine.scheduler` / :mod:`repro.engine.admission`): the
+``mixed-tenants`` workload — an interactive LeNet tenant with a 6 ms
+deadline sharing two nodes with bursty batch tenants (MLP + VGG-16 stem)
+that oversubscribe the fleet during bursts — served under each registered
+policy at the same seed.  The headline claim:
+
+* the **SLO-aware** policy (priority + per-tenant WFQ + backpressure)
+  must **beat greedy-FIFO on the interactive tenant's deadline-hit
+  rate** — greedy drops burst overflow indiscriminately, the SLO-aware
+  policy queues interactive frames through the burst and sheds batch
+  traffic instead;
+* the interactive tenant's p99 latency must stay within its deadline
+  under the SLO-aware policy.
+
+All quantities are *simulated*-time statistics, so the numbers are
+deterministic and environment-independent.  The run writes
+``BENCH_serving.json`` at the repo root (next to ``BENCH_program.json``
+and ``BENCH_degraded.json``) through the guarded
+:func:`~repro.analysis.perf.write_bench` — a ``REPRO_BENCH_QUICK=1``
+smoke run (shorter stream) never clobbers a full-mode trajectory entry.
+"""
+
+import json
+import os
+import platform
+
+import numpy as np
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BENCH_JSON = os.path.join(REPO_ROOT, "BENCH_serving.json")
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") == "1"
+
+SCENARIO = "mixed-tenants"
+OFFERED_FPS = 2600.0
+NUM_NODES = 2
+POLICIES = ("greedy", "edf", "slo")
+
+
+def _class_stats(report, name):
+    stats = report.slo.classes[name]
+    return {
+        "offered": stats.offered,
+        "delivered": stats.delivered,
+        "hit_rate": stats.hit_rate,
+        "p99_latency_s": stats.p99_latency_s,
+        "dropped_busy": stats.dropped_busy,
+        "shed": stats.shed,
+        "expired": stats.expired,
+    }
+
+
+def run_policy_bench(quick: bool = QUICK, seed: int = 0) -> dict:
+    """Serve the mixed-tenant burst scenario under every policy."""
+    from repro.engine import FrameServer
+    from repro.engine.workloads import MIXED_TENANT_CLASSES, build_scenario
+
+    frames = 150 if quick else 300
+    policies = {}
+    for policy in POLICIES:
+        scenario = build_scenario(
+            SCENARIO, frames=frames, offered_fps=OFFERED_FPS, seed=seed
+        )
+        server = FrameServer(
+            num_nodes=NUM_NODES, micro_batch=8, seed=seed, policy=policy
+        )
+        report = server.serve_scenario(scenario)
+        policies[policy] = {
+            "interactive": _class_stats(report, "interactive"),
+            "batch": _class_stats(report, "batch"),
+            "overall_hit_rate": report.slo.overall_hit_rate,
+            "drop_rate": report.stream.drop_rate,
+            "total_energy_j": report.stream.total_energy_j,
+        }
+    interactive_deadline = MIXED_TENANT_CLASSES["lenet-4b"].deadline_s
+    return {
+        "bench": "serving_policies",
+        "schema": 1,
+        "quick": quick,
+        "scenario": SCENARIO,
+        "offered_fps": OFFERED_FPS,
+        "num_nodes": NUM_NODES,
+        "frames": frames,
+        "interactive_deadline_s": interactive_deadline,
+        "policies": policies,
+        "slo_vs_greedy_hit_gain": (
+            policies["slo"]["interactive"]["hit_rate"]
+            - policies["greedy"]["interactive"]["hit_rate"]
+        ),
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+    }
+
+
+@pytest.fixture(scope="module")
+def bench_result(save_artifact):
+    from repro.analysis.perf import would_clobber_full_bench, write_bench
+
+    result = run_policy_bench()
+    kept = would_clobber_full_bench(BENCH_JSON, result)
+    write_bench(BENCH_JSON, result)
+    save_artifact("serving_policies.txt", json.dumps(result, indent=2))
+    if kept:
+        print(f"[full-mode trajectory entry at {BENCH_JSON} kept]")
+    else:
+        print(f"[serving-policy trajectory entry written to {BENCH_JSON}]")
+    return result
+
+
+def test_slo_policy_beats_greedy_on_interactive_hit_rate(bench_result):
+    """The headline acceptance: SLO-aware > greedy-FIFO for the tenant
+    that paid for a deadline."""
+    greedy = bench_result["policies"]["greedy"]["interactive"]
+    slo = bench_result["policies"]["slo"]["interactive"]
+    assert slo["hit_rate"] > greedy["hit_rate"], (
+        f"SLO-aware ({slo['hit_rate']:.3f}) did not beat greedy "
+        f"({greedy['hit_rate']:.3f}) on interactive deadline-hit rate"
+    )
+    assert slo["hit_rate"] >= 0.99
+
+
+def test_interactive_p99_within_deadline_under_slo_policy(bench_result):
+    slo = bench_result["policies"]["slo"]["interactive"]
+    assert slo["p99_latency_s"] <= bench_result["interactive_deadline_s"]
+
+
+def test_burst_scenario_actually_stresses_the_fleet(bench_result):
+    """Non-trivial load: greedy visibly drops, batch traffic gets shed or
+    expires under the SLO-aware policy."""
+    greedy = bench_result["policies"]["greedy"]
+    slo = bench_result["policies"]["slo"]
+    assert greedy["drop_rate"] > 0.0
+    assert greedy["interactive"]["dropped_busy"] > 0
+    assert slo["batch"]["shed"] + slo["batch"]["expired"] > 0
+
+
+def test_policy_bench_is_deterministic():
+    first = run_policy_bench(quick=True, seed=0)
+    second = run_policy_bench(quick=True, seed=0)
+    assert first["policies"] == second["policies"]
+
+
+def test_serving_json_written_at_repo_root(bench_result):
+    assert os.path.exists(BENCH_JSON)
+    with open(BENCH_JSON) as handle:
+        payload = json.load(handle)
+    assert payload["bench"] == "serving_policies"
+    assert "slo" in payload["policies"]

@@ -49,6 +49,29 @@ def main() -> None:
     print("\nsteady state: kernel swaps are cache hits, so a second pass")
     print("over the same tenants re-runs no AWC mapping at all.")
 
+    # -- multi-tenant SLOs: the scheduling layer in one comparison -----
+    from repro.engine import build_scenario
+
+    scenario = build_scenario(
+        "mixed-tenants", frames=120, offered_fps=2600.0, seed=0
+    )
+    print("\nMulti-tenant SLOs (mixed-tenants scenario, 2600 FPS offered):")
+    for policy in ("greedy", "slo"):
+        server = FrameServer(
+            num_nodes=num_nodes, micro_batch=8, seed=0, policy=policy
+        )
+        report = server.serve_scenario(scenario)
+        interactive = report.slo.classes["interactive"]
+        batch = report.slo.classes["batch"]
+        print(
+            f"  {policy:6s}: interactive hit rate "
+            f"{interactive.hit_rate:.3f} (p99 "
+            f"{interactive.p99_latency_s * 1e3:.2f} ms) | batch hit rate "
+            f"{batch.hit_rate:.3f}, shed {batch.shed}"
+        )
+    print("the SLO-aware policy queues interactive frames through the")
+    print("burst and sheds batch traffic; greedy drops indiscriminately.")
+
 
 if __name__ == "__main__":
     main()

@@ -25,6 +25,7 @@ bit-identity flag are the stable claims.
 from __future__ import annotations
 
 import json
+import os
 import platform
 import time
 from typing import Any, Callable
@@ -222,8 +223,39 @@ def render_bench(result: dict[str, Any]) -> str:
     )
 
 
+def would_clobber_full_bench(path: str, result: dict[str, Any]) -> bool:
+    """Whether writing ``result`` would replace a full run with a smoke run.
+
+    The perf-trajectory artifacts (``BENCH_*.json`` at the repo root) are
+    long-lived baselines; CI smoke runs (``quick: true`` payloads, fewer
+    repeats/frames) must never overwrite a full-mode entry — that
+    silently degrades the trajectory every future PR measures against.
+    An unreadable/schema-less existing file never blocks (it is not a
+    trajectory entry worth protecting).
+    """
+    if not result.get("quick", False) or not os.path.exists(path):
+        return False
+    try:
+        with open(path) as handle:
+            existing = json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        return False
+    return isinstance(existing, dict) and not existing.get("quick", False)
+
+
 def write_bench(path: str, result: dict[str, Any]) -> str:
-    """Write the payload as pretty JSON; returns ``path``."""
+    """Write a bench payload as pretty JSON; returns ``path``.
+
+    Refuses (skips the write, keeps the existing file) when ``result`` is
+    a ``quick`` smoke payload and ``path`` already holds a full-mode
+    entry — see :func:`would_clobber_full_bench`.
+    """
+    if would_clobber_full_bench(path, result):
+        print(
+            f"write_bench: refusing to overwrite full-mode {path} with a "
+            "quick (smoke) payload; existing trajectory entry kept"
+        )
+        return path
     with open(path, "w") as handle:
         json.dump(result, handle, indent=2, sort_keys=False)
         handle.write("\n")

@@ -134,34 +134,77 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         )
         print()
         print(render_robustness_report(build_robustness_report(settings)))
+    if args.capacity:
+        from dataclasses import replace
+
+        from repro.analysis.capacity import (
+            CapacitySettings,
+            build_capacity_report,
+            render_capacity_report,
+        )
+
+        capacity = (
+            CapacitySettings.fast() if args.fast else CapacitySettings()
+        )
+        if args.capacity_scenario:
+            capacity = replace(capacity, scenario=args.capacity_scenario)
+        if args.capacity_policies:
+            capacity = replace(
+                capacity,
+                policies=tuple(
+                    token.strip()
+                    for token in args.capacity_policies.split(",")
+                    if token.strip()
+                ),
+            )
+        if args.capacity_nodes:
+            capacity = replace(
+                capacity,
+                node_counts=tuple(
+                    int(token)
+                    for token in args.capacity_nodes.split(",")
+                    if token.strip()
+                ),
+            )
+        print()
+        print(render_capacity_report(build_capacity_report(capacity)))
     return 0
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    import numpy as np
-
-    from repro.engine import FrameRequest, FrameServer
-    from repro.nn.models import build_lenet
+    from repro.engine import FrameServer
+    from repro.engine.workloads import build_scenario, models_scenario
     from repro.util.tables import format_table
 
-    rng = np.random.default_rng(args.seed)
+    # The request stream comes from the workload layer: a registered
+    # scenario (default: the historical two-LeNet demo, byte-for-byte),
+    # or an ad-hoc zoo mix via --models.
+    if args.models:
+        scenario = models_scenario(
+            args.models,
+            frames=args.frames,
+            offered_fps=args.fps,
+            seed=args.seed,
+        )
+    else:
+        scenario = build_scenario(
+            args.scenario,
+            frames=args.frames,
+            offered_fps=args.fps,
+            seed=args.seed,
+        )
     server = FrameServer(
         num_nodes=args.nodes,
         micro_batch=args.batch,
         seed=args.seed,
         fault_profile=args.fault_profile,
+        policy=args.policy,
     )
-    # Two seeded QAT models stand in for a multi-tenant request mix; the
-    # stream swaps kernel sets mid-way to exercise the program cache.
-    server.register_model("model-a", build_lenet(seed=args.seed))
-    server.register_model("model-b", build_lenet(seed=args.seed + 1))
-    frames = rng.uniform(0.0, 1.0, (args.frames, 1, 28, 28))
-    requests = [
-        FrameRequest(frames[i], "model-a" if i < args.frames // 2 else "model-b")
-        for i in range(args.frames)
-    ]
-    report = server.serve(requests, offered_fps=args.fps)
+    report = server.serve_scenario(scenario, offered_fps=args.fps)
     rows = [
+        ("scenario", scenario.name),
+        ("models", ", ".join(scenario.model_keys)),
+        ("policy", args.policy),
         ("frames offered", report.stream.frames),
         ("frames delivered", report.delivered),
         ("drop rate", f"{report.stream.drop_rate:.3f}"),
@@ -199,6 +242,46 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             title=f"FrameServer — {args.nodes} node(s), micro-batch {args.batch}",
         )
     )
+    if report.slo is not None:
+        slo_rows = [
+            (
+                stats.name,
+                stats.priority,
+                "-"
+                if stats.deadline_s is None
+                else f"{stats.deadline_s * 1e3:.1f}",
+                stats.offered,
+                stats.delivered,
+                f"{stats.hit_rate:.3f}",
+                "-"
+                if stats.p99_latency_s != stats.p99_latency_s
+                else f"{stats.p99_latency_s * 1e3:.2f}",
+                stats.shed,
+                stats.expired,
+            )
+            for stats in sorted(
+                report.slo.classes.values(),
+                key=lambda s: (-s.priority, s.name),
+            )
+        ]
+        print()
+        print(
+            format_table(
+                (
+                    "class",
+                    "prio",
+                    "deadline [ms]",
+                    "offered",
+                    "delivered",
+                    "hit rate",
+                    "p99 [ms]",
+                    "shed",
+                    "expired",
+                ),
+                slo_rows,
+                title=f"SLO outcomes — policy {report.slo.policy!r}",
+            )
+        )
     if report.health is not None and report.health.events:
         print("\nhealth events:")
         for event in report.health.events:
@@ -210,12 +293,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from repro.analysis.perf import render_bench, run_bench, write_bench
+    from repro.analysis.perf import (
+        render_bench,
+        run_bench,
+        would_clobber_full_bench,
+        write_bench,
+    )
 
     result = run_bench(quick=args.quick, seed=args.seed)
     print(render_bench(result))
+    kept = would_clobber_full_bench(args.output, result)
     path = write_bench(args.output, result)
-    print(f"\nperf trajectory entry written to {path}")
+    if kept:
+        print(f"\nfull-mode perf trajectory entry at {path} kept")
+    else:
+        print(f"\nperf trajectory entry written to {path}")
     if not result["cold_program"]["bit_identical"]:
         print("ERROR: vectorized program() diverged from the scalar reference")
         return 1
@@ -264,7 +356,30 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--fast",
         action="store_true",
-        help="trimmed robustness rate grid (tier-1-test preset)",
+        help="trimmed grids (tier-1-test preset; applies to robustness "
+        "and capacity sweeps)",
+    )
+    sweep.add_argument(
+        "--capacity",
+        action="store_true",
+        help="also run the capacity-planning search "
+        "(sustainable FPS vs nodes vs policy; analysis/capacity)",
+    )
+    sweep.add_argument(
+        "--capacity-scenario",
+        default=None,
+        help="workload scenario for --capacity (default: poisson, "
+        "or diurnal with --fast)",
+    )
+    sweep.add_argument(
+        "--capacity-policies",
+        default=None,
+        help="comma list of policies for --capacity (e.g. 'greedy,slo')",
+    )
+    sweep.add_argument(
+        "--capacity-nodes",
+        default=None,
+        help="comma list of node counts for --capacity (e.g. '1,2,4')",
     )
     sweep.set_defaults(handler=_cmd_sweep)
     serve = subparsers.add_parser(
@@ -275,6 +390,25 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--nodes", type=int, default=2)
     serve.add_argument("--batch", type=int, default=16)
     serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--scenario",
+        default="default",
+        help="workload scenario (engine/workloads registry: default, "
+        "poisson, poisson-burst, diurnal, mixed-tenants, zoo)",
+    )
+    serve.add_argument(
+        "--models",
+        default=None,
+        help="ad-hoc zoo mix overriding --scenario, e.g. "
+        "'lenet:4,mlp:2,vgg16:1' (family[:weight_bits])",
+    )
+    serve.add_argument(
+        "--policy",
+        default="greedy",
+        choices=("greedy", "edf", "slo"),
+        help="scheduling policy (greedy-FIFO, earliest-deadline-first, "
+        "priority + per-tenant weighted fair queuing)",
+    )
     serve.add_argument(
         "--fault-profile",
         default="none",

@@ -1,15 +1,26 @@
-"""Batched frame-serving engine (cache + micro-batching + multi-node + health).
+"""Multi-tenant frame-serving engine (scheduler + admission + workloads).
 
 * :mod:`repro.engine.cache` — weight-program cache keyed by (kernel set,
   weight bits, die seed); kernel swaps stop re-running the AWC mapping
   chain, and :meth:`WeightProgramCache.invalidate_die` supports the
   online-recalibration path.
-* :mod:`repro.engine.server` — :class:`FrameServer`: admission control with
-  :mod:`repro.sim.stream` semantics, micro-batched compute through
-  :class:`~repro.core.pipeline.HardwareFirstLayerPipeline`, scheduling
-  across N simulated nodes with :mod:`repro.sim.fleet` transport budgets,
-  and :meth:`FrameServer.warmup` to pre-program known kernel sets through
-  the vectorized cold path so mid-stream swaps never stall.
+* :mod:`repro.engine.scheduler` — the simulated-time event loop and the
+  pluggable policies: greedy-FIFO (historical drop-if-busy behaviour),
+  earliest-deadline-first, and priority + per-tenant weighted fair
+  queuing (``"slo"``).
+* :mod:`repro.engine.admission` — per-model :class:`SloClass` service
+  levels (deadline, priority, drop policy, WFQ weight), backpressure
+  load shedding and the per-class :class:`SloReport` accounting.
+* :mod:`repro.engine.workloads` — scenario generators over the model zoo
+  (LeNet / MLP / VGG-16 / ResNet-18 first layers at several bit widths):
+  Poisson bursts, diurnal ramps, multi-tenant mixes, and the historical
+  two-LeNet demo as the ``default`` scenario.
+* :mod:`repro.engine.server` — :class:`FrameServer`: the thin facade
+  wiring cache + health + scheduler, micro-batched compute through
+  :class:`~repro.core.pipeline.HardwareFirstLayerPipeline`, fleet
+  transport budgets, and :meth:`FrameServer.warmup`.  The default
+  configuration (greedy policy, no SLO classes, no fault profile) is
+  bit-identical to the pre-split engine.
 * :mod:`repro.engine.health` — degraded-mode serving: named
   :class:`FaultProfile` scenarios, the :class:`SnrWatchdog` precision
   monitor, and the :class:`HealthMonitor` that samples thermal drift and
@@ -17,6 +28,12 @@
   nodes and restores bit-identical programs after recovery.
 """
 
+from repro.engine.admission import (
+    AdmissionController,
+    SloClass,
+    SloClassStats,
+    SloReport,
+)
 from repro.engine.cache import CacheStats, WeightProgramCache
 from repro.engine.health import (
     FaultProfile,
@@ -25,23 +42,55 @@ from repro.engine.health import (
     HealthReport,
     SnrWatchdog,
 )
+from repro.engine.scheduler import (
+    POLICIES,
+    EarliestDeadlinePolicy,
+    FrameScheduler,
+    GreedyFifoPolicy,
+    SchedulingPolicy,
+    SloAwarePolicy,
+    scheduling_policy,
+)
 from repro.engine.server import (
     FrameRequest,
     FrameResponse,
     FrameServer,
     ServeReport,
 )
+from repro.engine.workloads import (
+    ModelSpec,
+    Scenario,
+    build_scenario,
+    models_scenario,
+    scenario_registry,
+)
 
 __all__ = [
+    "POLICIES",
+    "AdmissionController",
     "CacheStats",
+    "EarliestDeadlinePolicy",
     "FaultProfile",
     "FrameRequest",
     "FrameResponse",
+    "FrameScheduler",
     "FrameServer",
+    "GreedyFifoPolicy",
     "HealthEvent",
     "HealthMonitor",
     "HealthReport",
+    "ModelSpec",
+    "Scenario",
     "ServeReport",
+    "SchedulingPolicy",
+    "SloAwarePolicy",
+    "SloClass",
+    "SloClassStats",
+    "SloReport",
     "SnrWatchdog",
     "WeightProgramCache",
+    "build_scenario",
+    "models_scenario",
+    "scenario_registry",
+    "scheduling_policy",
 ]

@@ -1,0 +1,288 @@
+"""Admission control: per-model SLO classes, load shedding, SLO reporting.
+
+The serving engine historically had exactly one service level: every frame
+is admitted if a die is free at its arrival instant, dropped otherwise
+(the global-shutter drop-if-busy rule of :mod:`repro.sim.stream`).  A
+multi-tenant fleet needs more vocabulary than that — OASIS-style
+distributed in-sensor deployments give every stream its own latency and
+bandwidth budget.  This module provides it:
+
+* :class:`SloClass` — a named service level attached to a model key:
+  relative deadline, priority tier, drop policy (drop-if-busy sensor
+  semantics vs. queue-until-deadline), weighted-fair-queuing share and an
+  optional backpressure bound;
+* :class:`AdmissionController` — maps model keys to SLO classes and makes
+  the shed/admit decision against the scheduler's queue-wait estimate
+  (load shedding: when offered load exceeds what the fleet can clear
+  within a class's ``max_queue_s``, new arrivals of that class are
+  rejected up front instead of rotting in a queue);
+* :class:`SloReport` / :class:`SloClassStats` — per-class outcome
+  accounting (deadline-hit rate, drop/shed split, latency percentiles)
+  attached to :class:`~repro.engine.server.ServeReport` as ``.slo``.
+
+Default-path contract: a server built without SLO classes uses the
+pass-through controller — every frame gets :data:`BEST_EFFORT` (no
+deadline, ``drop_policy="busy"``) and admission never sheds, so the
+greedy default configuration stays bit-identical to the pre-split engine.
+
+Units: deadlines/latencies in *simulated* seconds (same clock as
+``StreamEvent``); priorities are unitless integers (higher = more
+important); WFQ weights are unitless shares.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.sim.stream import nearest_rank_percentile
+from repro.util.validation import check_positive
+
+#: Drop policies a class can select: ``"busy"`` keeps the global-shutter
+#: drop-if-busy rule; ``"deadline"`` lets frames queue until their deadline
+#: (or the end of the stream) when the scheduling policy supports queueing.
+DROP_POLICIES = ("busy", "deadline")
+
+
+@dataclass(frozen=True)
+class SloClass:
+    """One service level: deadline, priority, drop policy, WFQ share.
+
+    Parameters
+    ----------
+    name:
+        Display name (one class instance may cover several model keys).
+    priority:
+        Priority tier; higher tiers are always dispatched before lower
+        ones by the SLO-aware policy.
+    deadline_s:
+        Relative completion deadline [s] measured from arrival; a
+        delivered frame *hits* its SLO when ``latency_s <= deadline_s``.
+        ``None`` means no deadline (every delivered frame hits).
+    drop_policy:
+        ``"busy"`` — drop at arrival when no node is free (sensor
+        semantics, the historical behaviour); ``"deadline"`` — buffer the
+        frame and drop it only when its deadline expires before it can
+        start (requires a queueing scheduler policy to matter).
+    weight:
+        Weighted-fair-queuing share within a priority tier (the SLO-aware
+        policy serves tenants in proportion to their weights).
+    max_queue_s:
+        Backpressure bound: shed the frame at admission when the
+        scheduler's queue-wait estimate exceeds this [s].  ``None``
+        disables shedding for the class.
+    """
+
+    name: str = "best-effort"
+    priority: int = 0
+    deadline_s: float | None = None
+    drop_policy: str = "busy"
+    weight: float = 1.0
+    max_queue_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.drop_policy not in DROP_POLICIES:
+            raise ValueError(
+                f"drop_policy must be one of {DROP_POLICIES}, got "
+                f"{self.drop_policy!r}"
+            )
+        check_positive("weight", self.weight)
+        if self.deadline_s is not None:
+            check_positive("deadline_s", self.deadline_s)
+        if self.max_queue_s is not None:
+            check_positive("max_queue_s", self.max_queue_s)
+
+    def absolute_deadline_s(self, arrival_s: float) -> float:
+        """Completion deadline on the stream clock (``inf`` when none)."""
+        if self.deadline_s is None:
+            return math.inf
+        return arrival_s + self.deadline_s
+
+    def hit(self, latency_s: float) -> bool:
+        """Whether a delivered frame's latency meets the deadline."""
+        if self.deadline_s is None:
+            return True
+        return latency_s <= self.deadline_s + 1e-12
+
+
+#: The pass-through service level every unclassified model serves under.
+BEST_EFFORT = SloClass()
+
+
+class AdmissionController:
+    """Maps model keys to SLO classes and makes the shed decision.
+
+    Parameters
+    ----------
+    classes:
+        ``{model_key: SloClass}``; keys absent from the mapping serve
+        under ``default``.
+    default:
+        Class for unmapped keys — :data:`BEST_EFFORT` unless overridden.
+
+    The controller is stateless per ``serve`` call: the scheduler records
+    the outcomes, :func:`build_slo_report` aggregates them afterwards.
+    """
+
+    def __init__(
+        self,
+        classes: dict[str, SloClass] | None = None,
+        default: SloClass = BEST_EFFORT,
+    ) -> None:
+        self.classes = dict(classes or {})
+        self.default = default
+        # One name, one definition: SLO accounting aggregates per class
+        # *name*, so two models sharing a name with different deadlines or
+        # priorities would report a deadline the frames were not scored
+        # against.
+        seen: dict[str, SloClass] = {}
+        for key, slo in self.classes.items():
+            previous = seen.setdefault(slo.name, slo)
+            if previous != slo:
+                raise ValueError(
+                    f"SLO class name {slo.name!r} is defined inconsistently "
+                    f"across model keys (e.g. {key!r}); classes sharing a "
+                    "name must be identical"
+                )
+
+    @property
+    def has_classes(self) -> bool:
+        """Whether any model serves under a non-default class."""
+        return bool(self.classes)
+
+    def slo_for(self, model_key: str) -> SloClass:
+        """The service level ``model_key`` serves under."""
+        return self.classes.get(model_key, self.default)
+
+    def sheds(self, model_key: str, wait_estimate_s: float) -> bool:
+        """Whether to shed an arrival given the scheduler's wait estimate."""
+        slo = self.slo_for(model_key)
+        if slo.max_queue_s is None:
+            return False
+        return wait_estimate_s > slo.max_queue_s
+
+
+#: The pass-through controller the default server configuration uses.
+PASS_THROUGH = AdmissionController()
+
+
+@dataclass
+class SloClassStats:
+    """Outcome counters of one SLO class over one served stream."""
+
+    name: str
+    priority: int
+    deadline_s: float | None
+    offered: int = 0
+    delivered: int = 0
+    #: Dropped at arrival because no node was free (sensor semantics).
+    dropped_busy: int = 0
+    #: Rejected by admission backpressure before entering the queue.
+    shed: int = 0
+    #: Queued but never dispatched (deadline passed or stream ended).
+    expired: int = 0
+    #: Delivered frames meeting / missing the relative deadline.
+    deadline_hits: int = 0
+    deadline_misses: int = 0
+    p50_latency_s: float = float("nan")
+    p99_latency_s: float = float("nan")
+
+    @property
+    def hit_rate(self) -> float:
+        """Deadline hits over *offered* frames — drops and sheds count
+        against the class, which is what a tenant's SLO attainment means."""
+        return self.deadline_hits / self.offered if self.offered else 0.0
+
+    @property
+    def delivered_rate(self) -> float:
+        """Delivered over offered frames."""
+        return self.delivered / self.offered if self.offered else 0.0
+
+
+@dataclass
+class SloReport:
+    """Per-class SLO accounting of one :meth:`FrameServer.serve` call."""
+
+    policy: str
+    classes: dict[str, SloClassStats] = field(default_factory=dict)
+
+    @property
+    def offered(self) -> int:
+        """Frames offered across every class."""
+        return sum(stats.offered for stats in self.classes.values())
+
+    @property
+    def overall_hit_rate(self) -> float:
+        """Deadline hits over offered frames, fleet-wide."""
+        hits = sum(stats.deadline_hits for stats in self.classes.values())
+        offered = self.offered
+        return hits / offered if offered else 0.0
+
+    def worst_class(self) -> SloClassStats | None:
+        """The class with the lowest hit rate (ties: lowest priority)."""
+        if not self.classes:
+            return None
+        return min(
+            self.classes.values(), key=lambda s: (s.hit_rate, s.priority)
+        )
+
+
+def build_slo_report(
+    policy_name: str,
+    responses,
+    admission: AdmissionController,
+    shed: set[int],
+    expired: set[int],
+) -> SloReport:
+    """Aggregate one serve call's responses into per-class SLO statistics.
+
+    ``shed``/``expired`` are the request indices the scheduler rejected at
+    admission / dropped from the queue; every other dropped frame is a
+    busy-drop.  Latency percentiles use the deterministic nearest-rank
+    rule from :mod:`repro.sim.stream`.
+    """
+    report = SloReport(policy=policy_name)
+    latencies: dict[str, list[float]] = {}
+    for response in responses:
+        slo = admission.slo_for(response.model_key)
+        stats = report.classes.get(slo.name)
+        if stats is None:
+            stats = SloClassStats(
+                name=slo.name, priority=slo.priority, deadline_s=slo.deadline_s
+            )
+            report.classes[slo.name] = stats
+            latencies[slo.name] = []
+        stats.offered += 1
+        if response.dropped:
+            if response.index in shed:
+                stats.shed += 1
+            elif response.index in expired:
+                stats.expired += 1
+            else:
+                stats.dropped_busy += 1
+            continue
+        stats.delivered += 1
+        latency = response.event.latency_s
+        latencies[slo.name].append(latency)
+        if slo.hit(latency):
+            stats.deadline_hits += 1
+        else:
+            stats.deadline_misses += 1
+    for name, stats in report.classes.items():
+        values = latencies[name]
+        if values:
+            stats.p50_latency_s = nearest_rank_percentile(values, 0.50)
+            stats.p99_latency_s = nearest_rank_percentile(values, 0.99)
+    return report
+
+
+__all__ = [
+    "BEST_EFFORT",
+    "DROP_POLICIES",
+    "PASS_THROUGH",
+    "AdmissionController",
+    "SloClass",
+    "SloClassStats",
+    "SloReport",
+    "build_slo_report",
+]

@@ -1,0 +1,546 @@
+"""Event-driven frame scheduler with pluggable multi-tenant policies.
+
+This module is the simulated-time half of the serving engine split out of
+the old monolithic ``FrameServer.serve`` loop.  A :class:`FrameScheduler`
+walks one event queue — frame arrivals plus node-free completions — and a
+:class:`SchedulingPolicy` decides what runs where:
+
+* :class:`GreedyFifoPolicy` (``"greedy"``) — the historical behaviour,
+  transcribed verbatim: frames are considered in arrival order, a free
+  node is picked with model affinity (else longest-idle), and a frame
+  with no free node is dropped on the spot.  No queueing.  The default
+  server configuration routes through this policy and is **bit-identical**
+  to the pre-split engine (pinned by ``tests/goldens/serve_default.json``).
+* :class:`EarliestDeadlinePolicy` (``"edf"``) — frames whose
+  :class:`~repro.engine.admission.SloClass` allows queueing wait for a
+  node and dispatch in absolute-deadline order (FIFO among equal
+  deadlines); queued frames whose deadline passes before they can start
+  are dropped as *expired*.
+* :class:`SloAwarePolicy` (``"slo"``) — priority tiers with per-tenant
+  weighted fair queuing inside each tier: the highest-priority non-empty
+  tenant queues are served in proportion to their classes' WFQ weights
+  (frame-count WFQ — deterministic, no service-time estimate needed),
+  FIFO within a tenant.  Combined with admission backpressure this is
+  the policy that protects interactive tenants through bursts.
+
+Determinism contract: the event queue orders by (time, kind, sequence)
+with node-free completions ahead of arrivals at the same instant; every
+tie-break is explicit (request index, enqueue sequence, tenant name), so
+a fixed (seed, scenario, policy) triple reproduces the same
+``ServeReport`` bit-for-bit — there is no wall-clock dependence in any
+simulated quantity.
+
+Units: all event times in *simulated* seconds (the ``StreamEvent``
+clock); ``wall_clock_s`` in the result is host time spent building
+pipelines/timing tables, kept separate by design.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.engine.admission import (
+    PASS_THROUGH,
+    AdmissionController,
+    SloClass,
+)
+from repro.sim.stream import StreamEvent, StreamReport
+
+#: Busy/free float tolerance — same constant the pre-split engine used.
+_EPS = 1e-12
+
+#: Event kinds, ordered so completions process before arrivals that land
+#: on the same instant (a freed node should take a queued earlier frame
+#: before a brand-new arrival claims it).
+_NODE_FREE = 0
+_ARRIVAL = 1
+
+
+@dataclass(frozen=True)
+class QueuedFrame:
+    """One admitted-but-waiting frame in a policy queue."""
+
+    index: int
+    model_key: str
+    tenant: str
+    arrival_s: float
+    slo: SloClass
+    #: Absolute completion deadline on the stream clock (``inf`` = none).
+    deadline_s: float
+
+
+class SchedulingPolicy:
+    """Node selection + (optional) queue discipline.
+
+    Subclasses with ``queueing = False`` only ever implement
+    :meth:`select_node`; queueing policies additionally buffer frames via
+    :meth:`enqueue` and surface them in policy order via :meth:`pop_next`.
+    A policy instance holds per-serve queue state — :meth:`reset` runs at
+    the start of every ``serve`` call.
+    """
+
+    #: Registry key / display name.
+    name: str = "policy"
+    #: Whether frames may wait for a node instead of dropping.
+    queueing: bool = False
+
+    def reset(self) -> None:
+        """Clear per-stream queue state (start of a ``serve`` call)."""
+
+    def select_node(self, nodes, arrival_s: float, model_key: str):
+        """Free node with model affinity, else the longest-idle free node.
+
+        Verbatim the pre-split ``FrameServer._pick_node`` — every policy
+        shares it so placement stays bit-identical on the greedy path.
+        """
+        free = [n for n in nodes if arrival_s >= n.free_at - _EPS]
+        if not free:
+            return None
+        for node in free:
+            if node.active_model == model_key:
+                return node
+        return min(free, key=lambda node: node.free_at)
+
+    # -- queue surface (queueing policies only) ------------------------
+    def enqueue(self, item: QueuedFrame) -> None:
+        raise NotImplementedError(f"{self.name} does not queue")
+
+    def requeue(self, item: QueuedFrame) -> None:
+        """Put a popped frame back (dispatch aborted, e.g. node went busy)."""
+        raise NotImplementedError(f"{self.name} does not queue")
+
+    def pop_next(self, now_s: float) -> QueuedFrame | None:
+        """Next frame in policy order, or ``None`` when the queue is empty."""
+        raise NotImplementedError(f"{self.name} does not queue")
+
+    def on_dispatched(self, item: QueuedFrame) -> None:
+        """Fairness bookkeeping hook; called once per dispatched frame."""
+
+    def queue_depth(self, min_priority: int | None = None) -> int:
+        """Queued frames (optionally only those at ``>= min_priority``)."""
+        return 0
+
+    def drain(self):
+        """Yield every still-queued frame (end-of-stream accounting)."""
+        return ()
+
+
+class GreedyFifoPolicy(SchedulingPolicy):
+    """Arrival-ordered, drop-if-busy — the historical engine behaviour."""
+
+    name = "greedy"
+    queueing = False
+
+
+class EarliestDeadlinePolicy(SchedulingPolicy):
+    """Queue frames and dispatch by earliest absolute deadline.
+
+    Frames without a deadline sort last (``inf``) and act as FIFO
+    background traffic; ties break on enqueue order.
+    """
+
+    name = "edf"
+    queueing = True
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, QueuedFrame]] = []
+        self._sequence = 0
+
+    def reset(self) -> None:
+        self._heap = []
+        self._sequence = 0
+
+    def enqueue(self, item: QueuedFrame) -> None:
+        heapq.heappush(self._heap, (item.deadline_s, self._sequence, item))
+        self._sequence += 1
+
+    def requeue(self, item: QueuedFrame) -> None:
+        # Re-inserting with a fresh sequence keeps deadline order exact;
+        # only equal-deadline FIFO order can rotate, and only when a
+        # dispatch was aborted by a health recalibration.
+        self.enqueue(item)
+
+    def pop_next(self, now_s: float) -> QueuedFrame | None:
+        if not self._heap:
+            return None
+        return heapq.heappop(self._heap)[2]
+
+    def queue_depth(self, min_priority: int | None = None) -> int:
+        if min_priority is None:
+            return len(self._heap)
+        return sum(
+            1 for _, _, item in self._heap if item.slo.priority >= min_priority
+        )
+
+    def drain(self):
+        while self._heap:
+            yield heapq.heappop(self._heap)[2]
+
+
+class SloAwarePolicy(SchedulingPolicy):
+    """Priority tiers + per-tenant weighted fair queuing within a tier.
+
+    Tenants accumulate normalized service (``1/weight`` per dispatched
+    frame); among the non-empty tenants whose head frames sit in the
+    highest priority tier, the one with the least normalized service goes
+    next (ties: lexicographic tenant name).  FIFO within a tenant.
+    """
+
+    name = "slo"
+    queueing = True
+
+    def __init__(self) -> None:
+        self._queues: dict[str, deque[QueuedFrame]] = {}
+        self._vwork: dict[str, float] = {}
+
+    def reset(self) -> None:
+        self._queues = {}
+        self._vwork = {}
+
+    def enqueue(self, item: QueuedFrame) -> None:
+        self._queues.setdefault(item.tenant, deque()).append(item)
+
+    def requeue(self, item: QueuedFrame) -> None:
+        self._queues.setdefault(item.tenant, deque()).appendleft(item)
+
+    def pop_next(self, now_s: float) -> QueuedFrame | None:
+        candidates = [
+            (queue[0], tenant)
+            for tenant, queue in self._queues.items()
+            if queue
+        ]
+        if not candidates:
+            return None
+        top = max(head.slo.priority for head, _ in candidates)
+        tenant = min(
+            (
+                (self._vwork.get(name, 0.0), name)
+                for head, name in candidates
+                if head.slo.priority == top
+            )
+        )[1]
+        return self._queues[tenant].popleft()
+
+    def on_dispatched(self, item: QueuedFrame) -> None:
+        self._vwork[item.tenant] = (
+            self._vwork.get(item.tenant, 0.0) + 1.0 / item.slo.weight
+        )
+
+    def queue_depth(self, min_priority: int | None = None) -> int:
+        items = (
+            item for queue in self._queues.values() for item in queue
+        )
+        if min_priority is None:
+            return sum(1 for _ in items)
+        return sum(1 for item in items if item.slo.priority >= min_priority)
+
+    def drain(self):
+        for tenant in sorted(self._queues):
+            queue = self._queues[tenant]
+            while queue:
+                yield queue.popleft()
+
+
+#: Policy registry for the CLI / workloads layer.
+POLICIES: dict[str, type[SchedulingPolicy]] = {
+    GreedyFifoPolicy.name: GreedyFifoPolicy,
+    EarliestDeadlinePolicy.name: EarliestDeadlinePolicy,
+    SloAwarePolicy.name: SloAwarePolicy,
+}
+
+
+def scheduling_policy(spec: "str | SchedulingPolicy") -> SchedulingPolicy:
+    """Resolve a policy name or pass an instance through."""
+    if isinstance(spec, SchedulingPolicy):
+        return spec
+    cls = POLICIES.get(str(spec).strip().lower())
+    if cls is None:
+        raise ValueError(
+            f"unknown scheduling policy {spec!r}; known: "
+            f"{', '.join(sorted(POLICIES))}"
+        )
+    return cls()
+
+
+@dataclass
+class SchedulingResult:
+    """What one scheduler run decided (compute happens afterwards)."""
+
+    stream: StreamReport
+    #: (request idx, node id, model key, degradation tag) per admitted frame,
+    #: in dispatch order — the compute phase batches over this.
+    schedule: list[tuple[int, int, str, int]] = field(default_factory=list)
+    #: request idx -> (node id, event, tag); node id -1 for drops.
+    placements: dict[int, tuple[int, StreamEvent, int]] = field(
+        default_factory=dict
+    )
+    #: Indices rejected by admission backpressure.
+    shed: set[int] = field(default_factory=set)
+    #: Indices queued but never dispatched (deadline passed / stream end).
+    expired: set[int] = field(default_factory=set)
+    #: Host time spent on pipeline builds + timing tables.
+    wall_clock_s: float = 0.0
+
+
+class FrameScheduler:
+    """One ``serve`` call's simulated-time admission + placement engine.
+
+    Parameters
+    ----------
+    nodes:
+        The server's ``_Node`` list (mutated: ``free_at``, ``frames``,
+        ``active_model``).
+    models:
+        ``{model_key: _ModelEntry}`` — pipeline/timing factories.
+    policy:
+        A :class:`SchedulingPolicy` instance (reset per run).
+    admission:
+        The :class:`~repro.engine.admission.AdmissionController`.
+    monitor:
+        Optional :class:`~repro.engine.health.HealthMonitor`; advanced on
+        every arrival (and, for queueing policies, on completions).
+    """
+
+    def __init__(
+        self,
+        nodes,
+        models,
+        policy: SchedulingPolicy,
+        admission: AdmissionController | None = None,
+        monitor=None,
+    ) -> None:
+        self.nodes = nodes
+        self.models = models
+        self.policy = policy
+        self.admission = admission if admission is not None else PASS_THROUGH
+        self.monitor = monitor
+        #: Rolling service-time hint [s] for the backpressure wait estimate
+        #: (last dispatched frame's pipelined service time).
+        self._service_hint_s = 0.0
+
+    # ------------------------------------------------------------------
+    # Public entry
+    # ------------------------------------------------------------------
+    def run(self, requests, arrivals: list[float]) -> SchedulingResult:
+        """Admit and place every request; returns the scheduling decisions.
+
+        ``arrivals`` is the resolved arrival time per request index.  The
+        result's ``stream.events`` are ordered by (arrival, index) — the
+        same order the pre-split engine appended them in — regardless of
+        dispatch order, and ``total_energy_j`` accumulates in dispatch
+        order (identical to arrival order on the non-queueing path).
+        """
+        self.policy.reset()
+        result = SchedulingResult(stream=StreamReport())
+        self._result = result
+        self._requests = requests
+        self._arrivals = arrivals
+        #: Node ids with a completion event currently in the heap — one
+        #: pending event per node keeps the heap linear in dispatches.
+        self._free_event_pending: set[int] = set()
+
+        order = sorted(range(len(requests)), key=arrivals.__getitem__)
+        heap: list[tuple[float, int, int]] = [
+            (arrivals[index], _ARRIVAL, index) for index in order
+        ]
+        heapq.heapify(heap)
+        self._heap = heap
+        while heap:
+            time_s, kind, key = heapq.heappop(heap)
+            if kind == _NODE_FREE:
+                self._on_node_free(time_s, key)
+            else:
+                self._on_arrival(time_s, key)
+        for item in self.policy.drain():
+            self._drop(item.index, item.arrival_s, expired=True)
+
+        # Rebuild the event list in (arrival, index) order — bit-identical
+        # to the old single-loop append order on the greedy path, and a
+        # stable convention for queueing policies.
+        result.stream.events = [
+            result.placements[index][1] for index in order
+        ]
+        return result
+
+    # ------------------------------------------------------------------
+    # Event handlers
+    # ------------------------------------------------------------------
+    def _on_arrival(self, now_s: float, index: int) -> None:
+        clock = time.perf_counter
+        started = clock()
+        if self.monitor is not None:
+            self.monitor.advance(now_s)
+        request = self._requests[index]
+        model_key = request.model_key
+        slo = self.admission.slo_for(model_key)
+        tenant = getattr(request, "tenant", None) or model_key
+        item = QueuedFrame(
+            index=index,
+            model_key=model_key,
+            tenant=tenant,
+            arrival_s=now_s,
+            slo=slo,
+            deadline_s=slo.absolute_deadline_s(now_s),
+        )
+        if slo.max_queue_s is not None and self.admission.sheds(
+            model_key, self._wait_estimate(now_s, slo)
+        ):
+            self._result.wall_clock_s += clock() - started
+            self._drop(index, now_s, shed=True)
+            return
+        node = self.policy.select_node(self.nodes, now_s, model_key)
+        if node is None:
+            if not self.policy.queueing or slo.drop_policy == "busy":
+                self._result.wall_clock_s += clock() - started
+                self._drop(index, now_s)
+                return
+            self.policy.enqueue(item)
+            # Every busy node needs a completion event on the heap, or
+            # this frame can strand: a health recalibration extends
+            # ``free_at`` *outside* a dispatch (even on an idle node), so
+            # the dispatch-time push alone does not cover it.
+            for candidate in self.nodes:
+                self._push_free_event(candidate)
+            self._result.wall_clock_s += clock() - started
+            return
+        self._dispatch(item, node, now_s, started)
+
+    def _push_free_event(self, node) -> None:
+        """Schedule ``node``'s next completion (at most one pending)."""
+        if not math.isfinite(node.free_at):
+            return  # dead node: it will never complete
+        if node.node_id in self._free_event_pending:
+            return
+        self._free_event_pending.add(node.node_id)
+        heapq.heappush(self._heap, (node.free_at, _NODE_FREE, node.node_id))
+
+    def _on_node_free(self, now_s: float, node_id: int) -> None:
+        self._free_event_pending.discard(node_id)
+        node = self.nodes[node_id]
+        if not math.isfinite(node.free_at):
+            return  # node died (health) — nothing will ever dispatch here
+        if now_s < node.free_at - _EPS:
+            # Stale completion: the node's busy window was extended (e.g.
+            # a health recalibration) after this event was scheduled.
+            self._push_free_event(node)
+            return
+        item = self._pop_live(now_s)
+        if item is None:
+            return
+        clock = time.perf_counter
+        started = clock()
+        if self.monitor is not None:
+            self.monitor.advance(now_s)
+            if now_s < node.free_at - _EPS or not math.isfinite(node.free_at):
+                # The monitor just took this node offline; put the frame
+                # back and wait for the node's next completion.
+                self.policy.requeue(item)
+                self._result.wall_clock_s += clock() - started
+                self._push_free_event(node)
+                return
+        self._dispatch(item, node, now_s, started)
+
+    def _pop_live(self, now_s: float) -> QueuedFrame | None:
+        """Next queued frame whose deadline can still be met (expired
+        frames drop on the way)."""
+        while True:
+            item = self.policy.pop_next(now_s)
+            if item is None:
+                return None
+            if item.deadline_s < now_s - _EPS:
+                self._drop(item.index, item.arrival_s, expired=True)
+                continue
+            return item
+
+    # ------------------------------------------------------------------
+    # Outcomes
+    # ------------------------------------------------------------------
+    def _drop(
+        self,
+        index: int,
+        arrival_s: float,
+        shed: bool = False,
+        expired: bool = False,
+    ) -> None:
+        event = StreamEvent(index, arrival_s, arrival_s, arrival_s, True, False)
+        self._result.placements[index] = (-1, event, 0)
+        if shed:
+            self._result.shed.add(index)
+        elif expired:
+            self._result.expired.add(index)
+
+    def _dispatch(
+        self, item: QueuedFrame, node, start_s: float, started_clock: float
+    ) -> None:
+        clock = time.perf_counter
+        entry = self.models[item.model_key]
+        # Building the pipeline (first sighting of a model on a node) and
+        # the timing tables is host work; charge it to wall clock.
+        pipeline = node.pipeline_for(entry)
+        steady, remap, steady_j, remap_j = entry.timing_for(
+            pipeline, np.shape(self._requests[item.index].frame)
+        )
+        self._result.wall_clock_s += clock() - started_clock
+
+        tag = (
+            self.monitor.degradation_tag(node)
+            if self.monitor is not None
+            else 0
+        )
+        remapped = node.active_model != entry.key
+        timing = remap if remapped else steady
+        finish = start_s + timing.sequential_s
+        node.free_at = start_s + timing.pipelined_s
+        self._service_hint_s = timing.pipelined_s
+        node.active_model = entry.key
+        node.frames += 1
+        event = StreamEvent(
+            item.index, item.arrival_s, start_s, finish, False, remapped
+        )
+        self._result.stream.total_energy_j += remap_j if remapped else steady_j
+        self._result.placements[item.index] = (node.node_id, event, tag)
+        self._result.schedule.append(
+            (item.index, node.node_id, entry.key, tag)
+        )
+        self.policy.on_dispatched(item)
+        if self.monitor is not None:
+            self.monitor.record_frame(tag > 0)
+        if self.policy.queueing:
+            self._push_free_event(node)
+
+    # ------------------------------------------------------------------
+    # Backpressure estimate
+    # ------------------------------------------------------------------
+    def _wait_estimate(self, now_s: float, slo: SloClass) -> float:
+        """Rough queue delay a new arrival of ``slo`` would see [s].
+
+        Earliest node availability plus the competing backlog (queued
+        frames at equal-or-higher priority) spread across the fleet at the
+        last observed service time.  Deterministic and cheap — admission
+        sheds on this, it never affects the default pass-through path.
+        """
+        soonest = min(node.free_at for node in self.nodes)
+        wait = max(0.0, soonest - now_s) if math.isfinite(soonest) else math.inf
+        ahead = self.policy.queue_depth(min_priority=slo.priority)
+        if ahead and self._service_hint_s > 0.0:
+            wait += ahead * self._service_hint_s / max(len(self.nodes), 1)
+        return wait
+
+
+__all__ = [
+    "POLICIES",
+    "EarliestDeadlinePolicy",
+    "FrameScheduler",
+    "GreedyFifoPolicy",
+    "QueuedFrame",
+    "SchedulingPolicy",
+    "SchedulingResult",
+    "SloAwarePolicy",
+    "scheduling_policy",
+]

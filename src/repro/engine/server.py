@@ -1,12 +1,14 @@
-"""Batched frame-serving engine over simulated OISA nodes.
+"""Frame-serving facade: cache + health + scheduler wired into one server.
 
 ``FrameServer`` turns the per-figure evaluation stack into a serving path:
-frame requests tagged with a model key arrive at an offered rate, get
-admission-controlled against each node's frame timing (the same
-drop-if-busy semantics as :mod:`repro.sim.stream`), and the admitted frames
-run through :class:`~repro.core.pipeline.HardwareFirstLayerPipeline` in
-micro-batches.  Three mechanisms make it faster and more scalable than a
-per-frame loop:
+frame requests tagged with a model key arrive at an offered rate, pass
+through admission control (:mod:`repro.engine.admission` SLO classes and
+load shedding), get placed on nodes by a pluggable scheduling policy
+(:mod:`repro.engine.scheduler` — greedy-FIFO by default, EDF and
+SLO-aware weighted fair queuing for multi-tenant mixes), and the admitted
+frames run through :class:`~repro.core.pipeline.HardwareFirstLayerPipeline`
+in micro-batches.  Three mechanisms make it faster and more scalable than
+a per-frame loop:
 
 * **micro-batching** — admitted frames are grouped per (node, model) run
   and pushed through the optics + off-chip layers as one NumPy batch,
@@ -35,6 +37,15 @@ seconds — the two clocks are independent by design, so host-side caching
 never changes simulated physics.  Paper anchors: the 1000 FPS frame-rate
 claim (Section IV) sets the default offered rate; the fleet transport
 budget reuses Fig. 2's thing-centric payload accounting.
+
+Layering: this module is the thin facade.  Simulated-time admission and
+placement live in :mod:`repro.engine.scheduler`, service levels in
+:mod:`repro.engine.admission`, scenario generation in
+:mod:`repro.engine.workloads`; the facade owns model registration, node
+construction, warmup and the micro-batched host compute.  The default
+configuration — ``policy="greedy"``, no SLO classes,
+``fault_profile=None`` — is **bit-identical** to the pre-split engine
+(pinned by ``tests/test_engine_scheduler.py``).
 """
 
 from __future__ import annotations
@@ -56,8 +67,19 @@ from repro.core.mapping import (
 )
 from repro.core.opc import OpticalProcessingCore
 from repro.core.pipeline import HardwareFirstLayerPipeline
+from repro.engine.admission import (
+    AdmissionController,
+    SloClass,
+    SloReport,
+    build_slo_report,
+)
 from repro.engine.cache import WeightProgramCache
 from repro.engine.health import FaultProfile, HealthMonitor, HealthReport
+from repro.engine.scheduler import (
+    FrameScheduler,
+    SchedulingPolicy,
+    scheduling_policy,
+)
 from repro.nn.layers import Sequential
 from repro.sim.fleet import FleetModel, RadioModel
 from repro.sim.stream import StreamEvent, StreamReport
@@ -73,6 +95,9 @@ class FrameRequest:
     model_key: str
     #: Arrival timestamp [s]; ``None`` means "derive from the offered rate".
     arrival_s: float | None = None
+    #: Tenant the frame bills to (weighted-fair-queuing identity); ``None``
+    #: means "the model key is the tenant".
+    tenant: str | None = None
 
 
 @dataclass(frozen=True)
@@ -114,6 +139,8 @@ class ServeReport:
     #: Degraded/recovered statistics when serving under a
     #: :class:`~repro.engine.health.FaultProfile` (``None`` otherwise).
     health: HealthReport | None = None
+    #: Per-class SLO accounting (``None`` on the default best-effort path).
+    slo: SloReport | None = None
 
     @property
     def delivered(self) -> int:
@@ -320,6 +347,14 @@ class FrameServer:
         (``"none"``, ``"drift"``, ``"transient"``, ``"harsh"``), or
         ``None``/``"none"`` for the healthy-die fast path (bit-identical
         to a server built without the argument).
+    policy:
+        Scheduling policy — ``"greedy"`` (default, the historical
+        drop-if-busy behaviour), ``"edf"``, ``"slo"`` or a
+        :class:`~repro.engine.scheduler.SchedulingPolicy` instance.
+    slo_classes:
+        ``{model_key: SloClass}`` service levels (or a prebuilt
+        :class:`~repro.engine.admission.AdmissionController`); ``None``
+        serves everything best-effort.
     """
 
     def __init__(
@@ -332,6 +367,8 @@ class FrameServer:
         enable_noise: bool = True,
         radio: RadioModel | None = None,
         fault_profile: FaultProfile | str | None = None,
+        policy: str | SchedulingPolicy = "greedy",
+        slo_classes: dict[str, SloClass] | AdmissionController | None = None,
     ) -> None:
         check_positive("num_nodes", num_nodes)
         check_positive("micro_batch", micro_batch)
@@ -340,6 +377,14 @@ class FrameServer:
         self.cache = cache if cache is not None else WeightProgramCache()
         self.fleet = FleetModel(self.config, radio=radio)
         self._seed = seed
+        self.policy = scheduling_policy(policy)
+        #: Whether the caller pinned the service levels at construction —
+        #: scenario-carried classes then never override them.
+        self._explicit_slo = slo_classes is not None
+        if isinstance(slo_classes, AdmissionController):
+            self.admission = slo_classes
+        else:
+            self.admission = AdmissionController(slo_classes)
         if isinstance(fault_profile, str):
             fault_profile = FaultProfile.named(fault_profile)
         if fault_profile is not None and not fault_profile.active:
@@ -433,8 +478,10 @@ class FrameServer:
 
         Requests without explicit ``arrival_s`` arrive uniformly at
         ``offered_fps`` (default: the configured frame rate).  Admission
-        and latency bookkeeping run in simulated time with the same
-        drop-if-busy rule as :class:`~repro.sim.stream.StreamSimulator`;
+        and placement run in simulated time inside
+        :class:`~repro.engine.scheduler.FrameScheduler` under this
+        server's policy and SLO classes (the greedy default keeps the
+        drop-if-busy rule of :class:`~repro.sim.stream.StreamSimulator`);
         the admitted frames then compute in micro-batches, grouped into
         consecutive same-model runs per node.
         """
@@ -454,8 +501,8 @@ class FrameServer:
 
         # Health monitoring covers one serve() call (the stream restarts at
         # t = 0); cache invalidations it performs persist via the shared
-        # program cache.  With no profile, monitor is None and the loop
-        # below is bit-identical to the healthy-die server.
+        # program cache.  With no profile, monitor is None and scheduling
+        # is bit-identical to the healthy-die server.
         monitor = (
             HealthMonitor(
                 self.fault_profile,
@@ -469,69 +516,34 @@ class FrameServer:
         )
 
         hits0, misses0 = self.cache.stats.hits, self.cache.stats.misses
-        stream = StreamReport()
-        #: (request idx, node, model, degradation tag); tag 0 = healthy.
-        schedule: list[tuple[int, int, str, int]] = []
-        placements: dict[int, tuple[int, StreamEvent, int]] = {}
 
-        clock = time.perf_counter
-        walled = 0.0
-
-        # Admission control walks requests in arrival order (explicit
-        # timestamps may interleave); responses keep request order.
+        # Arrival resolution stays here (the rate default is server
+        # policy); the simulated-time walk is the scheduler's.
         arrivals = [
             request.arrival_s if request.arrival_s is not None else index * interval
             for index, request in enumerate(requests)
         ]
-        for index in sorted(range(len(requests)), key=arrivals.__getitem__):
-            request = requests[index]
-            entry = self._models[request.model_key]
-            arrival = arrivals[index]
+        scheduler = FrameScheduler(
+            self.nodes,
+            self._models,
+            self.policy,
+            admission=self.admission,
+            monitor=monitor,
+        )
+        result = scheduler.run(requests, arrivals)
 
-            # Building the pipeline (first sighting of a model on a node)
-            # and the timing tables is host work; charge it to wall clock.
-            started = clock()
-            if monitor is not None:
-                monitor.advance(arrival)
-            node = self._pick_node(arrival, request.model_key)
-            if node is None:
-                walled += clock() - started
-                event = StreamEvent(index, arrival, arrival, arrival, True, False)
-                stream.events.append(event)
-                placements[index] = (-1, event, 0)
-                continue
-            pipeline = node.pipeline_for(entry)
-            steady, remap, steady_j, remap_j = entry.timing_for(
-                pipeline, np.shape(request.frame)
-            )
-            walled += clock() - started
+        outputs, batch_wall = self._compute(requests, result.schedule, monitor)
 
-            tag = monitor.degradation_tag(node) if monitor is not None else 0
-            remapped = node.active_model != entry.key
-            timing = remap if remapped else steady
-            start = arrival
-            finish = start + timing.sequential_s
-            node.free_at = start + timing.pipelined_s
-            node.active_model = entry.key
-            node.frames += 1
-            event = StreamEvent(index, arrival, start, finish, False, remapped)
-            stream.events.append(event)
-            stream.total_energy_j += remap_j if remapped else steady_j
-            placements[index] = (node.node_id, event, tag)
-            schedule.append((index, node.node_id, entry.key, tag))
-            if monitor is not None:
-                monitor.record_frame(tag > 0)
-
-        outputs, batch_wall = self._compute(requests, schedule, monitor)
-        walled += batch_wall
-
-        report = ServeReport(stream=stream, wall_clock_s=walled)
+        report = ServeReport(
+            stream=result.stream,
+            wall_clock_s=result.wall_clock_s + batch_wall,
+        )
         report.cache_hits = self.cache.stats.hits - hits0
         report.cache_misses = self.cache.stats.misses - misses0
         if monitor is not None:
             report.health = monitor.report
         for index, request in enumerate(requests):
-            node_id, event, tag = placements[index]
+            node_id, event, tag = result.placements[index]
             output = outputs.get(index)
             report.responses.append(
                 FrameResponse(
@@ -548,6 +560,16 @@ class FrameServer:
                 report.payload_bytes += payload
                 report.radio_energy_j += radio_j
         report.node_frames = {node.node_id: node.frames for node in self.nodes}
+        # SLO accounting only exists when there is something to account
+        # for — classes or a queueing policy; the default path stays bare.
+        if self.admission.has_classes or self.policy.queueing:
+            report.slo = build_slo_report(
+                self.policy.name,
+                report.responses,
+                self.admission,
+                result.shed,
+                result.expired,
+            )
         return report
 
     def serve_frames(
@@ -560,19 +582,54 @@ class FrameServer:
         requests = [FrameRequest(frame, model_key) for frame in np.asarray(frames)]
         return self.serve(requests, offered_fps=offered_fps)
 
+    def serve_scenario(
+        self,
+        scenario,
+        offered_fps: float | None = None,
+    ) -> ServeReport:
+        """Serve a :class:`~repro.engine.workloads.Scenario` end-to-end.
+
+        Registers any of the scenario's models this server hasn't seen,
+        adopts its SLO classes (unless this server was built with explicit
+        ``slo_classes`` — construction pins them), and serves its request
+        list at ``offered_fps`` (default: the scenario's suggested rate,
+        else the configured frame rate).  Adoption is per call: a later
+        scenario's classes replace an earlier one's, and a class-less
+        scenario serves best-effort again.
+
+        Raises ``ValueError`` when the scenario reuses an already
+        registered model key for a *different* kernel set (e.g. the same
+        scenario name rebuilt at another seed) — serving scenario B's
+        frames through scenario A's weights would silently corrupt every
+        statistic.
+        """
+        for key, model in scenario.models.items():
+            if key not in self._models:
+                self.register_model(key, model)
+                continue
+            # Every parameter must match — the off-chip head serves too,
+            # so first-layer equality alone would let a different network
+            # hide behind a known kernel set.
+            registered = self._models[key].model.parameters()
+            incoming = model.parameters()
+            if len(registered) != len(incoming) or any(
+                not np.array_equal(ours.data, theirs.data)
+                for ours, theirs in zip(registered, incoming)
+            ):
+                raise ValueError(
+                    f"scenario {scenario.name!r} redefines model key "
+                    f"{key!r} with different weights than the model "
+                    "already registered on this server; serve it on a "
+                    "fresh server (or use distinct keys)"
+                )
+        if not self._explicit_slo:
+            self.admission = AdmissionController(scenario.slo_classes)
+        rate = offered_fps if offered_fps is not None else scenario.offered_fps
+        return self.serve(scenario.requests, offered_fps=rate)
+
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    def _pick_node(self, arrival: float, model_key: str) -> _Node | None:
-        """Free node with model affinity, else the longest-idle free node."""
-        free = [n for n in self.nodes if arrival >= n.free_at - 1e-12]
-        if not free:
-            return None
-        for node in free:
-            if node.active_model == model_key:
-                return node
-        return min(free, key=lambda node: node.free_at)
-
     def _compute(
         self,
         requests: list[FrameRequest],

@@ -1,0 +1,518 @@
+"""Workload scenarios: traffic generators over the model zoo.
+
+The serving demos historically hard-coded one synthetic stream (two
+LeNets, uniform arrivals, half/half split).  A scheduling engine needs to
+be exercised by the traffic it will actually face — CamJ-style system
+studies treat the workload mix as a first-class axis — so this module
+makes scenarios *data*:
+
+* :class:`ModelSpec` — one zoo entry: a model family (LeNet / MLP /
+  VGG-16 first layer / ResNet-18 first layer) at a weight bit width, with
+  its frame geometry.  The VGG/ResNet entries are first-layer-only
+  pipelines (ternary input + quantized stem convolution) — exactly the
+  part of the network OISA computes in-sensor, and what a node ships
+  off-die per the paper's thing-centric argument;
+* :class:`Scenario` — models + a concrete request list (explicit arrival
+  times) + optional per-model :class:`~repro.engine.admission.SloClass`
+  map, servable via :meth:`FrameServer.serve_scenario`;
+* scenario generators registered under stable keys
+  (:func:`register_scenario` / :func:`build_scenario` /
+  :func:`scenario_registry`, mirroring :mod:`repro.sim.platforms`):
+  ``default`` (the historical two-LeNet demo, kept bit-compatible),
+  ``poisson`` (memoryless arrivals), ``poisson-burst`` (ON/OFF bursts),
+  ``diurnal`` (deterministic sinusoidal rate ramp), ``mixed-tenants``
+  (interactive vs. batch tenants with SLO classes — the policy-bench
+  scenario) and ``zoo`` (round-robin over every family and bit width).
+
+Determinism: every stochastic draw comes from
+``np.random.default_rng(seed)`` streams derived per scenario, so a fixed
+(scenario, frames, fps, seed) triple reproduces the same request list —
+and therefore, via the scheduler's determinism contract, the same
+``ServeReport`` — bit-for-bit.
+
+Units: arrival times in *simulated* seconds, rates in frames/second;
+frames are (C, H, W) float arrays on a unit pixel scale.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.engine.admission import SloClass
+from repro.engine.server import FrameRequest
+from repro.nn.layers import Sequential
+from repro.nn.models import (
+    FirstLayerConfig,
+    TernaryInputLayer,
+    build_lenet,
+    build_mlp,
+)
+from repro.nn.quant import QuantConv2D
+from repro.util.rng import spawn_seeds
+from repro.util.validation import check_positive
+
+#: Frame geometry per family: (in_channels, height, width).
+_FAMILY_FRAME_SHAPES: dict[str, tuple[int, int, int]] = {
+    "lenet": (1, 28, 28),
+    "mlp": (1, 28, 28),
+    "vgg16": (3, 32, 32),
+    "resnet18": (3, 32, 32),
+}
+
+#: First-layer stem geometry for the conv-only families:
+#: (out_channels, kernel_size, stride, padding).  Both CIFAR-class stems
+#: are 3x3/64 — they differ as kernel *sets* (independent weights), which
+#: is what the serving cache/scheduler care about.
+_STEM_GEOMETRY: dict[str, tuple[int, int, int, int]] = {
+    "vgg16": (64, 3, 1, 1),
+    "resnet18": (64, 3, 1, 1),
+}
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """One zoo entry: family + weight bit width (+ derived frame shape)."""
+
+    family: str
+    weight_bits: int = 4
+
+    def __post_init__(self) -> None:
+        if self.family not in _FAMILY_FRAME_SHAPES:
+            raise ValueError(
+                f"unknown model family {self.family!r}; known: "
+                f"{', '.join(sorted(_FAMILY_FRAME_SHAPES))}"
+            )
+        if not 1 <= self.weight_bits <= 4:
+            raise ValueError(
+                f"weight_bits must be in [1, 4], got {self.weight_bits}"
+            )
+
+    @property
+    def key(self) -> str:
+        """Stable model key, e.g. ``"lenet-4b"``."""
+        return f"{self.family}-{self.weight_bits}b"
+
+    @property
+    def frame_shape(self) -> tuple[int, int, int]:
+        """(C, H, W) geometry of the frames this model serves."""
+        return _FAMILY_FRAME_SHAPES[self.family]
+
+    def build(self, seed: int | None = None) -> Sequential:
+        """Construct the servable model (full net or first-layer stem)."""
+        config = FirstLayerConfig(weight_bits=self.weight_bits)
+        if self.family == "lenet":
+            return build_lenet(first_layer=config, seed=seed)
+        if self.family == "mlp":
+            channels, rows, cols = self.frame_shape
+            return build_mlp(
+                in_features=channels * rows * cols,
+                hidden=(64,),
+                first_layer=config,
+                seed=seed,
+            )
+        kernels, size, stride, padding = _STEM_GEOMETRY[self.family]
+        channels = self.frame_shape[0]
+        return Sequential(
+            [
+                TernaryInputLayer(),
+                QuantConv2D(
+                    channels,
+                    kernels,
+                    size,
+                    bits=self.weight_bits,
+                    stride=stride,
+                    padding=padding,
+                    use_bias=False,
+                    seed=seed,
+                ),
+            ]
+        )
+
+
+def parse_model_specs(text: str) -> tuple[ModelSpec, ...]:
+    """Parse a CLI model list like ``"lenet:4,mlp:2,vgg16:1"``.
+
+    Each token is ``family[:bits]`` (bits default to 4).
+    """
+    specs = []
+    for token in text.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        family, _, bits = token.partition(":")
+        specs.append(ModelSpec(family.strip(), int(bits) if bits else 4))
+    if not specs:
+        raise ValueError(f"no model specs in {text!r}")
+    return tuple(specs)
+
+
+@dataclass
+class Scenario:
+    """Models + request stream + SLO classes, ready to serve."""
+
+    name: str
+    description: str
+    models: dict[str, Sequential]
+    requests: list[FrameRequest]
+    slo_classes: dict[str, SloClass] = field(default_factory=dict)
+    #: Rate the arrivals were generated for (and the fallback interval for
+    #: requests without explicit timestamps).
+    offered_fps: float | None = None
+
+    @property
+    def model_keys(self) -> tuple[str, ...]:
+        return tuple(self.models)
+
+
+#: Registered generators: key -> (description, factory(frames, fps, seed)).
+_SCENARIOS: dict[str, tuple[str, Callable[[int, float, int], Scenario]]] = {}
+
+
+def register_scenario(key: str, description: str):
+    """Decorator registering a scenario generator under ``key``."""
+
+    def decorator(fn: Callable[[int, float, int], Scenario]):
+        lowered = key.lower()
+        if lowered in _SCENARIOS:
+            raise ValueError(f"scenario {lowered!r} is already registered")
+        _SCENARIOS[lowered] = (description, fn)
+        return fn
+
+    return decorator
+
+
+def scenario_registry() -> tuple[str, ...]:
+    """Registered scenario keys, in registration order."""
+    return tuple(_SCENARIOS)
+
+
+def scenario_description(key: str) -> str:
+    """One-line description of a registered scenario."""
+    return _lookup(key)[0]
+
+
+def build_scenario(
+    key: str,
+    frames: int = 64,
+    offered_fps: float = 1000.0,
+    seed: int = 0,
+) -> Scenario:
+    """Generate a registered scenario's models + request stream."""
+    check_positive("frames", frames)
+    check_positive("offered_fps", offered_fps)
+    return _lookup(key)[1](frames, offered_fps, seed)
+
+
+def _lookup(key: str) -> tuple[str, Callable]:
+    entry = _SCENARIOS.get(key.lower())
+    if entry is None:
+        raise ValueError(
+            f"unknown scenario {key!r}; known: "
+            f"{', '.join(sorted(_SCENARIOS))}"
+        )
+    return entry
+
+
+# ----------------------------------------------------------------------
+# Generator helpers
+# ----------------------------------------------------------------------
+def _build_models(
+    specs: tuple[ModelSpec, ...], seed: int
+) -> dict[str, Sequential]:
+    seeds = spawn_seeds(seed, len(specs))
+    return {spec.key: spec.build(seeds[i]) for i, spec in enumerate(specs)}
+
+
+def _frame(rng: np.random.Generator, spec: ModelSpec) -> np.ndarray:
+    return rng.uniform(0.0, 1.0, spec.frame_shape)
+
+
+def _interleave(streams: list[list[FrameRequest]]) -> list[FrameRequest]:
+    """Merge per-tenant streams into one arrival-sorted request list."""
+    merged = [request for stream in streams for request in stream]
+    merged.sort(key=lambda request: request.arrival_s)
+    return merged
+
+
+def _poisson_arrivals(
+    rng: np.random.Generator, frames: int, rate_fps: float
+) -> list[float]:
+    gaps = rng.exponential(1.0 / rate_fps, frames)
+    return list(np.cumsum(gaps))
+
+
+# ----------------------------------------------------------------------
+# Scenarios
+# ----------------------------------------------------------------------
+@register_scenario(
+    "default",
+    "historical two-LeNet demo: uniform arrivals, half/half model split",
+)
+def _default_scenario(frames: int, offered_fps: float, seed: int) -> Scenario:
+    # Byte-for-byte the stream `repro serve` always generated: frames from
+    # default_rng(seed), model-a/b = LeNets at seed/seed+1, implicit
+    # uniform arrivals (the server derives them from the offered rate).
+    rng = np.random.default_rng(seed)
+    models = {
+        "model-a": build_lenet(seed=seed),
+        "model-b": build_lenet(seed=seed + 1),
+    }
+    stack = rng.uniform(0.0, 1.0, (frames, 1, 28, 28))
+    requests = [
+        FrameRequest(stack[i], "model-a" if i < frames // 2 else "model-b")
+        for i in range(frames)
+    ]
+    return Scenario(
+        name="default",
+        description=scenario_description("default"),
+        models=models,
+        requests=requests,
+        offered_fps=offered_fps,
+    )
+
+
+@register_scenario(
+    "poisson",
+    "memoryless arrivals over a LeNet+MLP mix (queueable 20 ms deadline)",
+)
+def _poisson_scenario(frames: int, offered_fps: float, seed: int) -> Scenario:
+    rng = np.random.default_rng(seed)
+    specs = (ModelSpec("lenet", 4), ModelSpec("mlp", 2))
+    models = _build_models(specs, seed)
+    arrivals = _poisson_arrivals(rng, frames, offered_fps)
+    choices = rng.random(frames)
+    requests = []
+    for i in range(frames):
+        spec = specs[0] if choices[i] < 0.7 else specs[1]
+        requests.append(
+            FrameRequest(_frame(rng, spec), spec.key, arrival_s=arrivals[i])
+        )
+    slo = SloClass(name="stream", deadline_s=0.02, drop_policy="deadline")
+    return Scenario(
+        name="poisson",
+        description=scenario_description("poisson"),
+        models=models,
+        requests=requests,
+        slo_classes={spec.key: slo for spec in specs},
+        offered_fps=offered_fps,
+    )
+
+
+@register_scenario(
+    "poisson-burst",
+    "ON/OFF Poisson bursts (4x rate, 30% duty) over a LeNet+MLP mix",
+)
+def _burst_scenario(frames: int, offered_fps: float, seed: int) -> Scenario:
+    rng = np.random.default_rng(seed)
+    specs = (ModelSpec("lenet", 4), ModelSpec("mlp", 2))
+    models = _build_models(specs, seed)
+    period_s, duty, multiplier = 0.04, 0.3, 4.0
+    # Off-rate chosen so the long-run average stays at offered_fps.
+    off_rate = offered_fps * (1.0 - duty * multiplier) / (1.0 - duty)
+    off_rate = max(off_rate, offered_fps * 0.05)
+    requests = []
+    now = 0.0
+    choices = rng.random(frames)
+    for i in range(frames):
+        in_burst = (now % period_s) < duty * period_s
+        rate = offered_fps * multiplier if in_burst else off_rate
+        now += rng.exponential(1.0 / rate)
+        spec = specs[0] if choices[i] < 0.6 else specs[1]
+        requests.append(
+            FrameRequest(_frame(rng, spec), spec.key, arrival_s=now)
+        )
+    slo = SloClass(name="stream", deadline_s=0.02, drop_policy="deadline")
+    return Scenario(
+        name="poisson-burst",
+        description=scenario_description("poisson-burst"),
+        models=models,
+        requests=requests,
+        slo_classes={spec.key: slo for spec in specs},
+        offered_fps=offered_fps,
+    )
+
+
+@register_scenario(
+    "diurnal",
+    "deterministic sinusoidal rate ramp (0.4x-1.6x) over two LeNet widths",
+)
+def _diurnal_scenario(frames: int, offered_fps: float, seed: int) -> Scenario:
+    rng = np.random.default_rng(seed)
+    specs = (ModelSpec("lenet", 4), ModelSpec("lenet", 2))
+    models = _build_models(specs, seed)
+    requests = []
+    now = 0.0
+    for i in range(frames):
+        # One full "day" over the stream; rate swings 0.4x..1.6x.
+        phase = 2.0 * math.pi * i / frames
+        rate = offered_fps * (1.0 + 0.6 * math.sin(phase))
+        now += 1.0 / rate
+        spec = specs[i % len(specs)]
+        requests.append(
+            FrameRequest(_frame(rng, spec), spec.key, arrival_s=now)
+        )
+    return Scenario(
+        name="diurnal",
+        description=scenario_description("diurnal"),
+        models=models,
+        requests=requests,
+        offered_fps=offered_fps,
+    )
+
+
+#: SLO classes of the ``mixed-tenants`` scenario (also used by the
+#: serving-policy bench): an interactive tenant with a tight deadline and
+#: triple WFQ share, and a batch tenant that queues long and sheds first.
+MIXED_TENANT_CLASSES: dict[str, SloClass] = {
+    "lenet-4b": SloClass(
+        name="interactive",
+        priority=2,
+        deadline_s=0.006,
+        drop_policy="deadline",
+        weight=3.0,
+    ),
+    "mlp-2b": SloClass(
+        name="batch",
+        priority=0,
+        deadline_s=0.05,
+        drop_policy="deadline",
+        weight=1.0,
+        max_queue_s=0.02,
+    ),
+    "vgg16-1b": SloClass(
+        name="batch",
+        priority=0,
+        deadline_s=0.05,
+        drop_policy="deadline",
+        weight=1.0,
+        max_queue_s=0.02,
+    ),
+}
+
+
+@register_scenario(
+    "mixed-tenants",
+    "interactive LeNet tenant (tight SLO) vs bursty batch tenants "
+    "(MLP + VGG16 stem) oversubscribing the fleet",
+)
+def _mixed_tenant_scenario(
+    frames: int, offered_fps: float, seed: int
+) -> Scenario:
+    rng = np.random.default_rng(seed)
+    interactive = ModelSpec("lenet", 4)
+    batch_specs = (ModelSpec("mlp", 2), ModelSpec("vgg16", 1))
+    models = _build_models((interactive,) + batch_specs, seed)
+
+    n_interactive = frames // 2
+    n_batch = frames - n_interactive
+    # Interactive: steady uniform arrivals at just over half the offered
+    # rate — a well-behaved tenant.
+    interactive_stream = [
+        FrameRequest(
+            _frame(rng, interactive),
+            interactive.key,
+            arrival_s=i / (0.55 * offered_fps),
+            tenant="interactive",
+        )
+        for i in range(n_interactive)
+    ]
+    # Batch: ON/OFF bursts at 5x during 25% duty windows — during a burst
+    # the combined offered rate exceeds fleet capacity.
+    period_s, duty, multiplier = 0.05, 0.25, 5.0
+    base = 0.45 * offered_fps
+    off_rate = max(base * (1.0 - duty * multiplier) / (1.0 - duty), base * 0.05)
+    batch_stream = []
+    now = 0.0
+    choices = rng.random(n_batch)
+    for i in range(n_batch):
+        in_burst = (now % period_s) < duty * period_s
+        rate = base * multiplier if in_burst else off_rate
+        now += rng.exponential(1.0 / rate)
+        spec = batch_specs[0] if choices[i] < 0.7 else batch_specs[1]
+        batch_stream.append(
+            FrameRequest(
+                _frame(rng, spec), spec.key, arrival_s=now, tenant="batch"
+            )
+        )
+    return Scenario(
+        name="mixed-tenants",
+        description=scenario_description("mixed-tenants"),
+        models=models,
+        requests=_interleave([interactive_stream, batch_stream]),
+        slo_classes=dict(MIXED_TENANT_CLASSES),
+        offered_fps=offered_fps,
+    )
+
+
+@register_scenario(
+    "zoo",
+    "round-robin over every model family at several bit widths",
+)
+def _zoo_scenario(frames: int, offered_fps: float, seed: int) -> Scenario:
+    specs = (
+        ModelSpec("lenet", 4),
+        ModelSpec("lenet", 2),
+        ModelSpec("mlp", 4),
+        ModelSpec("mlp", 2),
+        ModelSpec("vgg16", 4),
+        ModelSpec("vgg16", 1),
+        ModelSpec("resnet18", 4),
+        ModelSpec("resnet18", 2),
+    )
+    scenario = models_scenario(
+        specs, frames=frames, offered_fps=offered_fps, seed=seed
+    )
+    scenario.name = "zoo"
+    scenario.description = scenario_description("zoo")
+    return scenario
+
+
+def models_scenario(
+    specs: tuple[ModelSpec, ...] | str,
+    frames: int = 64,
+    offered_fps: float = 1000.0,
+    seed: int = 0,
+) -> Scenario:
+    """Ad-hoc scenario: uniform arrivals round-robin over ``specs``.
+
+    Backs the ``repro serve --models`` flag — pick any zoo subset without
+    registering a scenario.  ``specs`` may be the CLI string form.
+    """
+    if isinstance(specs, str):
+        specs = parse_model_specs(specs)
+    check_positive("frames", frames)
+    check_positive("offered_fps", offered_fps)
+    rng = np.random.default_rng(seed)
+    models = _build_models(tuple(specs), seed)
+    requests = []
+    for i in range(frames):
+        spec = specs[i % len(specs)]
+        requests.append(
+            FrameRequest(
+                _frame(rng, spec), spec.key, arrival_s=i / offered_fps
+            )
+        )
+    return Scenario(
+        name="models",
+        description=f"uniform round-robin over {', '.join(s.key for s in specs)}",
+        models=models,
+        requests=requests,
+        offered_fps=offered_fps,
+    )
+
+
+__all__ = [
+    "MIXED_TENANT_CLASSES",
+    "ModelSpec",
+    "Scenario",
+    "build_scenario",
+    "models_scenario",
+    "parse_model_specs",
+    "register_scenario",
+    "scenario_description",
+    "scenario_registry",
+]

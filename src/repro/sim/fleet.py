@@ -130,6 +130,28 @@ class FleetModel:
             radio_energy_j=self.radio.transmit_energy_j(payload),
         )
 
+    def sustainable_fps(self, workload: ConvWorkload) -> float:
+        """Highest drop-free per-node rate for a steady kernel set [FPS].
+
+        The analytic ceiling of one node's exposure-overlapped service
+        time — the single-model upper bound the capacity-planning curves
+        (:mod:`repro.analysis.capacity`) compare the simulated policies
+        against.  Mixed scenarios sit below it (kernel swaps pay remap
+        phases), queueing policies approach it from below.  Delegates to
+        :meth:`~repro.sim.stream.StreamSimulator.max_sustainable_fps` —
+        one definition of the bound, fleet-facing name.
+        """
+        from repro.sim.stream import StreamSimulator
+
+        return StreamSimulator(self.config).max_sustainable_fps(workload)
+
+    def fleet_capacity_fps(
+        self, workload: ConvWorkload, num_nodes: int
+    ) -> float:
+        """Aggregate drop-free rate of ``num_nodes`` nodes [FPS]."""
+        check_positive("num_nodes", num_nodes)
+        return num_nodes * self.sustainable_fps(workload)
+
     def compare(self, workload: ConvWorkload, num_nodes: int) -> FleetReport:
         """Fleet-level comparison of the two strategies."""
         check_positive("num_nodes", num_nodes)

@@ -11,11 +11,29 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import math
+
 from repro.core.config import OISAConfig
 from repro.core.controller import TimingController
 from repro.core.energy import OISAEnergyModel
 from repro.core.mapping import ConvWorkload, plan_convolution
 from repro.util.validation import check_positive
+
+
+def nearest_rank_percentile(values: list[float], fraction: float) -> float:
+    """Deterministic nearest-rank percentile (no interpolation).
+
+    ``fraction`` in (0, 1]; returns ``sorted(values)[ceil(fraction*n)-1]``.
+    Pure-Python on purpose: the SLO accounting built on this must be
+    bit-reproducible across NumPy versions.  NaN for an empty list.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    if not values:
+        return float("nan")
+    ordered = sorted(values)
+    rank = max(math.ceil(fraction * len(ordered)), 1)
+    return ordered[rank - 1]
 
 
 @dataclass(frozen=True)
@@ -62,6 +80,33 @@ class StreamReport:
         """Mean capture-to-features latency over delivered frames."""
         latencies = [e.latency_s for e in self.events if not e.dropped]
         return sum(latencies) / len(latencies) if latencies else float("nan")
+
+    def latency_percentile(self, fraction: float) -> float:
+        """Nearest-rank latency percentile over delivered frames [s]."""
+        latencies = [e.latency_s for e in self.events if not e.dropped]
+        return nearest_rank_percentile(latencies, fraction)
+
+    @property
+    def p99_latency_s(self) -> float:
+        """99th-percentile capture-to-features latency [s]."""
+        return self.latency_percentile(0.99)
+
+    def deadline_hit_rate(self, deadline_s: float) -> float:
+        """Fraction of *offered* frames delivered within ``deadline_s``.
+
+        Drops count as misses — the quantity an SLO attainment report
+        cares about (see :mod:`repro.engine.admission` for the per-class
+        version).
+        """
+        check_positive("deadline_s", deadline_s)
+        if not self.events:
+            return 0.0
+        hits = sum(
+            1
+            for e in self.events
+            if not e.dropped and e.latency_s <= deadline_s + 1e-12
+        )
+        return hits / len(self.events)
 
     @property
     def sustained_fps(self) -> float:

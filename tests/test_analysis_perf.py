@@ -1,0 +1,61 @@
+"""Tests for the guarded perf-trajectory writer (repro.analysis.perf)."""
+
+import json
+
+import pytest
+
+from repro.analysis.perf import would_clobber_full_bench, write_bench
+
+
+def _read(path):
+    with open(path) as handle:
+        return json.load(handle)
+
+
+@pytest.fixture
+def bench_path(tmp_path):
+    return str(tmp_path / "BENCH_test.json")
+
+
+def test_full_mode_entry_survives_quick_overwrite(bench_path, capsys):
+    """The footgun: CI smoke must not clobber the perf trajectory."""
+    full = {"bench": "t", "quick": False, "speedup": 50.0}
+    write_bench(bench_path, full)
+    write_bench(bench_path, {"bench": "t", "quick": True, "speedup": 3.0})
+    assert _read(bench_path) == full
+    assert "refusing" in capsys.readouterr().out
+
+
+def test_quick_then_quick_overwrites(bench_path):
+    write_bench(bench_path, {"bench": "t", "quick": True, "run": 1})
+    write_bench(bench_path, {"bench": "t", "quick": True, "run": 2})
+    assert _read(bench_path)["run"] == 2
+
+
+def test_full_mode_always_writes(bench_path):
+    write_bench(bench_path, {"bench": "t", "quick": True, "run": 1})
+    write_bench(bench_path, {"bench": "t", "quick": False, "run": 2})
+    assert _read(bench_path)["run"] == 2
+    write_bench(bench_path, {"bench": "t", "quick": False, "run": 3})
+    assert _read(bench_path)["run"] == 3
+
+
+def test_quick_writes_fresh_file(bench_path):
+    result = {"bench": "t", "quick": True}
+    assert write_bench(bench_path, result) == bench_path
+    assert _read(bench_path) == result
+
+
+def test_corrupt_existing_file_does_not_block(bench_path):
+    with open(bench_path, "w") as handle:
+        handle.write("not json{")
+    quick = {"bench": "t", "quick": True}
+    assert not would_clobber_full_bench(bench_path, quick)
+    write_bench(bench_path, quick)
+    assert _read(bench_path) == quick
+
+
+def test_missing_quick_flag_counts_as_full(bench_path):
+    """Legacy payloads without the flag are protected as full runs."""
+    write_bench(bench_path, {"bench": "t"})
+    assert would_clobber_full_bench(bench_path, {"bench": "t", "quick": True})

@@ -62,3 +62,83 @@ def test_serve_command(capsys):
     assert "FrameServer" in out
     assert "cache hits / misses" in out
     assert "frames on node 1" in out
+    # The default scenario keeps the historical two-LeNet demo.
+    assert "model-a, model-b" in out
+    assert "SLO outcomes" not in out  # best-effort path stays bare
+
+
+def test_serve_scenario_and_policy_flags(capsys):
+    assert main(
+        [
+            "serve",
+            "--scenario",
+            "poisson",
+            "--policy",
+            "edf",
+            "--frames",
+            "16",
+            "--nodes",
+            "1",
+            "--batch",
+            "8",
+        ]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "poisson" in out
+    assert "lenet-4b, mlp-2b" in out
+    assert "SLO outcomes — policy 'edf'" in out
+
+
+def test_serve_models_flag_overrides_scenario(capsys):
+    assert main(
+        [
+            "serve",
+            "--models",
+            "lenet:2,mlp:4",
+            "--frames",
+            "12",
+            "--nodes",
+            "1",
+            "--batch",
+            "8",
+        ]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "lenet-2b, mlp-4b" in out
+
+
+@pytest.mark.parametrize(
+    "scenario", ["poisson-burst", "diurnal", "mixed-tenants", "zoo"]
+)
+def test_serve_exercises_every_workload_generator(scenario, capsys):
+    """`repro serve --scenario` runs each registered generator end-to-end."""
+    assert main(
+        [
+            "serve",
+            "--scenario",
+            scenario,
+            "--frames",
+            "12",
+            "--nodes",
+            "1",
+            "--batch",
+            "8",
+            "--fps",
+            "600",
+        ]
+    ) == 0
+    out = capsys.readouterr().out
+    assert scenario in out
+    assert "frames delivered" in out
+
+
+def test_serve_unknown_scenario_rejected():
+    with pytest.raises(ValueError, match="unknown scenario"):
+        main(["serve", "--scenario", "nope", "--frames", "4"])
+
+
+def test_sweep_capacity_command(capsys):
+    assert main(["sweep", "--capacity", "--fast"]) == 0
+    out = capsys.readouterr().out
+    assert "Capacity planning" in out
+    assert "sustainable FPS" in out

@@ -50,3 +50,5 @@ def test_frame_serving_example(capsys):
     assert "Frame serving on 2 simulated node(s)" in out
     assert "drop rate" in out
     assert "cache hits/misses" in out
+    assert "Multi-tenant SLOs" in out
+    assert "interactive hit rate" in out

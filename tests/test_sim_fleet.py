@@ -64,3 +64,19 @@ def test_payload_bit_packing(fleet, workload):
 def test_num_nodes_validated(fleet, workload):
     with pytest.raises(ValueError):
         fleet.compare(workload, num_nodes=0)
+
+
+def test_sustainable_fps_matches_stream_simulator(fleet, workload):
+    """One definition of the analytic bound: fleet delegates to stream."""
+    from repro.sim.stream import StreamSimulator
+
+    bound = fleet.sustainable_fps(workload)
+    assert bound == StreamSimulator(fleet.config).max_sustainable_fps(workload)
+    assert bound > 0.0
+
+
+def test_fleet_capacity_scales_linearly(fleet, workload):
+    per_node = fleet.sustainable_fps(workload)
+    assert fleet.fleet_capacity_fps(workload, 3) == pytest.approx(3 * per_node)
+    with pytest.raises(ValueError):
+        fleet.fleet_capacity_fps(workload, 0)

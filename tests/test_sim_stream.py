@@ -142,3 +142,41 @@ def test_empty_report_statistics():
     assert report.sustained_fps == 0.0
     assert report.average_power_w == 0.0
     assert math.isnan(report.mean_latency_s)
+
+
+# ----------------------------------------------------------------------
+# SLO helpers (PR 5 growth: percentiles + deadline accounting)
+# ----------------------------------------------------------------------
+def test_nearest_rank_percentile():
+    from repro.sim.stream import nearest_rank_percentile
+
+    values = [5.0, 1.0, 3.0, 2.0, 4.0]
+    assert nearest_rank_percentile(values, 0.5) == 3.0
+    assert nearest_rank_percentile(values, 0.99) == 5.0
+    assert nearest_rank_percentile(values, 1.0) == 5.0
+    assert nearest_rank_percentile([7.0], 0.01) == 7.0
+    assert math.isnan(nearest_rank_percentile([], 0.5))
+    with pytest.raises(ValueError):
+        nearest_rank_percentile(values, 0.0)
+    with pytest.raises(ValueError):
+        nearest_rank_percentile(values, 1.1)
+
+
+def test_latency_percentiles_and_deadline_hit_rate(simulator, workload):
+    report = simulator.run(workload, num_frames=40, offered_fps=2000.0)
+    p50 = report.latency_percentile(0.5)
+    assert p50 <= report.p99_latency_s
+    # Delivered latencies all equal the sequential frame time here, so
+    # the deadline hit rate steps from 0 to delivered/offered at it.
+    delivered = report.frames - report.dropped
+    latency = report.events[0].latency_s
+    assert report.deadline_hit_rate(latency) == delivered / report.frames
+    assert report.deadline_hit_rate(latency / 2) == 0.0
+    with pytest.raises(ValueError):
+        report.deadline_hit_rate(0.0)
+
+
+def test_deadline_hit_rate_empty_report():
+    from repro.sim.stream import StreamReport
+
+    assert StreamReport().deadline_hit_rate(0.01) == 0.0
