@@ -42,11 +42,14 @@ POLICIES = ("greedy", "edf", "slo")
 
 def _class_stats(report, name):
     stats = report.slo.classes[name]
+    p99 = stats.p99_latency_s
     return {
         "offered": stats.offered,
         "delivered": stats.delivered,
         "hit_rate": stats.hit_rate,
-        "p99_latency_s": stats.p99_latency_s,
+        # NaN means "zero frames delivered, no tail to measure" — store
+        # the explicit null marker, never a literal NaN in the payload.
+        "p99_latency_s": None if p99 != p99 else p99,
         "dropped_busy": stats.dropped_busy,
         "shed": stats.shed,
         "expired": stats.expired,
@@ -126,6 +129,9 @@ def test_slo_policy_beats_greedy_on_interactive_hit_rate(bench_result):
 
 def test_interactive_p99_within_deadline_under_slo_policy(bench_result):
     slo = bench_result["policies"]["slo"]["interactive"]
+    # A null p99 (zero delivered frames) must fail loudly, not slip past
+    # the deadline check the way a `NaN <= deadline` comparison would.
+    assert slo["p99_latency_s"] is not None, "interactive tenant delivered 0 frames"
     assert slo["p99_latency_s"] <= bench_result["interactive_deadline_s"]
 
 

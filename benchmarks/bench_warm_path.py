@@ -1,0 +1,94 @@
+"""Warm-path serving bench: vectorized steady-state frame throughput.
+
+PR 3 vectorized the *cold* weight-programming chain and recorded the
+engine at ~1592 wall-clock FPS on the kernel-swapping LeNet stream
+(``BENCH_program.json`` → ``engine.wall_clock_fps``).  This bench covers
+the *warm* path that PR landed next: admitted frames stage fleet-wide
+(one stack + one ternary encode per model/geometry) and each per-(node,
+model) run computes in one batched forward, with the pre-vectorization
+per-chunk loop retained as ``compute_mode="reference"``.
+
+Two workloads (see :func:`repro.analysis.perf.bench_warm_path`):
+
+* **engine-limited** — a long drop-free MLP-stem stream where per-frame
+  engine overhead bounds throughput; carries the headline
+  ``wall_clock_fps`` and the ≥10x claim against the 1592 baseline;
+* **compute-bound** — the PR-3 LeNet stream, where the off-chip head
+  dominates and batching cannot help; kept for trajectory continuity.
+
+Both workloads assert the batched and reference modes deliver
+byte-for-byte identical outputs on the bench stream itself.  The run
+writes ``BENCH_warm_path.json`` at the repo root through the guarded
+:func:`~repro.analysis.perf.write_bench` — a ``REPRO_BENCH_QUICK=1``
+smoke run (shorter stream, one repeat) never clobbers a full-mode
+trajectory entry, and the payload must parse as *strict* JSON (no
+``NaN``/``Infinity`` constants).
+"""
+
+import json
+import os
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BENCH_JSON = os.path.join(REPO_ROOT, "BENCH_warm_path.json")
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") == "1"
+
+
+@pytest.fixture(scope="module")
+def bench_result(save_artifact):
+    from repro.analysis.perf import (
+        run_warm_path_bench,
+        would_clobber_full_bench,
+        write_bench,
+    )
+
+    result = run_warm_path_bench(quick=QUICK)
+    kept = would_clobber_full_bench(BENCH_JSON, result)
+    write_bench(BENCH_JSON, result)
+    save_artifact("warm_path.txt", json.dumps(result, indent=2))
+    if kept:
+        print(f"[full-mode trajectory entry at {BENCH_JSON} kept]")
+    else:
+        print(f"[warm-path trajectory entry written to {BENCH_JSON}]")
+    return result
+
+
+def test_batched_and_reference_modes_bit_identical(bench_result):
+    """The bit-identity contract, measured on the bench streams."""
+    assert bench_result["engine_limited"]["bit_identical"] is True
+    assert bench_result["compute_bound"]["bit_identical"] is True
+
+
+def test_headline_stream_is_drop_free(bench_result):
+    """The FPS claim must measure a steady state, not a shedding server."""
+    limited = bench_result["engine_limited"]
+    assert limited["delivered"] == limited["frames"]
+
+
+def test_warm_path_beats_cold_baseline_10x(bench_result):
+    """The acceptance claim: ≥10x the 1592 FPS PR-3 engine number.
+
+    Skipped in quick smoke mode — a 256-frame single-repeat stream on a
+    loaded CI box measures noise, and the full-mode trajectory entry is
+    the claim of record.
+    """
+    if bench_result["quick"]:
+        pytest.skip("throughput claim is asserted on full-mode runs only")
+    assert bench_result["speedup_vs_baseline"] >= 10.0, (
+        f"warm path at {bench_result['wall_clock_fps']:.0f} FPS is below "
+        f"10x the {bench_result['baseline_fps']:.0f} FPS baseline"
+    )
+
+
+def test_warm_path_json_is_strict_json(bench_result):
+    """The payload on disk parses with NaN/Infinity rejected."""
+
+    def reject(name):
+        raise AssertionError(f"non-JSON constant {name!r} in {BENCH_JSON}")
+
+    assert os.path.exists(BENCH_JSON)
+    with open(BENCH_JSON) as handle:
+        payload = json.load(handle, parse_constant=reject)
+    assert payload["bench"] == "warm_path"
+    assert payload["engine_limited"]["batched_fps"] > 0

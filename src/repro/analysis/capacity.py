@@ -39,6 +39,7 @@ Entry points: ``repro sweep --capacity`` (CLI) and
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field, replace
 
 from repro.core.mapping import ConvWorkload
@@ -191,8 +192,12 @@ def _probe(
             for stats in report.slo.classes.values()
             if stats.deadline_s is not None
         )
+        # p99 is NaN when the probe delivered zero frames; that must read
+        # as "not sustainable" explicitly, never ride on NaN comparison
+        # semantics (any `NaN < deadline` call site silently passes).
         sustainable = (
-            hit_rate >= settings.min_hit_rate
+            not math.isnan(p99)
+            and hit_rate >= settings.min_hit_rate
             and p99 <= worst_deadline + 1e-12
         )
     else:
@@ -326,7 +331,9 @@ def render_capacity_report(report: CapacityReport) -> str:
                 if analytic > 0
                 else "-",
                 f"{point.hit_rate:.3f}",
-                f"{point.p99_latency_s * 1e3:.2f}",
+                "n/a"
+                if math.isnan(point.p99_latency_s)
+                else f"{point.p99_latency_s * 1e3:.2f}",
             )
         )
     settings = report.settings

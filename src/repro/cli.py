@@ -171,6 +171,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _na_if_nan(value: float, spec: str) -> str:
+    """Format a stream metric, rendering NaN as ``n/a``.
+
+    Latency statistics are NaN when a stream (or SLO class) delivers zero
+    frames — e.g. greedy under overload shedding a whole batch tier; the
+    table must say "no measurement", not print ``nan``.
+    """
+    return "n/a" if value != value else f"{value:{spec}}"
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.engine import FrameServer
     from repro.engine.workloads import build_scenario, models_scenario
@@ -208,8 +218,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ("frames offered", report.stream.frames),
         ("frames delivered", report.delivered),
         ("drop rate", f"{report.stream.drop_rate:.3f}"),
-        ("mean latency [ms]", f"{report.stream.mean_latency_s * 1e3:.3f}"),
-        ("sustained FPS (simulated)", f"{report.stream.sustained_fps:.0f}"),
+        ("mean latency [ms]", _na_if_nan(report.stream.mean_latency_s * 1e3, ".3f")),
+        ("sustained FPS (simulated)", _na_if_nan(report.stream.sustained_fps, ".0f")),
         ("wall-clock FPS (host)", f"{report.wall_clock_fps:.0f}"),
         ("cache hits / misses", f"{report.cache_hits} / {report.cache_misses}"),
         ("frame energy total [uJ]", f"{report.stream.total_energy_j * 1e6:.3f}"),
@@ -252,8 +262,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 else f"{stats.deadline_s * 1e3:.1f}",
                 stats.offered,
                 stats.delivered,
-                f"{stats.hit_rate:.3f}",
-                "-"
+                _na_if_nan(stats.hit_rate, ".3f"),
+                "n/a"
                 if stats.p99_latency_s != stats.p99_latency_s
                 else f"{stats.p99_latency_s * 1e3:.2f}",
                 stats.shed,

@@ -28,7 +28,12 @@ Determinism: every stochastic draw comes from
 ``np.random.default_rng(seed)`` streams derived per scenario, so a fixed
 (scenario, frames, fps, seed) triple reproduces the same request list —
 and therefore, via the scheduler's determinism contract, the same
-``ServeReport`` — bit-for-bit.
+``ServeReport`` — bit-for-bit.  Frame generation is vectorized where the
+draw order allows it (:func:`_frames_batch` replaces the historical
+per-frame loop with one flat draw, bit-identically); generators whose
+frame draws interleave with arrival draws keep the sequential loop.
+Stream merging breaks arrival ties on an explicit
+``(arrival_s, tenant, index)`` key.
 
 Units: arrival times in *simulated* seconds, rates in frames/second;
 frames are (C, H, W) float arrays on a unit pixel scale.
@@ -228,14 +233,49 @@ def _build_models(
 
 
 def _frame(rng: np.random.Generator, spec: ModelSpec) -> np.ndarray:
+    """Reference per-frame draw; :func:`_frames_batch` hoists this."""
     return rng.uniform(0.0, 1.0, spec.frame_shape)
 
 
+def _frames_batch(
+    rng: np.random.Generator, specs: list[ModelSpec]
+) -> list[np.ndarray]:
+    """Draw one frame per spec in a single flat ``uniform`` call.
+
+    Bit-identical to ``[_frame(rng, spec) for spec in specs]``: a NumPy
+    ``Generator`` fills a ``uniform`` request element-wise from one
+    stream, so one flat draw split at the per-frame sizes reproduces the
+    exact floats of the per-frame draws it replaces — even across
+    heterogeneous frame shapes.  Generators that interleave frame draws
+    with other stochastic draws (the bursty ON/OFF scenarios) keep the
+    sequential :func:`_frame` loop instead.
+    ``tests/test_engine_batched.py`` pins the equality.
+    """
+    sizes = [int(np.prod(spec.frame_shape)) for spec in specs]
+    flat = rng.uniform(0.0, 1.0, sum(sizes))
+    frames: list[np.ndarray] = []
+    offset = 0
+    for spec, size in zip(specs, sizes):
+        frames.append(flat[offset : offset + size].reshape(spec.frame_shape))
+        offset += size
+    return frames
+
+
 def _interleave(streams: list[list[FrameRequest]]) -> list[FrameRequest]:
-    """Merge per-tenant streams into one arrival-sorted request list."""
-    merged = [request for stream in streams for request in stream]
-    merged.sort(key=lambda request: request.arrival_s)
-    return merged
+    """Merge per-tenant streams into one arrival-sorted request list.
+
+    Ties break on an explicit ``(arrival_s, tenant, index)`` key — tenant
+    name (the model key when unset, matching the billing fallback) then
+    position within its own stream — so equal-arrival requests across
+    tenants never depend on incidental list order.
+    """
+    keyed = [
+        (request.arrival_s, request.tenant or request.model_key, index, request)
+        for stream in streams
+        for index, request in enumerate(stream)
+    ]
+    keyed.sort(key=lambda item: item[:3])
+    return [request for *_, request in keyed]
 
 
 def _poisson_arrivals(
@@ -285,12 +325,12 @@ def _poisson_scenario(frames: int, offered_fps: float, seed: int) -> Scenario:
     models = _build_models(specs, seed)
     arrivals = _poisson_arrivals(rng, frames, offered_fps)
     choices = rng.random(frames)
-    requests = []
-    for i in range(frames):
-        spec = specs[0] if choices[i] < 0.7 else specs[1]
-        requests.append(
-            FrameRequest(_frame(rng, spec), spec.key, arrival_s=arrivals[i])
-        )
+    chosen = [specs[0] if choices[i] < 0.7 else specs[1] for i in range(frames)]
+    stacks = _frames_batch(rng, chosen)
+    requests = [
+        FrameRequest(stacks[i], chosen[i].key, arrival_s=arrivals[i])
+        for i in range(frames)
+    ]
     slo = SloClass(name="stream", deadline_s=0.02, drop_policy="deadline")
     return Scenario(
         name="poisson",
@@ -344,17 +384,22 @@ def _diurnal_scenario(frames: int, offered_fps: float, seed: int) -> Scenario:
     rng = np.random.default_rng(seed)
     specs = (ModelSpec("lenet", 4), ModelSpec("lenet", 2))
     models = _build_models(specs, seed)
-    requests = []
+    # Arrivals stay a sequential accumulation (``math.sin`` per step, the
+    # historical ULP-exact floats); the frame draws hoist into one call.
+    arrivals = []
     now = 0.0
     for i in range(frames):
         # One full "day" over the stream; rate swings 0.4x..1.6x.
         phase = 2.0 * math.pi * i / frames
         rate = offered_fps * (1.0 + 0.6 * math.sin(phase))
         now += 1.0 / rate
-        spec = specs[i % len(specs)]
-        requests.append(
-            FrameRequest(_frame(rng, spec), spec.key, arrival_s=now)
-        )
+        arrivals.append(now)
+    chosen = [specs[i % len(specs)] for i in range(frames)]
+    stacks = _frames_batch(rng, chosen)
+    requests = [
+        FrameRequest(stacks[i], chosen[i].key, arrival_s=arrivals[i])
+        for i in range(frames)
+    ]
     return Scenario(
         name="diurnal",
         description=scenario_description("diurnal"),
@@ -411,9 +456,10 @@ def _mixed_tenant_scenario(
     n_batch = frames - n_interactive
     # Interactive: steady uniform arrivals at just over half the offered
     # rate — a well-behaved tenant.
+    interactive_frames = _frames_batch(rng, [interactive] * n_interactive)
     interactive_stream = [
         FrameRequest(
-            _frame(rng, interactive),
+            interactive_frames[i],
             interactive.key,
             arrival_s=i / (0.55 * offered_fps),
             tenant="interactive",
@@ -488,14 +534,12 @@ def models_scenario(
     check_positive("offered_fps", offered_fps)
     rng = np.random.default_rng(seed)
     models = _build_models(tuple(specs), seed)
-    requests = []
-    for i in range(frames):
-        spec = specs[i % len(specs)]
-        requests.append(
-            FrameRequest(
-                _frame(rng, spec), spec.key, arrival_s=i / offered_fps
-            )
-        )
+    chosen = [specs[i % len(specs)] for i in range(frames)]
+    stacks = _frames_batch(rng, chosen)
+    requests = [
+        FrameRequest(stacks[i], chosen[i].key, arrival_s=i / offered_fps)
+        for i in range(frames)
+    ]
     return Scenario(
         name="models",
         description=f"uniform round-robin over {', '.join(s.key for s in specs)}",

@@ -265,10 +265,33 @@ def test_out_of_order_arrivals_scheduled_by_time(server, frames):
 
 
 def test_interleaved_nodes_do_not_fragment_batches(monkeypatch):
-    """Load spreading across nodes must keep per-node micro-batches intact."""
+    """Load spreading across nodes must keep per-node runs intact.
+
+    In the default batched mode each node's whole 16-frame run computes
+    in one ``forward_batched`` call; the reference loop chunks the same
+    runs at the micro-batch, never fragmenting on node interleave.
+    """
+    frames = np.random.default_rng(6).uniform(0, 1, (32, 1, 28, 28))
+
+    run_sizes = []
+    original_batched = HardwareFirstLayerPipeline.forward_batched
+
+    def spy_batched(self, x, batch_size=256, core=None, ternary=None):
+        run_sizes.append(ternary.shape[0] if ternary is not None else x.shape[0])
+        return original_batched(
+            self, x, batch_size=batch_size, core=core, ternary=ternary
+        )
+
+    monkeypatch.setattr(
+        HardwareFirstLayerPipeline, "forward_batched", spy_batched
+    )
     server = FrameServer(num_nodes=2, micro_batch=8, seed=0)
     server.register_model("a", build_lenet(seed=0))
-    frames = np.random.default_rng(6).uniform(0, 1, (32, 1, 28, 28))
+    # ~2x one node's rate: admitted frames alternate between the two dies.
+    report = server.serve_frames(frames, "a", offered_fps=1990.0)
+    assert report.stream.dropped == 0
+    assert set(report.node_frames.values()) == {16}
+    assert run_sizes == [16, 16]  # one whole-run call per node
 
     batch_sizes = []
     original = HardwareFirstLayerPipeline.forward
@@ -278,10 +301,12 @@ def test_interleaved_nodes_do_not_fragment_batches(monkeypatch):
         return original(self, x, batch_size=batch_size)
 
     monkeypatch.setattr(HardwareFirstLayerPipeline, "forward", spy)
-    # ~2x one node's rate: admitted frames alternate between the two dies.
-    report = server.serve_frames(frames, "a", offered_fps=1990.0)
+    reference = FrameServer(
+        num_nodes=2, micro_batch=8, seed=0, compute_mode="reference"
+    )
+    reference.register_model("a", build_lenet(seed=0))
+    report = reference.serve_frames(frames, "a", offered_fps=1990.0)
     assert report.stream.dropped == 0
-    assert set(report.node_frames.values()) == {16}
     assert batch_sizes == [8, 8, 8, 8]
 
 
