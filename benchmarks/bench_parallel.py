@@ -1,0 +1,92 @@
+"""Multi-core fan-out bench: serial vs process warmup and capacity grids.
+
+PR 3 and PR 6 vectorized the compute paths; this bench measures the
+fan-out layer wrapped around them (:mod:`repro.util.parallel`): a cold
+full-zoo :meth:`~repro.engine.server.FrameServer.warmup` and a
+:func:`~repro.analysis.capacity.build_capacity_report` grid, each run
+serially and over the process backend (see
+:func:`repro.analysis.perf.run_parallel_bench`).
+
+Two claims, asserted at different strengths:
+
+* **bit-identity** — the parallel runs must leave byte-identical server
+  state / reports.  Exact on every host, asserted in full *and* smoke
+  mode (this is the load-bearing ordered-merge contract);
+* **≥2x wall-clock speedup** — asserted only in full mode on hosts with
+  ≥4 cores.  On fewer cores the process backend is pure IPC overhead and
+  the payload honestly records a speedup below 1 (the committed
+  trajectory entry states its ``cores``).
+
+The run writes ``BENCH_parallel.json`` at the repo root through the
+guarded :func:`~repro.analysis.perf.write_bench`; ``REPRO_BENCH_QUICK=1``
+smoke runs never clobber a full-mode trajectory entry.
+"""
+
+import json
+import os
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BENCH_JSON = os.path.join(REPO_ROOT, "BENCH_parallel.json")
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") == "1"
+
+
+@pytest.fixture(scope="module")
+def bench_result(save_artifact):
+    from repro.analysis.perf import (
+        run_parallel_bench,
+        would_clobber_full_bench,
+        write_bench,
+    )
+
+    result = run_parallel_bench(quick=QUICK)
+    kept = would_clobber_full_bench(BENCH_JSON, result)
+    write_bench(BENCH_JSON, result)
+    save_artifact("parallel_fanout.txt", json.dumps(result, indent=2))
+    if kept:
+        print(f"[full-mode trajectory entry at {BENCH_JSON} kept]")
+    else:
+        print(f"[parallel-fanout trajectory entry written to {BENCH_JSON}]")
+    return result
+
+
+def test_parallel_warmup_bit_identical(bench_result):
+    """Process-backend warmup leaves byte-identical serving state."""
+    assert bench_result["zoo_warmup"]["bit_identical"] is True
+
+
+def test_parallel_capacity_bit_identical(bench_result):
+    """Process-backend capacity report is byte-identical to serial."""
+    assert bench_result["capacity_grid"]["bit_identical"] is True
+
+
+def test_process_backend_speedup_on_multicore(bench_result):
+    """The ≥2x claim: full mode, ≥4 cores (the payload records both)."""
+    if bench_result["quick"]:
+        pytest.skip("speedup claim is asserted on full-mode runs only")
+    if bench_result["cores"] < 4:
+        pytest.skip(
+            f"host has {bench_result['cores']} core(s); the ≥2x claim "
+            "needs ≥4 (process fan-out is IPC overhead on fewer)"
+        )
+    for workload in ("zoo_warmup", "capacity_grid"):
+        speedup = bench_result[workload]["speedup"]
+        assert speedup >= 2.0, (
+            f"{workload}: process backend at {speedup:.2f}x on "
+            f"{bench_result['cores']} cores is below the 2x floor"
+        )
+
+
+def test_parallel_json_is_strict_json(bench_result):
+    """The payload on disk parses with NaN/Infinity rejected."""
+
+    def reject(name):
+        raise AssertionError(f"non-JSON constant {name!r} in {BENCH_JSON}")
+
+    assert os.path.exists(BENCH_JSON)
+    with open(BENCH_JSON) as handle:
+        payload = json.load(handle, parse_constant=reject)
+    assert payload["bench"] == "parallel"
+    assert payload["cores"] >= 1
+    assert payload["zoo_warmup"]["serial_s"] > 0

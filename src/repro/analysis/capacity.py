@@ -44,6 +44,7 @@ from dataclasses import dataclass, field, replace
 
 from repro.core.mapping import ConvWorkload
 from repro.sim.fleet import FleetModel
+from repro.util.parallel import ParallelConfig, parallel_map
 from repro.util.tables import format_table
 from repro.util.validation import check_positive
 
@@ -278,40 +279,138 @@ def _search(
     )
 
 
+def _prewarm_programs(
+    settings: CapacitySettings, parallel: ParallelConfig | None = None
+):
+    """Program the scenario's model zoo once, for every probe die.
+
+    Every probe in the grid serves the *same* models (scenario model
+    weights depend only on the scenario seed, not the probe rate) on die
+    seeds that are a prefix of the largest node count's
+    (:func:`~repro.util.rng.spawn_seeds` is prefix-stable).  Programming
+    them once up front — optionally fanned out via :meth:`~repro.engine.
+    server.FrameServer.warmup`'s parallel path — and handing the warmed
+    :class:`~repro.engine.cache.WeightProgramCache` to every probe means
+    no probe ever re-runs the cold AWC mapping chain.  This is also what
+    the process backend ships to workers: the serialized program set
+    crosses the process boundary once per task instead of each worker
+    redundantly re-programming the zoo (the remaining duplication — one
+    deserialized cache copy per task — is host memory, not recomputation).
+    The cache is host-side only, so sharing it never changes a simulated
+    quantity.
+    """
+    from repro.engine.server import FrameServer
+    from repro.engine.workloads import build_scenario
+
+    scenario = build_scenario(
+        settings.scenario,
+        frames=8,  # models are frame-count-independent; keep the build cheap
+        offered_fps=settings.fps_floor,
+        seed=settings.seed,
+    )
+    server = FrameServer(
+        num_nodes=max(settings.node_counts),
+        micro_batch=settings.micro_batch,
+        seed=settings.seed,
+    )
+    for key, model in scenario.models.items():
+        server.register_model(key, model)
+    server.warmup(parallel=parallel)
+    return server.cache
+
+
+def _search_task(
+    task: tuple[CapacitySettings, str, int, float, object],
+) -> CapacityPoint:
+    """One (scenario, policy, nodes) knee search, as a pure fan-out task.
+
+    The task description carries the settings (the scenario name rides in
+    them), the grid point and the pre-warmed program cache — everything
+    picklable, nothing shared — per the :mod:`repro.util.parallel`
+    contract.  Probes within the bracket stay sequential on purpose: each
+    bisection step depends on the previous probe's verdict.
+    """
+    settings, policy, nodes, hint, cache = task
+    return _search(settings, policy, nodes, hint, cache=cache)
+
+
 def build_capacity_report(
     settings: CapacitySettings | None = None,
+    parallel: ParallelConfig | None = None,
 ) -> CapacityReport:
-    """Measure the capacity knee for every (policy, nodes) grid point."""
-    from repro.engine.cache import WeightProgramCache
+    """Measure the capacity knee for every (policy, nodes) grid point.
 
+    The outer grid fans out over ``parallel`` (grid points are
+    independent searches); results merge in grid order, so the report is
+    byte-identical under every backend.
+    """
     settings = settings or CapacitySettings()
     fleet = FleetModel()
-    # One cache for the whole study: every probe reuses the same model
-    # zoo on the same die seeds, so cold programming happens once.
-    cache = WeightProgramCache()
+    cache = _prewarm_programs(settings, parallel)
     report = CapacityReport(
         settings=settings,
         analytic_node_fps=fleet.sustainable_fps(LENET_FIRST_LAYER),
     )
-    for nodes in settings.node_counts:
-        hint = 1.5 * fleet.fleet_capacity_fps(LENET_FIRST_LAYER, nodes)
-        for policy in settings.policies:
-            report.points.append(
-                _search(settings, policy, nodes, hint, cache=cache)
-            )
+    tasks = [
+        (
+            settings,
+            policy,
+            nodes,
+            1.5 * fleet.fleet_capacity_fps(LENET_FIRST_LAYER, nodes),
+            cache,
+        )
+        for nodes in settings.node_counts
+        for policy in settings.policies
+    ]
+    report.points.extend(parallel_map(_search_task, tasks, parallel))
     return report
 
 
 def sweep_scenarios(
     scenarios: tuple[str, ...],
     settings: CapacitySettings | None = None,
+    parallel: ParallelConfig | None = None,
 ) -> list[CapacityReport]:
-    """One capacity report per scenario (same grid/criteria)."""
+    """One capacity report per scenario (same grid/criteria).
+
+    Flattens the full scenario x policy x nodes grid into one task list
+    before fanning out, so a two-scenario sweep on eight cores keeps all
+    eight busy instead of parallelizing one scenario at a time.  Reports
+    come back grouped per scenario in input order, byte-identical to the
+    serial sweep.
+    """
     base = settings or CapacitySettings()
-    return [
-        build_capacity_report(replace(base, scenario=name))
-        for name in scenarios
-    ]
+    fleet = FleetModel()
+    per_scenario = [replace(base, scenario=name) for name in scenarios]
+    tasks = []
+    grid_size = 0
+    for scenario_settings in per_scenario:
+        cache = _prewarm_programs(scenario_settings, parallel)
+        grid = [
+            (
+                scenario_settings,
+                policy,
+                nodes,
+                1.5 * fleet.fleet_capacity_fps(LENET_FIRST_LAYER, nodes),
+                cache,
+            )
+            for nodes in scenario_settings.node_counts
+            for policy in scenario_settings.policies
+        ]
+        grid_size = len(grid)
+        tasks.extend(grid)
+    points = parallel_map(_search_task, tasks, parallel)
+    reports = []
+    for index, scenario_settings in enumerate(per_scenario):
+        report = CapacityReport(
+            settings=scenario_settings,
+            analytic_node_fps=fleet.sustainable_fps(LENET_FIRST_LAYER),
+        )
+        report.points.extend(
+            points[index * grid_size : (index + 1) * grid_size]
+        )
+        reports.append(report)
+    return reports
 
 
 def render_capacity_report(report: CapacityReport) -> str:

@@ -325,6 +325,220 @@ def run_warm_path_bench(quick: bool = False, seed: int = 0) -> dict[str, Any]:
     }
 
 
+def _serve_digest(report) -> str:
+    """Wall-clock-free SHA-256 of one ServeReport's observable outcome.
+
+    Hashes every response's placement, simulated-time event and output
+    tensor bytes — the same fields the scheduler golden pins — so two
+    digests match iff the reports are bit-identical where it matters
+    (wall-clock and cache-counter fields are intentionally excluded;
+    counters are compared separately where their shape is defined).
+    """
+    import hashlib
+
+    digest = hashlib.sha256()
+    for resp in report.responses:
+        digest.update(
+            repr(
+                (
+                    resp.index,
+                    resp.model_key,
+                    resp.node_id,
+                    resp.event.arrival_s,
+                    resp.event.start_s,
+                    resp.event.finish_s,
+                    resp.event.dropped,
+                    resp.event.remapped,
+                    resp.degraded,
+                )
+            ).encode()
+        )
+        if resp.output is not None:
+            digest.update(
+                np.ascontiguousarray(resp.output, dtype=float).tobytes()
+            )
+    digest.update(repr(report.stream.total_energy_j).encode())
+    return digest.hexdigest()
+
+
+#: The full-zoo warmup workload: every family at two bit widths (matches
+#: the ``zoo`` scenario's model list, engine/workloads).
+PARALLEL_BENCH_ZOO: tuple[tuple[str, int], ...] = (
+    ("lenet", 4),
+    ("lenet", 2),
+    ("mlp", 4),
+    ("mlp", 2),
+    ("vgg16", 4),
+    ("vgg16", 1),
+    ("resnet18", 4),
+    ("resnet18", 2),
+)
+
+
+def bench_parallel_warmup(
+    num_nodes: int = 2,
+    seed: int = 0,
+    workers: int | None = None,
+    quick: bool = False,
+) -> dict[str, Any]:
+    """Serial vs process wall-clock on a cold full-zoo warmup.
+
+    Each measurement starts genuinely cold: a fresh ``FrameServer`` with
+    a fresh (empty) ``WeightProgramCache``, every zoo model registered,
+    then one :meth:`~repro.engine.server.FrameServer.warmup` — serial,
+    then fanned out over the process backend.  After each warmup the
+    server serves a short round-robin stream and the two
+    :func:`_serve_digest` values are compared: the parallel warmup must
+    leave the server in a bit-identical state.
+    """
+    from repro.engine.server import FrameRequest, FrameServer
+    from repro.engine.workloads import ModelSpec
+    from repro.util.parallel import ParallelConfig, available_cores
+
+    specs = [
+        ModelSpec(family, bits)
+        for family, bits in (
+            PARALLEL_BENCH_ZOO[:3] if quick else PARALLEL_BENCH_ZOO
+        )
+    ]
+    models = {spec.key: spec.build(seed) for spec in specs}
+
+    def cold_server() -> FrameServer:
+        server = FrameServer(num_nodes=num_nodes, micro_batch=8, seed=seed)
+        for key, model in models.items():
+            server.register_model(key, model)
+        return server
+
+    def probe_digest(server: FrameServer) -> str:
+        rng = np.random.default_rng(seed)
+        requests = []
+        for index in range(2 * len(specs)):
+            spec = specs[index % len(specs)]
+            requests.append(
+                FrameRequest(
+                    rng.uniform(0.0, 1.0, spec.frame_shape), spec.key
+                )
+            )
+        return _serve_digest(server.serve(requests, offered_fps=500.0))
+
+    serial_server = cold_server()
+    started = time.perf_counter()
+    serial_server.warmup()
+    serial_s = time.perf_counter() - started
+
+    process_server = cold_server()
+    # At least two workers, or on a one-core host the serial pin would
+    # silently time a second serial pass as "process_s"; forcing the
+    # pool keeps the measurement honest (real IPC overhead, speedup
+    # below 1 on such hosts — the payload records ``cores`` next to it).
+    config = ParallelConfig(
+        "process", workers if workers is not None else max(2, available_cores())
+    )
+    started = time.perf_counter()
+    process_server.warmup(parallel=config)
+    process_s = time.perf_counter() - started
+
+    return {
+        "models": len(specs),
+        "num_nodes": num_nodes,
+        "pairs": len(specs) * num_nodes,
+        "workers": config.resolve_workers(),
+        "serial_s": serial_s,
+        "process_s": process_s,
+        "speedup": serial_s / process_s if process_s > 0 else float("inf"),
+        "bit_identical": probe_digest(serial_server)
+        == probe_digest(process_server),
+    }
+
+
+def bench_parallel_capacity(
+    seed: int = 0,
+    workers: int | None = None,
+    quick: bool = False,
+) -> dict[str, Any]:
+    """Serial vs process wall-clock on a capacity-planning grid.
+
+    Runs the same :func:`~repro.analysis.capacity.build_capacity_report`
+    grid under both backends and compares the full ``repr`` of the point
+    lists — the parallel report must be byte-identical, not merely close.
+    """
+    from repro.analysis.capacity import CapacitySettings, build_capacity_report
+    from repro.util.parallel import ParallelConfig, available_cores
+
+    if quick:
+        settings = CapacitySettings(
+            scenario="diurnal",
+            policies=("greedy",),
+            node_counts=(1, 2),
+            frames=24,
+            seed=seed,
+            search_iterations=2,
+        )
+    else:
+        settings = CapacitySettings(
+            scenario="poisson",
+            policies=("greedy", "slo"),
+            node_counts=(1, 2),
+            frames=120,
+            seed=seed,
+            search_iterations=5,
+        )
+    started = time.perf_counter()
+    serial_report = build_capacity_report(settings)
+    serial_s = time.perf_counter() - started
+
+    # Same two-worker floor as the warmup bench: the "process" leg must
+    # actually cross a process boundary to be worth recording.
+    config = ParallelConfig(
+        "process", workers if workers is not None else max(2, available_cores())
+    )
+    started = time.perf_counter()
+    process_report = build_capacity_report(settings, config)
+    process_s = time.perf_counter() - started
+
+    return {
+        "scenario": settings.scenario,
+        "grid_points": len(serial_report.points),
+        "workers": config.resolve_workers(),
+        "serial_s": serial_s,
+        "process_s": process_s,
+        "speedup": serial_s / process_s if process_s > 0 else float("inf"),
+        "bit_identical": repr(serial_report.points)
+        == repr(process_report.points),
+    }
+
+
+def run_parallel_bench(
+    quick: bool = False, seed: int = 0, workers: int | None = None
+) -> dict[str, Any]:
+    """Full ``BENCH_parallel.json`` payload: fan-out speedup + bit-identity.
+
+    ``cores`` records where the numbers were measured: process fan-out on
+    a 1-core host is pure IPC overhead (speedup < 1 is the *honest*
+    reading, not a failure), so the ≥2x claim is asserted only on ≥4
+    cores in full mode (``benchmarks/bench_parallel.py``).  The
+    bit-identity flags are exact on every host and every mode.
+    """
+    from repro.util.parallel import available_cores
+
+    return {
+        "bench": "parallel",
+        "schema": 1,
+        "quick": quick,
+        "cores": available_cores(),
+        "zoo_warmup": bench_parallel_warmup(
+            seed=seed, workers=workers, quick=quick
+        ),
+        "capacity_grid": bench_parallel_capacity(
+            seed=seed, workers=workers, quick=quick
+        ),
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+    }
+
+
 def run_bench(quick: bool = False, seed: int = 0) -> dict[str, Any]:
     """Run the whole perf-trajectory bench and return the JSON payload.
 

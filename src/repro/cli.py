@@ -103,10 +103,32 @@ def _cmd_compare(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _parallel_from_args(args: argparse.Namespace):
+    """Build the fan-out config from ``--backend``/``--workers`` flags.
+
+    Returns ``None`` for the pure-default case so call sites keep their
+    historical serial signature; ``--workers 1`` deliberately resolves to
+    the serial loop (the degenerate pin, see
+    :class:`repro.util.parallel.ParallelConfig`).
+    """
+    from repro.util.parallel import ParallelConfig
+
+    backend = getattr(args, "backend", "serial")
+    workers = getattr(args, "workers", None)
+    if backend == "serial" and workers is None:
+        return None
+    # --workers N without --backend means "fan out": default to process,
+    # the backend that buys wall-clock on multi-core hosts.
+    if backend == "serial" and workers is not None and workers > 1:
+        backend = "process"
+    return ParallelConfig(backend=backend, workers=workers)
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.analysis.sweeps import render_platform_sweep, sweep_platforms
 
-    print(render_platform_sweep(sweep_platforms()))
+    parallel = _parallel_from_args(args)
+    print(render_platform_sweep(sweep_platforms(parallel=parallel)))
     if args.platforms:
         from repro.sim.platforms import iter_platforms
 
@@ -133,7 +155,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             settings, base_spec=profile.fault_spec, label=profile.name
         )
         print()
-        print(render_robustness_report(build_robustness_report(settings)))
+        print(
+            render_robustness_report(
+                build_robustness_report(settings, parallel=parallel)
+            )
+        )
     if args.capacity:
         from dataclasses import replace
 
@@ -167,7 +193,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 ),
             )
         print()
-        print(render_capacity_report(build_capacity_report(capacity)))
+        print(
+            render_capacity_report(
+                build_capacity_report(capacity, parallel=parallel)
+            )
+        )
     return 0
 
 
@@ -210,6 +240,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         fault_profile=args.fault_profile,
         policy=args.policy,
     )
+    # --workers/--backend fan the cold warmup out before serving; the
+    # serve report is bit-identical either way (the parallel layer's
+    # ordered-merge contract), only the programming wall-clock moves.
+    parallel = _parallel_from_args(args)
+    warm = None
+    if parallel is not None:
+        for key, model in scenario.models.items():
+            server.register_model(key, model)
+        warm = server.warmup(parallel=parallel)
     report = server.serve_scenario(scenario, offered_fps=args.fps)
     rows = [
         ("scenario", scenario.name),
@@ -226,6 +265,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ("radio energy [mJ]", f"{report.radio_energy_j * 1e3:.3f}"),
         ("payload [kB]", f"{report.payload_bytes / 1e3:.1f}"),
     ]
+    if warm is not None:
+        rows.append(
+            (
+                "warmup (models x nodes)",
+                f"{warm['models']} x {warm['nodes']} in "
+                f"{warm['wall_clock_s'] * 1e3:.1f} ms "
+                f"[{parallel.effective_backend}]",
+            )
+        )
     rows.extend(
         (f"frames on node {node}", count)
         for node, count in sorted(report.node_frames.items())
@@ -324,6 +372,28 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_parallel_flags(sub: argparse.ArgumentParser) -> None:
+    """``--workers``/``--backend`` for the multi-core fan-out layer.
+
+    Outputs are byte-identical under every backend (the ordered-merge
+    contract of :mod:`repro.util.parallel`); the flags only move
+    wall-clock.  ``--workers 1`` is the serial path by definition.
+    """
+    sub.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="fan-out worker count (default: one per core; 1 = serial)",
+    )
+    sub.add_argument(
+        "--backend",
+        default="serial",
+        choices=("serial", "thread", "process"),
+        help="fan-out executor backend (results are bit-identical under "
+        "every backend; 'process' buys wall-clock on multi-core hosts)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -391,6 +461,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="comma list of node counts for --capacity (e.g. '1,2,4')",
     )
+    _add_parallel_flags(sweep)
     sweep.set_defaults(handler=_cmd_sweep)
     serve = subparsers.add_parser(
         "serve", help="batched frame-serving engine demo"
@@ -425,6 +496,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("none", "drift", "transient", "harsh"),
         help="degradation scenario to serve under",
     )
+    _add_parallel_flags(serve)
     serve.set_defaults(handler=_cmd_serve)
     bench = subparsers.add_parser(
         "bench",

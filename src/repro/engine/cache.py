@@ -46,6 +46,12 @@ class CacheStats:
     #: Entries dropped by health-driven :meth:`WeightProgramCache.invalidate_die`
     #: calls (recalibration after a fault or thermal re-trim).
     invalidations: int = 0
+    #: Bytes of :class:`~repro.core.opc.ProgrammedWeights` tensors
+    #: currently resident (ideal + realized ndarray payloads per entry).
+    bytes_cached: int = 0
+    #: Cumulative bytes removed by capacity/budget evictions (not by
+    #: invalidations or :meth:`WeightProgramCache.clear`).
+    bytes_evicted: int = 0
 
     @property
     def lookups(self) -> int:
@@ -67,20 +73,53 @@ class WeightProgramCache:
         Maximum number of cached programs; ``None`` means unbounded.  One
         entry holds the realized weight tensor (same size as the kernel
         set), so bound this when serving many models.
+    memory_budget_bytes:
+        Byte budget over the cached :class:`~repro.core.opc.
+        ProgrammedWeights` tensors (see :meth:`entry_nbytes`); ``None``
+        means unbounded.  Entries are LRU-evicted until the budget holds,
+        independently of (and in addition to) the entry-count
+        ``capacity`` — the first slice of the roadmap's cache-budgeted
+        eviction for the sharded control plane.  A single entry larger
+        than the whole budget is kept while it is the only resident
+        entry (evicting the program that was just installed would make
+        every swap a cold remap — worse than briefly exceeding the
+        budget) and becomes first in line once anything newer lands.
     """
 
-    def __init__(self, capacity: int | None = None) -> None:
+    def __init__(
+        self,
+        capacity: int | None = None,
+        memory_budget_bytes: int | None = None,
+    ) -> None:
         if capacity is not None and capacity <= 0:
             raise ValueError(f"capacity must be positive or None, got {capacity}")
+        if memory_budget_bytes is not None and memory_budget_bytes <= 0:
+            raise ValueError(
+                "memory_budget_bytes must be positive or None, got "
+                f"{memory_budget_bytes}"
+            )
         self.capacity = capacity
+        self.memory_budget_bytes = memory_budget_bytes
         self.stats = CacheStats()
         self._entries: OrderedDict[str, ProgrammedWeights] = OrderedDict()
         #: Die seed each entry was programmed on, for health-driven
         #: invalidation (a recalibrated die's old programs are stale).
         self._die_of: dict[str, int | None] = {}
+        #: Resident byte size per entry (computed once at insert).
+        self._nbytes_of: dict[str, int] = {}
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    @staticmethod
+    def entry_nbytes(programmed: ProgrammedWeights) -> int:
+        """Resident bytes of one program: its ndarray payloads.
+
+        ``ideal`` and ``realized`` are the only per-entry tensors; the
+        scale/tuning scalars are negligible and deliberately uncounted so
+        the accounting matches what actually scales with the kernel set.
+        """
+        return int(programmed.ideal.nbytes) + int(programmed.realized.nbytes)
 
     @staticmethod
     def key_for(
@@ -129,13 +168,69 @@ class WeightProgramCache:
 
         self.stats.misses += 1
         programmed = opc.program(quantized_weights, scale)
+        self._insert(key, programmed, opc.seed)
+        return programmed, False
+
+    def preload(
+        self,
+        opc: OpticalProcessingCore,
+        quantized_weights: np.ndarray,
+        scale: float,
+        programmed: ProgrammedWeights,
+    ) -> None:
+        """Insert a program computed elsewhere, without installing it.
+
+        The parallel warmup path (:meth:`~repro.engine.server.FrameServer.
+        warmup` with a process/thread backend) programs (model, die) pairs
+        in workers and ships the :class:`~repro.core.opc.ProgrammedWeights`
+        records back to the main process; this seeds the shared cache so
+        the subsequent in-process activations are hits.  Counts as a miss
+        — the mapping chain *did* run, just in another address space — so
+        warmup's miss total still reads "programs computed".  Budget and
+        capacity eviction apply exactly as on a miss.
+
+        The caller owns the determinism obligation: ``programmed`` must be
+        what ``opc.program(quantized_weights, scale)`` would produce —
+        guaranteed for workers that rebuilt an identically configured core
+        from the same (config, die seed), per the scalar-reference
+        bit-identity contract of :mod:`repro.core.reference`.
+        """
+        key = self.key_for(opc, quantized_weights, scale)
+        if key in self._entries:
+            return
+        self.stats.misses += 1
+        self._insert(key, programmed, opc.seed)
+
+    def has_program(
+        self,
+        opc: OpticalProcessingCore,
+        quantized_weights: np.ndarray,
+        scale: float,
+    ) -> bool:
+        """Whether a program is resident, without touching stats or LRU."""
+        return self.key_for(opc, quantized_weights, scale) in self._entries
+
+    def _insert(
+        self, key: str, programmed: ProgrammedWeights, die: int | None
+    ) -> None:
+        """Store one entry, then evict LRU until capacity and budget hold."""
         self._entries[key] = programmed
-        self._die_of[key] = opc.seed
-        if self.capacity is not None and len(self._entries) > self.capacity:
+        self._die_of[key] = die
+        self._nbytes_of[key] = self.entry_nbytes(programmed)
+        self.stats.bytes_cached += self._nbytes_of[key]
+        while len(self._entries) > 1 and (
+            (self.capacity is not None and len(self._entries) > self.capacity)
+            or (
+                self.memory_budget_bytes is not None
+                and self.stats.bytes_cached > self.memory_budget_bytes
+            )
+        ):
             evicted, _ = self._entries.popitem(last=False)
             self._die_of.pop(evicted, None)
+            nbytes = self._nbytes_of.pop(evicted, 0)
+            self.stats.bytes_cached -= nbytes
+            self.stats.bytes_evicted += nbytes
             self.stats.evictions += 1
-        return programmed, False
 
     def invalidate_die(self, seed: int | None) -> int:
         """Drop every program mapped on the die with ``seed``.
@@ -150,10 +245,13 @@ class WeightProgramCache:
         for key in stale:
             self._entries.pop(key, None)
             self._die_of.pop(key, None)
+            self.stats.bytes_cached -= self._nbytes_of.pop(key, 0)
         self.stats.invalidations += len(stale)
         return len(stale)
 
     def clear(self) -> None:
-        """Drop every entry (stats are kept)."""
+        """Drop every entry (stats are kept; ``bytes_cached`` zeroes)."""
         self._entries.clear()
         self._die_of.clear()
+        self._nbytes_of.clear()
+        self.stats.bytes_cached = 0

@@ -5,6 +5,12 @@ subpackage (photonics, circuits, nn, core, ...) can rely on them without
 import cycles.
 """
 
+from repro.util.parallel import (
+    BACKENDS,
+    ParallelConfig,
+    available_cores,
+    parallel_map,
+)
 from repro.util.rng import derive_rng, spawn_seeds
 from repro.util.tables import format_table
 from repro.util.units import (
@@ -25,12 +31,16 @@ from repro.util.validation import (
 )
 
 __all__ = [
+    "BACKENDS",
     "C_LIGHT_M_S",
     "ELEMENTARY_CHARGE_C",
     "KB_J_PER_K",
     "PLANCK_J_S",
+    "ParallelConfig",
     "ROOM_TEMPERATURE_K",
+    "available_cores",
     "check_in_range",
+    "parallel_map",
     "check_positive",
     "check_power_of_two",
     "check_probability",

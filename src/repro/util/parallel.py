@@ -1,0 +1,164 @@
+"""Multi-core fan-out: ordered map over serial/thread/process backends.
+
+The compute paths are vectorized (cold programming ~50x, warm serving
+~26x), so the remaining wall-clock bottlenecks are the *serial fan-outs*
+wrapped around them: :meth:`~repro.engine.server.FrameServer.warmup`
+programs every (model, die) pair one at a time, the capacity planner
+(:mod:`repro.analysis.capacity`) walks its scenario x policy x nodes grid
+sequentially, and the registry sweeps (``repro sweep``,
+:mod:`repro.analysis.robustness_report`) iterate platforms and fault
+rates in one process.  Each of those is a list of *independent* tasks —
+exactly the unit of process parallelism an OASIS-style fleet of
+deterministic dies suggests.
+
+:func:`parallel_map` maps a task function over such a list and merges the
+results **in task order**, so the caller sees the exact sequence a plain
+``[fn(t) for t in tasks]`` loop would produce.  That ordered merge is the
+load-bearing contract: every report built on top (``ServeReport``,
+``CapacityReport``, the robustness table) must be **byte-identical**
+under every backend, and the repo's bit-identity golden tests run under
+all three (``tests/test_parallel_equivalence.py``).
+
+Task requirements (the caller's side of the contract):
+
+* **pure** — a task must not mutate shared state; anything it needs goes
+  in its task description, anything it produces comes back in its return
+  value (the ``process`` backend runs it in another address space, so
+  side effects are silently lost — the classic parallelism bug);
+* **picklable** — task descriptions and results cross a process
+  boundary; keep them to plain data (dataclasses, numpy arrays, dicts)
+  and define task functions at module level;
+* **deterministically seeded** — a task that draws randomness must
+  derive its generator from seeds in its own description
+  (:func:`repro.util.rng.derive_rng`), never from global or ambient
+  state, or the ordered merge preserves order but not bits.
+
+The ``thread`` backend exists for tasks that release the GIL (large BLAS
+calls) and for exercising the contract cheaply in tests; ``process`` is
+the backend that buys wall-clock on multi-core hosts.  Both degrade to
+the serial loop when only one worker is available, so ``--workers 1`` is
+*the* serial path, not a one-worker pool.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence, TypeVar
+
+_Task = TypeVar("_Task")
+_Result = TypeVar("_Result")
+
+#: Supported executor backends, in "cheapest first" order.
+BACKENDS: tuple[str, ...] = ("serial", "thread", "process")
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """Executor selection for one fan-out (backend + worker count).
+
+    Parameters
+    ----------
+    backend:
+        One of :data:`BACKENDS`.  ``serial`` is the default and the
+        reference semantics; ``thread``/``process`` must produce
+        byte-identical results (see the module docstring for the task
+        contract).
+    workers:
+        Worker count; ``None`` means "one per available core".  A value
+        of 1 degrades any backend to the serial loop.
+    """
+
+    backend: str = "serial"
+    workers: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"backend must be one of {BACKENDS}, got {self.backend!r}"
+            )
+        if self.workers is not None and self.workers <= 0:
+            raise ValueError(
+                f"workers must be positive or None, got {self.workers}"
+            )
+
+    def resolve_workers(self) -> int:
+        """Concrete worker count (``None`` -> available cores)."""
+        if self.workers is not None:
+            return self.workers
+        return available_cores()
+
+    @property
+    def effective_backend(self) -> str:
+        """The backend after the one-worker degeneracy rule.
+
+        ``--workers 1`` (or a one-core host with ``workers=None``) runs
+        the plain serial loop regardless of the requested backend — a
+        one-worker pool would add dispatch overhead and change nothing
+        else, and the serial pin keeps "parallel off" a single code path.
+        """
+        if self.backend == "serial" or self.resolve_workers() <= 1:
+            return "serial"
+        return self.backend
+
+    @property
+    def is_serial(self) -> bool:
+        """Whether this config runs the plain in-process loop."""
+        return self.effective_backend == "serial"
+
+
+def available_cores() -> int:
+    """Cores usable by this process (affinity-aware where supported)."""
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:
+        try:
+            return max(1, len(getaffinity(0)))
+        except OSError:  # pragma: no cover - exotic platforms
+            pass
+    return max(1, os.cpu_count() or 1)
+
+
+def parallel_map(
+    fn: Callable[[_Task], _Result],
+    tasks: Iterable[_Task],
+    parallel: ParallelConfig | None = None,
+) -> list[_Result]:
+    """Map ``fn`` over ``tasks``, merging results **in task order**.
+
+    Semantically identical to ``[fn(task) for task in tasks]`` under
+    every backend — ``Executor.map`` yields results in submission order
+    no matter which worker finishes first, so the merged list (and
+    therefore every report assembled from it) is byte-identical to the
+    serial run *provided the tasks honour the purity/picklability/
+    seeding contract* (module docstring).  Exceptions raised by a task
+    propagate to the caller under every backend.
+
+    Parameters
+    ----------
+    fn:
+        Task function; must be defined at module level for the
+        ``process`` backend (bound methods and closures do not pickle).
+    tasks:
+        Task descriptions; materialized once, so generators are fine.
+    parallel:
+        Backend selection; ``None`` (or a serial/one-worker config) runs
+        the plain loop.
+    """
+    config = parallel or ParallelConfig()
+    items: Sequence[_Task] = list(tasks)
+    backend = config.effective_backend
+    if backend == "serial" or len(items) <= 1:
+        return [fn(item) for item in items]
+    workers = min(config.resolve_workers(), len(items))
+    pool_cls = ThreadPoolExecutor if backend == "thread" else ProcessPoolExecutor
+    with pool_cls(max_workers=workers) as pool:
+        return list(pool.map(fn, items))
+
+
+__all__ = [
+    "BACKENDS",
+    "ParallelConfig",
+    "available_cores",
+    "parallel_map",
+]

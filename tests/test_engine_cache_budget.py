@@ -1,0 +1,196 @@
+"""Tests for WeightProgramCache byte-budget mode and preload semantics."""
+
+import numpy as np
+import pytest
+
+from repro.core.opc import OpticalProcessingCore
+from repro.engine import WeightProgramCache
+from repro.nn.quant import UniformWeightQuantizer
+
+
+def _kernel_set(seed):
+    """A distinct quantized kernel set per seed (same shape/size)."""
+    rng = np.random.default_rng(seed)
+    weights = rng.normal(size=(8, 1, 3, 3)) * 0.1
+    quantizer = UniformWeightQuantizer(4)
+    return quantizer.quantize(weights), quantizer.scale(weights)
+
+
+@pytest.fixture
+def opc():
+    return OpticalProcessingCore(seed=1)
+
+
+def _program(cache, opc, seed):
+    quantized, scale = _kernel_set(seed)
+    programmed, hit = cache.get_or_program(opc, quantized, scale)
+    return programmed, hit
+
+
+def _entry_bytes(opc):
+    """Resident bytes of one program for the fixture kernel shape."""
+    cache = WeightProgramCache()
+    programmed, _ = _program(cache, opc, seed=0)
+    return WeightProgramCache.entry_nbytes(programmed)
+
+
+# --------------------------------------------------------------------------
+# Accounting
+# --------------------------------------------------------------------------
+def test_entry_nbytes_counts_both_tensors(opc):
+    cache = WeightProgramCache()
+    programmed, _ = _program(cache, opc, seed=0)
+    expected = programmed.ideal.nbytes + programmed.realized.nbytes
+    assert WeightProgramCache.entry_nbytes(programmed) == expected
+    assert cache.stats.bytes_cached == expected
+    assert cache.stats.bytes_evicted == 0
+
+
+def test_bytes_cached_tracks_inserts_and_clear(opc):
+    cache = WeightProgramCache()
+    per_entry = _entry_bytes(opc)
+    for seed in range(3):
+        _program(cache, opc, seed)
+    assert cache.stats.bytes_cached == 3 * per_entry
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.stats.bytes_cached == 0
+    # Cumulative counters survive clear() (they describe history).
+    assert cache.stats.misses == 3
+
+
+def test_invalidate_die_releases_bytes(opc):
+    cache = WeightProgramCache()
+    per_entry = _entry_bytes(opc)
+    other_die = OpticalProcessingCore(seed=2)
+    _program(cache, opc, 0)
+    _program(cache, other_die, 0)
+    assert cache.stats.bytes_cached == 2 * per_entry
+    dropped = cache.invalidate_die(opc.seed)
+    assert dropped == 1
+    assert cache.stats.bytes_cached == per_entry
+    assert cache.stats.bytes_evicted == 0  # invalidation is not eviction
+
+
+# --------------------------------------------------------------------------
+# Budget-driven eviction
+# --------------------------------------------------------------------------
+def test_budget_evicts_lru_first(opc):
+    per_entry = _entry_bytes(opc)
+    cache = WeightProgramCache(memory_budget_bytes=2 * per_entry)
+    _program(cache, opc, 0)
+    _program(cache, opc, 1)
+    assert cache.stats.evictions == 0
+
+    # Touch set 0 so set 1 becomes the LRU entry, then overflow.
+    _, hit = _program(cache, opc, 0)
+    assert hit
+    _program(cache, opc, 2)
+
+    assert len(cache) == 2
+    assert cache.stats.evictions == 1
+    assert cache.stats.bytes_evicted == per_entry
+    assert cache.stats.bytes_cached == 2 * per_entry
+    # Set 1 was evicted (LRU); sets 0 and 2 are resident.
+    q0, s0 = _kernel_set(0)
+    q1, s1 = _kernel_set(1)
+    q2, s2 = _kernel_set(2)
+    assert cache.has_program(opc, q0, s0)
+    assert not cache.has_program(opc, q1, s1)
+    assert cache.has_program(opc, q2, s2)
+
+
+def test_budget_and_capacity_compose(opc):
+    """The tighter of the two bounds wins."""
+    per_entry = _entry_bytes(opc)
+    cache = WeightProgramCache(
+        capacity=1, memory_budget_bytes=10 * per_entry
+    )
+    _program(cache, opc, 0)
+    _program(cache, opc, 1)
+    assert len(cache) == 1
+    assert cache.stats.evictions == 1
+    assert cache.stats.bytes_cached == per_entry
+
+
+def test_sole_oversized_entry_is_kept(opc):
+    """A single entry above the whole budget stays resident."""
+    per_entry = _entry_bytes(opc)
+    cache = WeightProgramCache(memory_budget_bytes=per_entry // 2)
+    programmed, _ = _program(cache, opc, 0)
+    assert len(cache) == 1
+    assert cache.stats.evictions == 0
+    assert cache.stats.bytes_cached == per_entry
+
+    # ... and is first in line once anything newer lands.
+    _program(cache, opc, 1)
+    assert len(cache) == 1
+    assert cache.stats.evictions == 1
+    q0, s0 = _kernel_set(0)
+    assert not cache.has_program(opc, q0, s0)
+
+
+def test_invalid_budget_rejected():
+    with pytest.raises(ValueError, match="memory_budget_bytes"):
+        WeightProgramCache(memory_budget_bytes=0)
+    with pytest.raises(ValueError, match="memory_budget_bytes"):
+        WeightProgramCache(memory_budget_bytes=-64)
+
+
+# --------------------------------------------------------------------------
+# preload / has_program (the parallel-warmup seeding path)
+# --------------------------------------------------------------------------
+def test_preload_seeds_without_installing(opc):
+    quantized, scale = _kernel_set(0)
+    worker_opc = OpticalProcessingCore(seed=opc.seed)
+    programmed = worker_opc.program(quantized, scale)
+
+    cache = WeightProgramCache()
+    assert not cache.has_program(opc, quantized, scale)
+    cache.preload(opc, quantized, scale, programmed)
+    assert cache.has_program(opc, quantized, scale)
+    assert cache.stats.misses == 1  # the mapping chain ran (elsewhere)
+    assert opc._programmed is None  # preload does not touch the core
+
+    # The subsequent in-process activation is a hit that installs.
+    cached, hit = cache.get_or_program(opc, quantized, scale)
+    assert hit
+    assert cached is programmed
+    assert opc.programmed is programmed
+
+
+def test_preload_is_idempotent_on_resident_keys(opc):
+    quantized, scale = _kernel_set(0)
+    cache = WeightProgramCache()
+    first, _ = cache.get_or_program(opc, quantized, scale)
+    misses = cache.stats.misses
+    cache.preload(opc, quantized, scale, opc.program(quantized, scale))
+    assert cache.stats.misses == misses  # resident key: no-op, no miss
+    cached, hit = cache.get_or_program(opc, quantized, scale)
+    assert hit and cached is first
+
+
+def test_preload_respects_budget(opc):
+    per_entry = _entry_bytes(opc)
+    cache = WeightProgramCache(memory_budget_bytes=2 * per_entry)
+    for seed in range(3):
+        quantized, scale = _kernel_set(seed)
+        cache.preload(opc, quantized, scale, opc.program(quantized, scale))
+    assert len(cache) == 2
+    assert cache.stats.evictions == 1
+    assert cache.stats.bytes_cached == 2 * per_entry
+
+
+def test_has_program_leaves_stats_and_lru_alone(opc):
+    per_entry = _entry_bytes(opc)
+    cache = WeightProgramCache(memory_budget_bytes=2 * per_entry)
+    _program(cache, opc, 0)
+    _program(cache, opc, 1)
+    stats_before = (cache.stats.hits, cache.stats.misses)
+
+    q0, s0 = _kernel_set(0)
+    assert cache.has_program(opc, q0, s0)  # must NOT refresh set 0's LRU slot
+    assert (cache.stats.hits, cache.stats.misses) == stats_before
+
+    _program(cache, opc, 2)  # overflow: set 0 is still the LRU entry
+    assert not cache.has_program(opc, q0, s0)

@@ -1,0 +1,189 @@
+"""Bit-identity of every fan-out layer under serial/thread/process backends.
+
+The ordered-merge contract of :mod:`repro.util.parallel` promises that a
+parallel run is **byte-identical** to the serial one — not statistically
+close, identical.  This suite holds each wired fan-out to that promise:
+
+* ``FrameServer.warmup`` — a process-warmed server must serve the pinned
+  golden stream (``tests/goldens/serve_default.json``) exactly like a
+  serially-warmed one, and exactly like the unwarmed golden on every
+  field except the serve-time cache counters (warmup converts the first
+  activations from misses to hits — that *is* its job);
+* the capacity planner grid (:mod:`repro.analysis.capacity`);
+* the registry sweeps (:mod:`repro.analysis.sweeps`,
+  :mod:`repro.analysis.robustness_report`);
+* the CLI flag mapping, including the ``--workers 1`` serial pin.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import json
+import os
+
+import pytest
+
+from repro.util import ParallelConfig
+
+TESTS_DIR = os.path.dirname(os.path.abspath(__file__))
+
+# The scheduler-golden helpers (_build_server/_mixed_requests/_serialize)
+# define the pinned default stream; reuse them so this file cannot drift
+# from the golden's serialization.
+_spec = importlib.util.spec_from_file_location(
+    "scheduler_golden", os.path.join(TESTS_DIR, "test_engine_scheduler.py")
+)
+scheduler_golden = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(scheduler_golden)
+
+#: Fields that legitimately change under a warmed server: the serve-time
+#: cache counters (warmup turns cold programs into hits), and the stream
+#: energy total (a hit pays install/re-trim energy where the unwarmed
+#: golden pays the cold mapping chain).  Everything else — placements,
+#: event times, outputs, payloads — must match the golden exactly.
+WARMUP_SENSITIVE_FIELDS = ("cache_hits", "cache_misses", "total_energy_j")
+
+
+def _warmed_serve(parallel):
+    """The golden mixed stream served after a (possibly parallel) warmup."""
+    server = scheduler_golden._build_server(num_nodes=2)
+    stats = server.warmup(parallel=parallel)
+    report = server.serve(
+        scheduler_golden._mixed_requests(), offered_fps=1800.0
+    )
+    return scheduler_golden._serialize(report), stats, server
+
+
+# --------------------------------------------------------------------------
+# FrameServer.warmup
+# --------------------------------------------------------------------------
+@pytest.mark.parametrize("backend", ["process", "thread"])
+def test_parallel_warmup_serves_golden_stream(backend):
+    serial, _, serial_server = _warmed_serve(None)
+    config = ParallelConfig(backend=backend, workers=2)
+    parallel, stats, parallel_server = _warmed_serve(config)
+
+    # Parallel-warmed == serially-warmed, byte for byte (counters included).
+    assert parallel == serial
+    assert stats["models"] == 2 and stats["nodes"] == 2
+    assert (
+        parallel_server.cache.stats.bytes_cached
+        == serial_server.cache.stats.bytes_cached
+    )
+
+    # ... and both match the *unwarmed* golden on everything except the
+    # serve-time cache counters (warmup turns those misses into hits).
+    with open(scheduler_golden.GOLDEN_PATH) as handle:
+        golden = json.load(handle)["mixed_two_nodes_1800fps"]
+    for serialized in (serial, parallel):
+        trimmed = {
+            k: v for k, v in serialized.items() if k not in WARMUP_SENSITIVE_FIELDS
+        }
+        golden_trimmed = {
+            k: v for k, v in golden.items() if k not in WARMUP_SENSITIVE_FIELDS
+        }
+        assert trimmed == golden_trimmed
+        # The warmed server's serve does strictly fewer cold programs.
+        assert serialized["cache_misses"] <= golden["cache_misses"]
+
+
+def test_workers_one_warmup_is_the_serial_path():
+    """``--workers 1``: same warmup stats shape as a plain serial warmup."""
+    serial, serial_stats, _ = _warmed_serve(None)
+    pinned, pinned_stats, _ = _warmed_serve(
+        ParallelConfig(backend="process", workers=1)
+    )
+    assert pinned == serial
+    # The serial pin skips the preload pass entirely, so even the warmup
+    # cache-counter shape matches the serial run (preload would add hits).
+    assert pinned_stats["cache_hits"] == serial_stats["cache_hits"]
+    assert pinned_stats["cache_misses"] == serial_stats["cache_misses"]
+
+
+# --------------------------------------------------------------------------
+# Capacity planner grid
+# --------------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def capacity_settings():
+    from repro.analysis.capacity import CapacitySettings
+
+    return CapacitySettings(
+        scenario="diurnal",
+        policies=("greedy",),
+        node_counts=(1, 2),
+        frames=24,
+        search_iterations=2,
+    )
+
+
+def test_capacity_grid_backend_equality(capacity_settings):
+    from repro.analysis.capacity import build_capacity_report
+
+    serial = build_capacity_report(capacity_settings)
+    for backend in ("process", "thread"):
+        config = ParallelConfig(backend=backend, workers=2)
+        report = build_capacity_report(capacity_settings, parallel=config)
+        assert repr(report.points) == repr(serial.points)
+
+
+# --------------------------------------------------------------------------
+# Registry sweeps
+# --------------------------------------------------------------------------
+def test_platform_sweep_backend_equality():
+    from repro.analysis.sweeps import sweep_platforms
+
+    bit_configs = ((4, 2),)
+    serial = sweep_platforms(bit_configs=bit_configs)
+    for backend in ("process", "thread"):
+        config = ParallelConfig(backend=backend, workers=2)
+        points = sweep_platforms(bit_configs=bit_configs, parallel=config)
+        assert repr(points) == repr(serial)
+
+
+def test_robustness_report_backend_equality():
+    from repro.analysis.robustness_report import (
+        RobustnessSettings,
+        build_robustness_report,
+    )
+
+    settings = RobustnessSettings.fast()
+    serial = build_robustness_report(settings)
+    parallel = build_robustness_report(
+        settings, parallel=ParallelConfig(backend="process", workers=2)
+    )
+    assert repr(parallel.cells) == repr(serial.cells)
+
+
+# --------------------------------------------------------------------------
+# CLI flag mapping
+# --------------------------------------------------------------------------
+def _args(backend="serial", workers=None):
+    return argparse.Namespace(backend=backend, workers=workers)
+
+
+def test_cli_defaults_map_to_no_parallelism():
+    from repro.cli import _parallel_from_args
+
+    assert _parallel_from_args(_args()) is None
+
+
+def test_cli_workers_alone_defaults_to_process():
+    from repro.cli import _parallel_from_args
+
+    config = _parallel_from_args(_args(workers=4))
+    assert config == ParallelConfig(backend="process", workers=4)
+
+
+def test_cli_workers_one_pins_serial():
+    from repro.cli import _parallel_from_args
+
+    config = _parallel_from_args(_args(backend="process", workers=1))
+    assert config is not None and config.is_serial
+
+
+def test_cli_explicit_backend_passthrough():
+    from repro.cli import _parallel_from_args
+
+    config = _parallel_from_args(_args(backend="thread", workers=2))
+    assert config == ParallelConfig(backend="thread", workers=2)

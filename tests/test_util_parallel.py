@@ -1,0 +1,128 @@
+"""Tests for repro.util.parallel — the ordered fan-out contract."""
+
+import time
+
+import pytest
+
+from repro.util import BACKENDS, ParallelConfig, available_cores, parallel_map
+
+
+def _square(x):
+    return x * x
+
+
+def _inverse_cost(x):
+    """Later tasks finish *first* — exposes completion-order merges."""
+    time.sleep(0.002 * (8 - x))
+    return x
+
+
+def _raise_on_three(x):
+    if x == 3:
+        raise ValueError("task three blew up")
+    return x
+
+
+# --------------------------------------------------------------------------
+# ParallelConfig
+# --------------------------------------------------------------------------
+def test_backends_tuple():
+    assert BACKENDS == ("serial", "thread", "process")
+
+
+def test_default_config_is_serial():
+    config = ParallelConfig()
+    assert config.backend == "serial"
+    assert config.is_serial
+    assert config.effective_backend == "serial"
+
+
+def test_invalid_backend_rejected():
+    with pytest.raises(ValueError, match="backend"):
+        ParallelConfig(backend="mpi")
+
+
+@pytest.mark.parametrize("workers", [0, -2])
+def test_nonpositive_workers_rejected(workers):
+    with pytest.raises(ValueError, match="workers"):
+        ParallelConfig(backend="thread", workers=workers)
+
+
+@pytest.mark.parametrize("backend", ["thread", "process"])
+def test_one_worker_pins_to_serial(backend):
+    """``--workers 1`` is the serial path, not a one-worker pool."""
+    config = ParallelConfig(backend=backend, workers=1)
+    assert config.effective_backend == "serial"
+    assert config.is_serial
+
+
+def test_none_workers_resolve_to_cores():
+    config = ParallelConfig(backend="process")
+    assert config.resolve_workers() == available_cores()
+
+
+def test_available_cores_positive():
+    assert available_cores() >= 1
+
+
+# --------------------------------------------------------------------------
+# parallel_map
+# --------------------------------------------------------------------------
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_map_matches_serial_loop(backend):
+    tasks = list(range(17))
+    expected = [_square(t) for t in tasks]
+    result = parallel_map(
+        _square, tasks, ParallelConfig(backend=backend, workers=2)
+    )
+    assert result == expected
+
+
+def test_none_config_runs_serially():
+    assert parallel_map(_square, [1, 2, 3]) == [1, 4, 9]
+
+
+def test_generator_tasks_materialized():
+    result = parallel_map(
+        _square, (i for i in range(5)), ParallelConfig("thread", workers=2)
+    )
+    assert result == [0, 1, 4, 9, 16]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_empty_and_singleton_task_lists(backend):
+    config = ParallelConfig(backend=backend, workers=2)
+    assert parallel_map(_square, [], config) == []
+    assert parallel_map(_square, [6], config) == [36]
+
+
+def test_merge_is_task_order_not_completion_order():
+    """Thread pool with inverted task costs still merges in task order."""
+    tasks = list(range(8))
+    result = parallel_map(
+        _inverse_cost, tasks, ParallelConfig("thread", workers=4)
+    )
+    assert result == tasks
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_task_exception_propagates(backend):
+    with pytest.raises(ValueError, match="task three blew up"):
+        parallel_map(
+            _raise_on_three, range(6), ParallelConfig(backend=backend, workers=2)
+        )
+
+
+def test_workers_one_runs_in_caller_process():
+    """The serial pin means no pool: closures (unpicklable) still work."""
+    seen = []
+
+    def record(x):  # closure — would not pickle under a real process pool
+        seen.append(x)
+        return x
+
+    result = parallel_map(
+        record, [1, 2, 3], ParallelConfig("process", workers=1)
+    )
+    assert result == [1, 2, 3]
+    assert seen == [1, 2, 3]
