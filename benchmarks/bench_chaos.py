@@ -1,0 +1,243 @@
+"""Chaos drill: failover keeps interactive SLOs through injected node loss.
+
+The acceptance scenario for the fleet-resilience layer
+(:mod:`repro.engine.chaos` + :mod:`repro.engine.failover`): the ``chaos``
+workload (2:1 interactive/batch mix) streams at 2400 FPS into a two-node
+fleet while the ``node-loss`` chaos plan kills one node mid-stream with a
+frame in flight.  The bench serves the *same* request stream through the
+failover ladder of :func:`repro.analysis.robustness_report.
+build_resilience_report` — no failover, deadline retries, retries + one
+warm spare — and asserts:
+
+* **failover holds the SLO** — the retry+spares rung keeps the
+  interactive deadline-hit rate >= 0.95 through the outage;
+* **the chaos bites** — the no-failover baseline is measurably worse
+  (both availability and interactive hit rate), so the failover delta is
+  a real recovery, not an idle pass;
+* **determinism** — two runs of the ladder produce identical rows
+  (every draw goes through ``derive_rng``);
+* **default-path bit-identity** — a default-configured server (no chaos
+  plan, retries disabled, zero spares) still reproduces the pinned
+  ``mixed_two_nodes_1800fps`` golden from
+  ``tests/goldens/serve_default.json`` byte for byte.
+
+The run writes ``BENCH_chaos.json`` at the repo root as the resilience
+perf-trajectory entry.  Set ``REPRO_BENCH_QUICK=1`` (CI smoke) for the
+shorter 180-frame stream; the ladder, the invariant flags and the
+assertions are identical either way, and the guarded writer never lets a
+smoke run clobber a full-mode entry.
+"""
+
+import dataclasses
+import hashlib
+import json
+import os
+import platform
+
+import numpy as np
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BENCH_JSON = os.path.join(REPO_ROOT, "BENCH_chaos.json")
+GOLDEN_JSON = os.path.join(REPO_ROOT, "tests", "goldens", "serve_default.json")
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") == "1"
+
+#: Deadline-hit floor the failover rung must hold through the outage.
+SLO_TARGET = 0.95
+
+
+def _ladder(quick: bool):
+    """One failover-ladder pass at the bench operating point."""
+    from repro.analysis.robustness_report import (
+        ResilienceSettings,
+        build_resilience_report,
+    )
+
+    settings = ResilienceSettings.fast() if quick else ResilienceSettings()
+    return build_resilience_report(settings)
+
+
+def _rows_payload(report) -> list[dict]:
+    return [dataclasses.asdict(row) for row in report.rows]
+
+
+def _default_path_matches_golden() -> bool:
+    """Re-serve the pinned mixed stream on a default server and compare.
+
+    Mirrors ``tests/test_engine_scheduler.py`` exactly: a two-node server
+    with chaos/retry/spares/brownout at their disabled defaults must stay
+    byte-identical to the golden — the resilience layer may not perturb
+    the default path even by one ULP.
+    """
+    from repro.engine import FrameRequest, FrameServer
+    from repro.nn.models import build_lenet
+
+    server = FrameServer(
+        num_nodes=2,
+        micro_batch=8,
+        seed=0,
+        chaos_plan=None,
+        retry_policy=None,
+        spares=0,
+        brownout=None,
+    )
+    server.register_model("model-a", build_lenet(seed=0))
+    server.register_model("model-b", build_lenet(seed=1))
+    frames = np.random.default_rng(42).uniform(0.0, 1.0, (48, 1, 28, 28))
+    requests = [
+        FrameRequest(frames[i], "model-a" if (i // 6) % 2 == 0 else "model-b")
+        for i in range(48)
+    ]
+    report = server.serve(requests, offered_fps=1800.0)
+
+    responses = []
+    for resp in report.responses:
+        output = resp.output
+        responses.append(
+            {
+                "index": resp.index,
+                "model_key": resp.model_key,
+                "node_id": resp.node_id,
+                "arrival_s": repr(resp.event.arrival_s),
+                "start_s": repr(resp.event.start_s),
+                "finish_s": repr(resp.event.finish_s),
+                "dropped": resp.event.dropped,
+                "remapped": resp.event.remapped,
+                "degraded": resp.degraded,
+                "output_sha256": (
+                    None
+                    if output is None
+                    else hashlib.sha256(
+                        np.ascontiguousarray(output, dtype=float).tobytes()
+                    ).hexdigest()
+                ),
+            }
+        )
+    actual = {
+        "responses": responses,
+        "total_energy_j": repr(report.stream.total_energy_j),
+        "frames": report.stream.frames,
+        "dropped": report.stream.dropped,
+        "cache_hits": report.cache_hits,
+        "cache_misses": report.cache_misses,
+        "payload_bytes": report.payload_bytes,
+        "radio_energy_j": repr(report.radio_energy_j),
+        "node_frames": {
+            str(node): count
+            for node, count in sorted(report.node_frames.items())
+        },
+        "health": report.health is not None,
+    }
+    with open(GOLDEN_JSON) as handle:
+        expected = json.load(handle)
+    return actual == expected["mixed_two_nodes_1800fps"]
+
+
+def run_chaos_bench(quick: bool = QUICK) -> dict:
+    """Serve the failover ladder twice and fold in the invariant flags."""
+    first = _ladder(quick)
+    second = _ladder(quick)
+    rows = _rows_payload(first)
+    deterministic = rows == _rows_payload(second)
+    by_label = {row["label"]: row for row in rows}
+    settings = first.settings
+    return {
+        "bench": "chaos",
+        "schema": 1,
+        "quick": quick,
+        "chaos_plan": settings.chaos_plan,
+        "scenario": settings.scenario,
+        "frames": settings.frames,
+        "offered_fps": settings.offered_fps,
+        "num_nodes": settings.num_nodes,
+        "spares": settings.spares,
+        "retry_policy": settings.retry_policy,
+        "policy": settings.policy,
+        "seed": settings.seed,
+        "slo_target": SLO_TARGET,
+        "rows": rows,
+        "baseline_interactive_hit_rate": by_label["no-failover"][
+            "interactive_hit_rate"
+        ],
+        "failover_interactive_hit_rate": by_label["retry+spares"][
+            "interactive_hit_rate"
+        ],
+        "baseline_availability": by_label["no-failover"]["availability"],
+        "failover_availability": by_label["retry+spares"]["availability"],
+        "failover_recovery_ratio": (
+            by_label["retry+spares"]["frames_recovered"]
+            / by_label["retry+spares"]["frames_lost_in_flight"]
+            if by_label["retry+spares"]["frames_lost_in_flight"]
+            else 1.0
+        ),
+        "deterministic": deterministic,
+        "default_bit_identical": _default_path_matches_golden(),
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+    }
+
+
+@pytest.fixture(scope="module")
+def bench_result(save_artifact):
+    from repro.analysis.perf import would_clobber_full_bench, write_bench
+
+    result = run_chaos_bench()
+    kept = would_clobber_full_bench(BENCH_JSON, result)
+    write_bench(BENCH_JSON, result)
+    save_artifact("chaos.txt", json.dumps(result, indent=2))
+    if kept:
+        print(f"[full-mode trajectory entry at {BENCH_JSON} kept]")
+    else:
+        print(f"[chaos trajectory entry written to {BENCH_JSON}]")
+    return result
+
+
+def test_failover_holds_interactive_slo_through_node_loss(bench_result):
+    """The headline acceptance: retry+spares keeps the deadline-hit floor."""
+    assert bench_result["failover_interactive_hit_rate"] >= SLO_TARGET, (
+        f"retry+spares held only "
+        f"{bench_result['failover_interactive_hit_rate']:.3f} interactive "
+        f"hit rate through {bench_result['chaos_plan']!r}"
+    )
+
+
+def test_chaos_measurably_degrades_the_baseline(bench_result):
+    """The drill is non-trivial: no failover must be measurably worse."""
+    assert (
+        bench_result["baseline_interactive_hit_rate"]
+        < bench_result["failover_interactive_hit_rate"] - 0.05
+    )
+    assert (
+        bench_result["baseline_availability"]
+        < bench_result["failover_availability"] - 0.05
+    )
+
+
+def test_failover_actually_recovered_frames(bench_result):
+    """The spare rung re-delivered the in-flight frames the chaos killed."""
+    by_label = {row["label"]: row for row in bench_result["rows"]}
+    spares = by_label["retry+spares"]
+    assert spares["frames_lost_in_flight"] >= 1
+    assert spares["frames_recovered"] >= 1
+    assert spares["spares_activated"] >= 1
+
+
+def test_ladder_is_deterministic(bench_result):
+    """Same seed -> byte-identical ladder rows (chaos replays exactly)."""
+    assert bench_result["deterministic"] is True
+
+
+def test_default_path_stays_bit_identical(bench_result):
+    """Resilience plumbing at disabled defaults leaves the golden intact."""
+    assert bench_result["default_bit_identical"] is True
+
+
+def test_chaos_json_written_at_repo_root(bench_result):
+    """The trajectory artifact exists and round-trips as JSON."""
+    assert os.path.exists(BENCH_JSON)
+    with open(BENCH_JSON) as handle:
+        payload = json.load(handle)
+    assert payload["bench"] == "chaos"
+    assert payload["rows"]

@@ -1,10 +1,16 @@
-"""Accuracy-vs-fault-rate table across the platform registry.
+"""Robustness tables: accuracy-vs-fault-rate + serving resilience.
 
 The paper's Table II reports healthy-die accuracy; this report extends the
 evaluation along the degradation axis the serving engine now exercises
 (:mod:`repro.engine.health`): for every registered platform
 (:mod:`repro.sim.platforms`) and every dead-device rate, what top-1
 accuracy survives?
+
+A second table (:func:`build_resilience_report`) covers the *serving*
+robustness axis added by :mod:`repro.engine.chaos` /
+:mod:`repro.engine.failover`: the same chaos-injected stream served under
+increasing failover ladders (none → retry → retry + warm spares), with
+availability, interactive deadline attainment and recovery time per rung.
 
 * **Fault-injectable platforms** (OISA: ``Platform.fault_injectable``) run
   hardware-in-the-loop through :class:`~repro.sim.faults.FaultyOpticalCore`
@@ -287,6 +293,182 @@ def render_robustness_report(report: RobustnessReport | None = None) -> str:
             "accuracy [%]",
             "calibrated [%]",
             "fault surface",
+        ),
+        rows,
+        title=title,
+    )
+
+
+# ----------------------------------------------------------------------
+# Serving resilience: chaos stream vs failover ladder
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ResilienceSettings:
+    """Scale knobs for the chaos-vs-failover serving drill."""
+
+    chaos_plan: str = "node-loss"
+    scenario: str = "chaos"
+    frames: int = 360
+    offered_fps: float = 2400.0
+    num_nodes: int = 2
+    spares: int = 1
+    retry_policy: str = "deadline"
+    policy: str = "slo"
+    seed: int = 0
+    #: SLO class whose deadline attainment the table tracks.
+    interactive_class: str = "interactive"
+
+    @classmethod
+    def fast(cls) -> "ResilienceSettings":
+        """Tier-1-test preset: a shorter stream, same operating point."""
+        return cls(frames=180, offered_fps=2400.0)
+
+
+@dataclass(frozen=True)
+class ResilienceRow:
+    """One failover configuration served through the chaos stream."""
+
+    label: str
+    availability: float
+    interactive_hit_rate: float
+    #: First chaos loss onset -> first post-onset interactive delivery
+    #: [s]; None when the plan injects no loss, inf when nothing recovers.
+    recovery_time_s: float | None
+    frames_lost_in_flight: int
+    frames_recovered: int
+    retries_scheduled: int
+    spares_activated: int
+
+
+@dataclass
+class ServingResilienceReport:
+    """The failover ladder served through one chaos-injected stream."""
+
+    settings: ResilienceSettings
+    rows: list[ResilienceRow] = field(default_factory=list)
+
+
+def build_resilience_report(
+    settings: ResilienceSettings | None = None,
+) -> ServingResilienceReport:
+    """Serve the chaos scenario under none → retry → retry + spares.
+
+    Every rung serves the *same* request stream (same scenario seed) on a
+    fresh server, so the rows differ only in the failover configuration —
+    deterministic per settings, byte-for-byte.
+    """
+    from repro.engine.failover import availability, recovery_time_s
+    from repro.engine.server import FrameServer
+    from repro.engine.workloads import build_scenario
+
+    settings = settings or ResilienceSettings()
+    report = ServingResilienceReport(settings=settings)
+    ladder = [
+        ("no-failover", None, 0),
+        ("retry", settings.retry_policy, 0),
+        ("retry+spares", settings.retry_policy, settings.spares),
+    ]
+    for label, retry, spares in ladder:
+        scenario = build_scenario(
+            settings.scenario,
+            frames=settings.frames,
+            offered_fps=settings.offered_fps,
+            seed=settings.seed,
+        )
+        server = FrameServer(
+            num_nodes=settings.num_nodes,
+            micro_batch=8,
+            seed=settings.seed,
+            policy=settings.policy,
+            chaos_plan=settings.chaos_plan,
+            retry_policy=retry,
+            spares=spares,
+        )
+        for key, model in scenario.models.items():
+            server.register_model(key, model)
+        server.warmup()
+        serve_report = server.serve_scenario(scenario)
+        interactive = (
+            serve_report.slo.classes.get(settings.interactive_class)
+            if serve_report.slo is not None
+            else None
+        )
+        resilience = serve_report.resilience
+        interactive_keys = {
+            key
+            for key, slo in scenario.slo_classes.items()
+            if slo.name == settings.interactive_class
+        }
+        report.rows.append(
+            ResilienceRow(
+                label=label,
+                availability=availability(serve_report),
+                interactive_hit_rate=(
+                    interactive.hit_rate if interactive is not None else 0.0
+                ),
+                recovery_time_s=recovery_time_s(
+                    serve_report, model_keys=interactive_keys or None
+                ),
+                frames_lost_in_flight=(
+                    resilience.frames_lost_in_flight if resilience else 0
+                ),
+                frames_recovered=(
+                    resilience.frames_recovered if resilience else 0
+                ),
+                retries_scheduled=(
+                    resilience.retries_scheduled if resilience else 0
+                ),
+                spares_activated=(
+                    resilience.spares_activated if resilience else 0
+                ),
+            )
+        )
+    return report
+
+
+def render_resilience_report(
+    report: ServingResilienceReport | None = None,
+) -> str:
+    """Aligned table of the failover ladder (one row per configuration)."""
+    import math as _math
+
+    report = report or build_resilience_report()
+    rows = []
+    for row in report.rows:
+        if row.recovery_time_s is None:
+            recovery = "-"
+        elif _math.isinf(row.recovery_time_s):
+            recovery = "never"
+        else:
+            recovery = f"{row.recovery_time_s * 1e3:.2f}"
+        rows.append(
+            (
+                row.label,
+                f"{row.availability * 100:.1f}",
+                f"{row.interactive_hit_rate * 100:.1f}",
+                recovery,
+                str(row.frames_lost_in_flight),
+                str(row.frames_recovered),
+                str(row.retries_scheduled),
+                str(row.spares_activated),
+            )
+        )
+    settings = report.settings
+    title = (
+        f"Serving resilience: chaos plan {settings.chaos_plan!r} over "
+        f"{settings.frames} frames @ {settings.offered_fps:.0f} fps on "
+        f"{settings.num_nodes} node(s)"
+    )
+    return format_table(
+        (
+            "failover",
+            "availability [%]",
+            "interactive hit [%]",
+            "recovery [ms]",
+            "lost in flight",
+            "recovered",
+            "retries",
+            "spares",
         ),
         rows,
         title=title,

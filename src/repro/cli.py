@@ -198,6 +198,26 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 build_capacity_report(capacity, parallel=parallel)
             )
         )
+    if args.resilience:
+        from dataclasses import replace
+
+        from repro.analysis.robustness_report import (
+            ResilienceSettings,
+            build_resilience_report,
+            render_resilience_report,
+        )
+
+        settings = (
+            ResilienceSettings.fast() if args.fast else ResilienceSettings()
+        )
+        settings = replace(
+            settings,
+            chaos_plan=args.chaos_plan,
+            retry_policy=args.retry_policy,
+            spares=args.spares,
+        )
+        print()
+        print(render_resilience_report(build_resilience_report(settings)))
     return 0
 
 
@@ -239,13 +259,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         seed=args.seed,
         fault_profile=args.fault_profile,
         policy=args.policy,
+        chaos_plan=args.chaos_plan,
+        retry_policy=args.retry_policy,
+        spares=args.spares,
+        brownout=args.brownout,
     )
     # --workers/--backend fan the cold warmup out before serving; the
     # serve report is bit-identical either way (the parallel layer's
     # ordered-merge contract), only the programming wall-clock moves.
+    # A failover configuration also warms up front (serially when no
+    # fan-out is requested): pre-warmed programs are what make spare
+    # activation pure cache hits.
     parallel = _parallel_from_args(args)
+    resilient = (
+        args.chaos_plan != "none"
+        or args.retry_policy != "none"
+        or args.spares > 0
+        or args.brownout != "none"
+    )
     warm = None
-    if parallel is not None:
+    if parallel is not None or resilient:
         for key, model in scenario.models.items():
             server.register_model(key, model)
         warm = server.warmup(parallel=parallel)
@@ -266,12 +299,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ("payload [kB]", f"{report.payload_bytes / 1e3:.1f}"),
     ]
     if warm is not None:
+        backend = parallel.effective_backend if parallel is not None else "serial"
         rows.append(
             (
                 "warmup (models x nodes)",
                 f"{warm['models']} x {warm['nodes']} in "
                 f"{warm['wall_clock_s'] * 1e3:.1f} ms "
-                f"[{parallel.effective_backend}]",
+                f"[{backend}]",
             )
         )
     rows.extend(
@@ -291,6 +325,54 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 ("peak thermal drift [K]", f"{health.peak_drift_k:.3f}"),
                 ("recalibration energy [nJ]", f"{health.recalibration_energy_j * 1e9:.2f}"),
                 ("dead nodes", str(health.dead_nodes) if health.dead_nodes else "-"),
+            )
+        )
+        if health.chaos_events:
+            rows.append(("chaos events fired", health.chaos_events))
+    if report.resilience is not None:
+        from repro.engine.failover import availability, recovery_time_s
+
+        res = report.resilience
+        recovery = recovery_time_s(report)
+        rows.extend(
+            (
+                ("retry policy", res.retry_policy),
+                ("availability", f"{availability(report) * 100:.1f}%"),
+                (
+                    "lost in flight / recovered / abandoned",
+                    f"{res.frames_lost_in_flight} / {res.frames_recovered} "
+                    f"/ {res.frames_abandoned}",
+                ),
+                (
+                    "retries scheduled / dispatched / denied",
+                    f"{res.retries_scheduled} / {res.retries_dispatched} "
+                    f"/ {res.retry_budget_denials}",
+                ),
+                (
+                    "spares activated / configured",
+                    f"{res.spares_activated} / {res.spares_configured}",
+                ),
+                ("wasted dispatch energy [nJ]", f"{res.wasted_energy_j * 1e9:.2f}"),
+            )
+        )
+        if recovery is not None:
+            rows.append(
+                (
+                    "recovery time [ms]",
+                    "never"
+                    if recovery != recovery or recovery == float("inf")
+                    else f"{recovery * 1e3:.2f}",
+                )
+            )
+    if report.brownout is not None:
+        brown = report.brownout
+        rows.extend(
+            (
+                ("brownout peak tier", brown.peak_tier_name),
+                (
+                    "brownout shed / reduced-bits frames",
+                    f"{brown.shed_frames} / {brown.reduced_bits_frames}",
+                ),
             )
         )
     print(
@@ -316,6 +398,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 else f"{stats.p99_latency_s * 1e3:.2f}",
                 stats.shed,
                 stats.expired,
+                stats.lost,
             )
             for stats in sorted(
                 report.slo.classes.values(),
@@ -335,11 +418,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     "p99 [ms]",
                     "shed",
                     "expired",
+                    "lost",
                 ),
                 slo_rows,
                 title=f"SLO outcomes — policy {report.slo.policy!r}",
             )
         )
+    if report.brownout is not None and report.brownout.transitions:
+        print("\nbrownout transitions:")
+        for transition in report.brownout.transitions:
+            print(
+                f"  t={transition.time_s * 1e3:8.2f} ms  "
+                f"tier {transition.from_tier} -> {transition.to_tier} "
+                f"({transition.to_name}): pressure {transition.pressure:.2f}, "
+                f"{transition.reason}"
+            )
     if report.health is not None and report.health.events:
         print("\nhealth events:")
         for event in report.health.events:
@@ -347,6 +440,35 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 f"  t={event.time_s * 1e3:8.2f} ms  node {event.node_id}  "
                 f"{event.kind}: {event.detail}"
             )
+    if args.check_slo:
+        # SLO gate (CI-friendly): every class with a deadline must hit it
+        # at >= --slo-target over offered frames, else exit nonzero.
+        if report.slo is None:
+            print(
+                "\n--check-slo: no SLO accounting on this configuration "
+                "(no classes and a non-queueing policy)"
+            )
+            return 1
+        failures = []
+        print(f"\nSLO check (target {args.slo_target:.2f}):")
+        for stats in sorted(
+            report.slo.classes.values(), key=lambda s: (-s.priority, s.name)
+        ):
+            if stats.deadline_s is None:
+                print(f"  {stats.name:16s}: no deadline — exempt")
+                continue
+            ok = stats.hit_rate >= args.slo_target
+            print(
+                f"  {stats.name:16s}: hit rate {stats.hit_rate:.3f} "
+                f"{'>=' if ok else '<'} {args.slo_target:.2f} "
+                f"{'OK' if ok else 'MISS'}"
+            )
+            if not ok:
+                failures.append(stats.name)
+        if failures:
+            print(f"--check-slo: FAILED for {', '.join(failures)}")
+            return 1
+        print("--check-slo: all classes meet the target")
     return 0
 
 
@@ -461,6 +583,28 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="comma list of node counts for --capacity (e.g. '1,2,4')",
     )
+    sweep.add_argument(
+        "--resilience",
+        action="store_true",
+        help="also run the failover ladder under chaos "
+        "(no-failover vs retry vs retry+spares; analysis/robustness_report)",
+    )
+    sweep.add_argument(
+        "--chaos-plan",
+        default="node-loss",
+        help="chaos plan for --resilience (engine/chaos registry)",
+    )
+    sweep.add_argument(
+        "--retry-policy",
+        default="deadline",
+        help="retry policy for the --resilience failover rungs",
+    )
+    sweep.add_argument(
+        "--spares",
+        type=int,
+        default=1,
+        help="spare budget for the --resilience retry+spares rung",
+    )
     _add_parallel_flags(sweep)
     sweep.set_defaults(handler=_cmd_sweep)
     serve = subparsers.add_parser(
@@ -475,7 +619,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--scenario",
         default="default",
         help="workload scenario (engine/workloads registry: default, "
-        "poisson, poisson-burst, diurnal, mixed-tenants, zoo)",
+        "poisson, poisson-burst, diurnal, mixed-tenants, chaos, zoo)",
     )
     serve.add_argument(
         "--models",
@@ -495,6 +639,52 @@ def build_parser() -> argparse.ArgumentParser:
         default="none",
         choices=("none", "drift", "transient", "harsh"),
         help="degradation scenario to serve under",
+    )
+    serve.add_argument(
+        "--chaos-plan",
+        default="none",
+        choices=(
+            "none",
+            "node-loss",
+            "region-outage",
+            "correlated-upsets",
+            "cache-storm",
+            "latency-spike",
+            "rolling",
+        ),
+        help="injected fleet-failure schedule (engine/chaos registry); "
+        "deterministic per seed",
+    )
+    serve.add_argument(
+        "--retry-policy",
+        default="none",
+        choices=("none", "deadline", "aggressive"),
+        help="deadline-aware re-dispatch of frames killed in flight",
+    )
+    serve.add_argument(
+        "--spares",
+        type=int,
+        default=0,
+        help="warm-standby spare budget (spares adopt the failed node's "
+        "die seed, so pre-warmed programs activate as cache hits)",
+    )
+    serve.add_argument(
+        "--brownout",
+        default="none",
+        choices=("none", "standard"),
+        help="degradation-tier admission ladder under overload/capacity loss",
+    )
+    serve.add_argument(
+        "--check-slo",
+        action="store_true",
+        help="exit nonzero when any SLO class with a deadline misses the "
+        "--slo-target deadline-hit rate",
+    )
+    serve.add_argument(
+        "--slo-target",
+        type=float,
+        default=0.95,
+        help="deadline-hit target for --check-slo (default 0.95)",
     )
     _add_parallel_flags(serve)
     serve.set_defaults(handler=_cmd_serve)

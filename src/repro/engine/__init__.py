@@ -26,6 +26,15 @@
   monitor, and the :class:`HealthMonitor` that samples thermal drift and
   injected upsets mid-stream, routes frames around recalibrating/dead
   nodes and restores bit-identical programs after recovery.
+* :mod:`repro.engine.chaos` — deterministic fleet-scale fault injection:
+  named :class:`ChaosPlan` schedules (node loss, region outages,
+  correlated upsets, cache storms, latency spikes) resolved to
+  seed-reproducible :class:`ChaosEvent` timelines replayed by the health
+  monitor.
+* :mod:`repro.engine.failover` — surviving the chaos: deadline-aware
+  :class:`RetryPolicy` backoff, warm-standby :class:`SparePool` spares
+  (cache-hit activation, bit-identical programs), and the
+  :class:`BrownoutController` degradation-tier admission ladder.
 """
 
 from repro.engine.admission import (
@@ -35,6 +44,29 @@ from repro.engine.admission import (
     SloReport,
 )
 from repro.engine.cache import CacheStats, WeightProgramCache
+from repro.engine.chaos import (
+    CHAOS_KINDS,
+    ChaosEvent,
+    ChaosPlan,
+    ChaosSpec,
+    ChaosTimeline,
+    chaos_plan,
+)
+from repro.engine.failover import (
+    BROWNOUT_TIERS,
+    BrownoutConfig,
+    BrownoutController,
+    BrownoutReport,
+    BrownoutTransition,
+    FailoverCoordinator,
+    ResilienceReport,
+    RetryPolicy,
+    SpareActivation,
+    SparePool,
+    availability,
+    recovery_time_s,
+    retry_policy,
+)
 from repro.engine.health import (
     FaultProfile,
     HealthEvent,
@@ -66,10 +98,21 @@ from repro.engine.workloads import (
 )
 
 __all__ = [
+    "BROWNOUT_TIERS",
+    "CHAOS_KINDS",
     "POLICIES",
     "AdmissionController",
+    "BrownoutConfig",
+    "BrownoutController",
+    "BrownoutReport",
+    "BrownoutTransition",
     "CacheStats",
+    "ChaosEvent",
+    "ChaosPlan",
+    "ChaosSpec",
+    "ChaosTimeline",
     "EarliestDeadlinePolicy",
+    "FailoverCoordinator",
     "FaultProfile",
     "FrameRequest",
     "FrameResponse",
@@ -80,6 +123,8 @@ __all__ = [
     "HealthMonitor",
     "HealthReport",
     "ModelSpec",
+    "ResilienceReport",
+    "RetryPolicy",
     "Scenario",
     "ServeReport",
     "SchedulingPolicy",
@@ -88,9 +133,15 @@ __all__ = [
     "SloClassStats",
     "SloReport",
     "SnrWatchdog",
+    "SpareActivation",
+    "SparePool",
     "WeightProgramCache",
+    "availability",
     "build_scenario",
+    "chaos_plan",
     "models_scenario",
+    "recovery_time_s",
+    "retry_policy",
     "scenario_registry",
     "scheduling_policy",
 ]

@@ -181,6 +181,8 @@ class SloClassStats:
     shed: int = 0
     #: Queued but never dispatched (deadline passed or stream ended).
     expired: int = 0
+    #: Killed in flight by a node loss and never redelivered (chaos).
+    lost: int = 0
     #: Delivered frames meeting / missing the relative deadline.
     deadline_hits: int = 0
     deadline_misses: int = 0
@@ -233,13 +235,15 @@ def build_slo_report(
     admission: AdmissionController,
     shed: set[int],
     expired: set[int],
+    lost: set[int] = frozenset(),
 ) -> SloReport:
     """Aggregate one serve call's responses into per-class SLO statistics.
 
-    ``shed``/``expired`` are the request indices the scheduler rejected at
-    admission / dropped from the queue; every other dropped frame is a
-    busy-drop.  Latency percentiles use the deterministic nearest-rank
-    rule from :mod:`repro.sim.stream`.
+    ``shed``/``expired``/``lost`` are the request indices the scheduler
+    rejected at admission / dropped from the queue / lost in flight to a
+    node failure; every other dropped frame is a busy-drop.  Latency
+    percentiles use the deterministic nearest-rank rule from
+    :mod:`repro.sim.stream`.
     """
     report = SloReport(policy=policy_name)
     latencies: dict[str, list[float]] = {}
@@ -258,6 +262,8 @@ def build_slo_report(
                 stats.shed += 1
             elif response.index in expired:
                 stats.expired += 1
+            elif response.index in lost:
+                stats.lost += 1
             else:
                 stats.dropped_busy += 1
             continue

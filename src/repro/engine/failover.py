@@ -1,0 +1,615 @@
+"""Failover: deadline-aware retry, warm spares, brownout degradation tiers.
+
+:mod:`repro.engine.chaos` makes fleet-scale failure injectable; this
+module makes the serving stack *survive* it.  Three mechanisms, all
+deterministic in simulated stream time:
+
+* :class:`RetryPolicy` — when a node trips mid-run, its in-flight frames
+  are re-dispatched: a hedged first retry after a short detection delay,
+  then exponential backoff with jitter from ``derive_rng`` streams.
+  Deadline-aware (a retry that cannot finish before the frame's absolute
+  deadline is abandoned immediately instead of wasting capacity) with
+  per-class retry budgets so best-effort retries can never starve
+  interactive traffic.
+* :class:`SparePool` / :class:`FailoverCoordinator` — warm-standby
+  spares: a spare activates against the *failed node's die seed*, so
+  every program the primary warmed via :meth:`FrameServer.warmup` /
+  :meth:`WeightProgramCache.preload` is a cache **hit** on the spare and
+  the installed programs are bit-identical to the primary's (the cache
+  key includes the die seed — same die, same realized weights).
+* :class:`BrownoutController` — admission steps through explicit
+  degradation tiers under sustained overload or capacity loss: *normal* →
+  *shed best-effort* → *tighten ``max_queue_s``* → *serve at reduced
+  weight bits* → *reject*, with hysteresis (exit thresholds below entry,
+  minimum dwell) and a full :class:`BrownoutTransition` audit trail in
+  ``ServeReport.brownout``.  The reduced-bits tier serves through real
+  reduced-precision model variants, so its latency/energy books are the
+  honest reduced-bit numbers (CamJ-style end-to-end accounting).
+
+Honest accounting: a frame killed in flight keeps its already-spent
+dispatch energy in ``total_energy_j`` (the work happened) and the waste is
+itemised in :class:`ResilienceReport.wasted_energy_j`; retries pay the
+full dispatch cost again.
+
+Default-path contract: with ``retry_policy=None``, ``spares=0`` and
+``brownout=None`` the server constructs no coordinator and serving is
+byte-identical to a server without this module.
+
+Units: all times in *simulated* seconds, energies in joules.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.util.rng import derive_rng
+from repro.util.validation import check_non_negative, check_positive
+
+#: Brownout tier names, by level (index = tier).
+BROWNOUT_TIERS = (
+    "normal",
+    "shed-best-effort",
+    "tighten-queue",
+    "reduced-bits",
+    "reject",
+)
+
+
+# ----------------------------------------------------------------------
+# Retry
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Deadline-aware retry with exponential backoff + derived jitter.
+
+    Parameters
+    ----------
+    name:
+        Display/CLI name.
+    max_retries:
+        Re-dispatch attempts per frame after its first dispatch.
+    detection_delay_s:
+        Time to notice a tripped node; the hedged first retry fires after
+        just this delay.
+    backoff_base_s / backoff_factor:
+        Retry *k* (k >= 2, or every retry when ``hedge_on_trip`` is off)
+        waits ``backoff_base_s * backoff_factor**(k-1)`` after the
+        failure, scaled by the jitter draw.
+    jitter_frac:
+        Uniform ±fraction applied to the backoff delay, drawn from
+        ``derive_rng(seed, "retry-<frame>-<attempt>")`` — deterministic
+        per (seed, frame, attempt).
+    hedge_on_trip:
+        Whether the first retry is hedged (fires at detection delay
+        instead of the first backoff step).
+    class_budget_frac:
+        Per-SLO-class retry budget as a fraction of the class's offered
+        frames so far (floor of one retry).  Best-effort retry storms
+        therefore cannot starve interactive capacity.
+    """
+
+    name: str = "deadline"
+    max_retries: int = 3
+    detection_delay_s: float = 2e-4
+    backoff_base_s: float = 5e-4
+    backoff_factor: float = 2.0
+    jitter_frac: float = 0.25
+    hedge_on_trip: bool = True
+    class_budget_frac: float = 0.5
+
+    def __post_init__(self) -> None:
+        check_positive("max_retries", self.max_retries)
+        check_non_negative("detection_delay_s", self.detection_delay_s)
+        check_positive("backoff_base_s", self.backoff_base_s)
+        check_positive("backoff_factor", self.backoff_factor)
+        check_non_negative("jitter_frac", self.jitter_frac)
+        check_positive("class_budget_frac", self.class_budget_frac)
+        if self.jitter_frac >= 1.0:
+            raise ValueError(
+                f"jitter_frac must be < 1, got {self.jitter_frac}"
+            )
+
+    def delay_s(self, index: int, attempt: int, seed: int | None) -> float:
+        """Delay before retry ``attempt`` (1-based) of frame ``index``.
+
+        Deterministic: the jitter draw comes from a stream keyed by
+        (seed, frame index, attempt), independent of scheduling order.
+        """
+        if attempt <= 1 and self.hedge_on_trip:
+            return self.detection_delay_s
+        step = attempt - 1 if self.hedge_on_trip else attempt
+        delay = self.backoff_base_s * self.backoff_factor ** (step - 1)
+        if self.jitter_frac > 0.0:
+            rng = derive_rng(seed, f"retry-{index}-{attempt}")
+            delay *= 1.0 + self.jitter_frac * float(rng.uniform(-1.0, 1.0))
+        return self.detection_delay_s + delay
+
+    @staticmethod
+    def named(name: str) -> "RetryPolicy | None":
+        """Look up a named policy (the CLI ``--retry-policy`` values)."""
+        key = name.strip().lower()
+        policies = {
+            "none": None,
+            "deadline": RetryPolicy(),
+            # More attempts, tighter backoff, full class budgets — for
+            # drills where losing frames is worse than wasting capacity.
+            "aggressive": RetryPolicy(
+                name="aggressive",
+                max_retries=5,
+                backoff_base_s=2.5e-4,
+                class_budget_frac=1.0,
+            ),
+        }
+        if key not in policies:
+            raise ValueError(
+                f"unknown retry policy {name!r}; known: "
+                f"{', '.join(sorted(policies))}"
+            )
+        return policies[key]
+
+
+def retry_policy(spec: "str | RetryPolicy | None") -> RetryPolicy | None:
+    """Resolve a policy name or pass a policy (or ``None``) through."""
+    if spec is None or isinstance(spec, RetryPolicy):
+        return spec
+    return RetryPolicy.named(spec)
+
+
+# ----------------------------------------------------------------------
+# Spares
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SpareActivation:
+    """One warm-standby activation on the audit trail."""
+
+    time_s: float
+    #: Node id the spare joined the fleet as.
+    spare_id: int
+    #: Failed node the spare covers (and whose die seed it adopts).
+    covering_node: int
+    #: Stream time the spare starts taking frames.
+    ready_s: float
+
+
+@dataclass(frozen=True)
+class SparePool:
+    """Warm-standby budget: how many spares, how fast they come up."""
+
+    count: int
+    #: Power-up + attach latency before the spare takes its first frame.
+    #: Pre-warmed programs make the *programming* free (cache hits); this
+    #: is the remaining bring-up cost.
+    activation_latency_s: float = 2e-3
+
+    def __post_init__(self) -> None:
+        check_non_negative("count", self.count)
+        check_non_negative(
+            "activation_latency_s", self.activation_latency_s
+        )
+
+
+# ----------------------------------------------------------------------
+# Brownout
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BrownoutConfig:
+    """Thresholds/effects of the degradation ladder.
+
+    Pressure is ``wait_estimate / pressure_ref_s + capacity_weight *
+    unavailable_fraction`` — one unitless load signal combining queueing
+    delay and capacity loss.  Tier *k* (1-based) is entered when pressure
+    holds above ``enter_pressure[k-1]`` for ``dwell_s`` and exited when it
+    holds below ``enter_pressure[k-1] * exit_fraction`` for ``dwell_s``
+    (hysteresis: the exit bar is strictly lower than the entry bar).
+    """
+
+    enter_pressure: tuple[float, float, float, float] = (1.0, 2.5, 5.0, 10.0)
+    exit_fraction: float = 0.5
+    dwell_s: float = 2e-3
+    pressure_ref_s: float = 5e-3
+    capacity_weight: float = 4.0
+    #: Tier 1+ sheds classes at priority <= this.
+    shed_priority_max: int = 0
+    #: Tier 2+ multiplies each class's ``max_queue_s`` by this...
+    queue_tighten_factor: float = 0.5
+    #: ...and imposes this bound on classes that had none.
+    imposed_queue_s: float = 0.01
+    #: Tier 3+ serves through variants quantized to at most this many bits.
+    reduced_bits: int = 2
+
+    def __post_init__(self) -> None:
+        if len(self.enter_pressure) != len(BROWNOUT_TIERS) - 1:
+            raise ValueError(
+                f"enter_pressure needs {len(BROWNOUT_TIERS) - 1} entries, "
+                f"got {len(self.enter_pressure)}"
+            )
+        if list(self.enter_pressure) != sorted(self.enter_pressure):
+            raise ValueError("enter_pressure must be non-decreasing")
+        if not 0.0 < self.exit_fraction < 1.0:
+            raise ValueError(
+                f"exit_fraction must be in (0, 1), got {self.exit_fraction}"
+            )
+        check_non_negative("dwell_s", self.dwell_s)
+        check_positive("pressure_ref_s", self.pressure_ref_s)
+        check_non_negative("capacity_weight", self.capacity_weight)
+        check_positive("queue_tighten_factor", self.queue_tighten_factor)
+        check_positive("imposed_queue_s", self.imposed_queue_s)
+        if not 1 <= self.reduced_bits <= 4:
+            raise ValueError(
+                f"reduced_bits must be in [1, 4], got {self.reduced_bits}"
+            )
+
+    @staticmethod
+    def named(name: str) -> "BrownoutConfig | None":
+        """Look up a named config (the CLI ``--brownout`` values)."""
+        key = name.strip().lower()
+        configs = {
+            "none": None,
+            "standard": BrownoutConfig(),
+        }
+        if key not in configs:
+            raise ValueError(
+                f"unknown brownout config {name!r}; known: "
+                f"{', '.join(sorted(configs))}"
+            )
+        return configs[key]
+
+
+@dataclass(frozen=True)
+class BrownoutTransition:
+    """One tier change on the audit trail."""
+
+    time_s: float
+    from_tier: int
+    to_tier: int
+    #: The pressure signal at the transition instant.
+    pressure: float
+    reason: str
+
+    @property
+    def to_name(self) -> str:
+        return BROWNOUT_TIERS[self.to_tier]
+
+
+@dataclass
+class BrownoutReport:
+    """Tier history + per-tier admission counts of one served stream."""
+
+    transitions: list[BrownoutTransition] = field(default_factory=list)
+    #: Arrivals observed while each tier was active (index = tier).
+    frames_by_tier: list[int] = field(
+        default_factory=lambda: [0] * len(BROWNOUT_TIERS)
+    )
+    peak_tier: int = 0
+    #: Arrivals shed *by brownout* (tier sheds + tightened-queue sheds),
+    #: a subset of the stream's shed count.
+    shed_frames: int = 0
+    #: Frames served through a reduced-bits variant.
+    reduced_bits_frames: int = 0
+
+    @property
+    def peak_tier_name(self) -> str:
+        return BROWNOUT_TIERS[self.peak_tier]
+
+
+class BrownoutController:
+    """Steps admission through degradation tiers with hysteresis.
+
+    One controller covers one ``serve`` call (tier state restarts with
+    the stream clock).  :meth:`observe` is called once per arrival with
+    the scheduler's wait estimate and the monitor's unavailable fraction;
+    the effect queries (:meth:`admits`, :meth:`effective_max_queue_s`,
+    :meth:`wants_reduced_bits`) then shape that arrival's admission.
+    Escalation moves one tier per dwell window so the audit trail shows
+    every rung of the ladder.
+    """
+
+    def __init__(self, config: BrownoutConfig | None = None) -> None:
+        self.config = config if config is not None else BrownoutConfig()
+        self.tier = 0
+        self.report = BrownoutReport()
+        self._above_since: float | None = None
+        self._below_since: float | None = None
+
+    # -- signal ---------------------------------------------------------
+    def pressure(self, wait_s: float, unavailable_fraction: float) -> float:
+        """The combined load signal (unitless)."""
+        cfg = self.config
+        bounded_wait = (
+            wait_s
+            if math.isfinite(wait_s)
+            # Every node dead: saturate well past the top entry bar.
+            else 2.0 * cfg.enter_pressure[-1] * cfg.pressure_ref_s
+        )
+        return (
+            bounded_wait / cfg.pressure_ref_s
+            + cfg.capacity_weight * unavailable_fraction
+        )
+
+    def observe(
+        self, now_s: float, wait_s: float, unavailable_fraction: float
+    ) -> int:
+        """Advance the tier state machine; returns the active tier."""
+        cfg = self.config
+        pressure = self.pressure(wait_s, unavailable_fraction)
+        if self.tier < len(BROWNOUT_TIERS) - 1 and (
+            pressure >= cfg.enter_pressure[self.tier]
+        ):
+            self._below_since = None
+            if self._above_since is None:
+                self._above_since = now_s
+            if now_s - self._above_since >= cfg.dwell_s:
+                self._step(now_s, self.tier + 1, pressure, "pressure above entry bar")
+                self._above_since = now_s
+        elif self.tier > 0 and (
+            pressure
+            <= cfg.enter_pressure[self.tier - 1] * cfg.exit_fraction
+        ):
+            self._above_since = None
+            if self._below_since is None:
+                self._below_since = now_s
+            if now_s - self._below_since >= cfg.dwell_s:
+                self._step(now_s, self.tier - 1, pressure, "pressure below exit bar")
+                self._below_since = now_s
+        else:
+            self._above_since = None
+            self._below_since = None
+        self.report.frames_by_tier[self.tier] += 1
+        return self.tier
+
+    def _step(
+        self, now_s: float, to_tier: int, pressure: float, reason: str
+    ) -> None:
+        self.report.transitions.append(
+            BrownoutTransition(now_s, self.tier, to_tier, pressure, reason)
+        )
+        self.tier = to_tier
+        self.report.peak_tier = max(self.report.peak_tier, to_tier)
+
+    # -- effects --------------------------------------------------------
+    def admits(self, slo) -> bool:
+        """Whether the active tier admits an arrival of class ``slo``."""
+        if self.tier >= len(BROWNOUT_TIERS) - 1:
+            return False  # reject tier: nothing gets in
+        if self.tier >= 1 and slo.priority <= self.config.shed_priority_max:
+            return False
+        return True
+
+    def effective_max_queue_s(self, slo) -> float | None:
+        """The class's backpressure bound under the active tier."""
+        if self.tier < 2:
+            return slo.max_queue_s
+        if slo.max_queue_s is None:
+            return self.config.imposed_queue_s
+        return min(
+            slo.max_queue_s * self.config.queue_tighten_factor,
+            self.config.imposed_queue_s,
+        )
+
+    @property
+    def wants_reduced_bits(self) -> bool:
+        """Whether the active tier serves through reduced-bits variants."""
+        return self.tier >= 3
+
+
+# ----------------------------------------------------------------------
+# Resilience accounting + coordinator
+# ----------------------------------------------------------------------
+@dataclass
+class ResilienceReport:
+    """Retry/spare outcomes of one served stream."""
+
+    retry_policy: str
+    spares_configured: int = 0
+    #: In-flight frames killed by a node loss.
+    frames_lost_in_flight: int = 0
+    #: Lost/retried frames never delivered (budget, deadline or attempts
+    #: exhausted) — the stream's ``lost`` drop category.
+    frames_abandoned: int = 0
+    #: Lost frames ultimately delivered through a retry.
+    frames_recovered: int = 0
+    retries_scheduled: int = 0
+    #: Retry dispatches that reached a node (incl. via a queue).
+    retries_dispatched: int = 0
+    #: Retries refused by the per-class budget.
+    retry_budget_denials: int = 0
+    #: Energy already spent on killed in-flight dispatches [J] — kept in
+    #: ``total_energy_j`` (the work happened) and itemised here.
+    wasted_energy_j: float = 0.0
+    spare_activations: list[SpareActivation] = field(default_factory=list)
+
+    @property
+    def spares_activated(self) -> int:
+        return len(self.spare_activations)
+
+    @property
+    def recovery_ratio(self) -> float:
+        """Recovered over lost in-flight frames (1.0 when nothing lost)."""
+        if self.frames_lost_in_flight == 0:
+            return 1.0
+        return self.frames_recovered / self.frames_lost_in_flight
+
+
+class FailoverCoordinator:
+    """One serve call's retry/spare/brownout state, consulted by the
+    scheduler.
+
+    Parameters
+    ----------
+    retry:
+        The :class:`RetryPolicy` (``None`` disables retries).
+    spares:
+        The :class:`SparePool` budget (``None``/count 0 disables spares).
+    brownout:
+        A fresh :class:`BrownoutController` (``None`` disables tiers).
+    seed:
+        Server seed — keys the retry jitter streams.
+    spare_factory:
+        ``(covering_node, ready_s) -> node`` callback the server provides
+        to construct + attach a warm spare (the server owns node
+        construction); ``None`` when spares are disabled.
+    reduced_key:
+        ``{model_key: reduced-variant key}`` mapping for the brownout
+        reduced-bits tier (identity for keys without a variant).
+    """
+
+    def __init__(
+        self,
+        retry: RetryPolicy | None = None,
+        spares: SparePool | None = None,
+        brownout: BrownoutController | None = None,
+        seed: int | None = 0,
+        spare_factory=None,
+        reduced_key: dict[str, str] | None = None,
+    ) -> None:
+        self.retry = retry
+        self.spares = spares
+        self.brownout = brownout
+        self.seed = seed
+        self._spare_factory = spare_factory
+        self._reduced_key = dict(reduced_key or {})
+        self.report = ResilienceReport(
+            retry_policy=retry.name if retry is not None else "none",
+            spares_configured=spares.count if spares is not None else 0,
+        )
+        self._offered_by_class: dict[str, int] = {}
+        self._retries_by_class: dict[str, int] = {}
+        #: Failed node ids already covered by a spare.
+        self._covered: set[int] = set()
+
+    # -- admission-side bookkeeping ------------------------------------
+    def record_offered(self, class_name: str) -> None:
+        """Count one arrival toward the class's retry budget base."""
+        self._offered_by_class[class_name] = (
+            self._offered_by_class.get(class_name, 0) + 1
+        )
+
+    # -- retry decisions ------------------------------------------------
+    def _budget_allows(self, class_name: str) -> bool:
+        if self.retry is None:
+            return False
+        offered = self._offered_by_class.get(class_name, 0)
+        allowed = max(
+            1, math.ceil(self.retry.class_budget_frac * offered)
+        )
+        return self._retries_by_class.get(class_name, 0) < allowed
+
+    def _schedule(self, item, now_s: float, service_hint_s: float):
+        """Common retry gate: attempts, budget, deadline feasibility."""
+        attempt = item.attempt + 1
+        if self.retry is None or attempt > self.retry.max_retries:
+            return None
+        if not self._budget_allows(item.slo.name):
+            self.report.retry_budget_denials += 1
+            return None
+        retry_at = now_s + self.retry.delay_s(item.index, attempt, self.seed)
+        if math.isfinite(item.deadline_s) and (
+            retry_at + service_hint_s > item.deadline_s
+        ):
+            return None  # deadline-aware: cannot finish in time
+        self._retries_by_class[item.slo.name] = (
+            self._retries_by_class.get(item.slo.name, 0) + 1
+        )
+        self.report.retries_scheduled += 1
+        return retry_at
+
+    def retry_after_loss(self, item, now_s: float, service_hint_s: float):
+        """Retry time for an in-flight frame killed at ``now_s`` (hedged
+        first attempt), or ``None`` to abandon."""
+        return self._schedule(item, now_s, service_hint_s)
+
+    def retry_after_busy(self, item, now_s: float, service_hint_s: float):
+        """Next backoff step for a retry that found no free node."""
+        return self._schedule(item, now_s, service_hint_s)
+
+    # -- spares ---------------------------------------------------------
+    def request_spare(self, failed_node, now_s: float):
+        """Activate a warm spare covering ``failed_node`` (or ``None``).
+
+        The spare adopts the failed node's die seed, so every program the
+        primary warmed is already in the shared cache under the spare's
+        key — activation is pure cache hits and the installed programs
+        are bit-identical to the primary's.
+        """
+        if (
+            self.spares is None
+            or self._spare_factory is None
+            or len(self._covered) >= self.spares.count
+            or failed_node.node_id in self._covered
+        ):
+            return None
+        self._covered.add(failed_node.node_id)
+        ready_s = now_s + self.spares.activation_latency_s
+        spare = self._spare_factory(failed_node, ready_s)
+        self.report.spare_activations.append(
+            SpareActivation(
+                time_s=now_s,
+                spare_id=spare.node_id,
+                covering_node=failed_node.node_id,
+                ready_s=ready_s,
+            )
+        )
+        return spare
+
+    # -- brownout -------------------------------------------------------
+    def effective_model_key(self, model_key: str) -> str:
+        """The key to dispatch under the active brownout tier."""
+        if self.brownout is None or not self.brownout.wants_reduced_bits:
+            return model_key
+        return self._reduced_key.get(model_key, model_key)
+
+
+# ----------------------------------------------------------------------
+# Report-level metrics (consumed by benches + robustness report)
+# ----------------------------------------------------------------------
+def availability(report) -> float:
+    """Delivered over offered frames of one :class:`ServeReport`."""
+    offered = report.stream.frames
+    return report.delivered / offered if offered else 0.0
+
+
+def recovery_time_s(report, model_keys=None) -> float | None:
+    """Stream time from the first chaos loss onset until the first
+    post-onset arrival is delivered.
+
+    ``None`` when the report saw no loss events; ``inf`` when nothing
+    arriving after the onset was ever delivered.  Restrict to
+    ``model_keys`` to measure one class (e.g. interactive only).
+    """
+    health = getattr(report, "health", None)
+    if health is None:
+        return None
+    onsets = [
+        event.time_s
+        for event in health.events
+        if event.kind == "chaos-node-loss"
+    ]
+    if not onsets:
+        return None
+    onset = min(onsets)
+    finishes = [
+        response.event.finish_s
+        for response in report.responses
+        if not response.dropped
+        and response.event.arrival_s >= onset
+        and (model_keys is None or response.model_key in model_keys)
+    ]
+    return min(finishes) - onset if finishes else math.inf
+
+
+__all__ = [
+    "BROWNOUT_TIERS",
+    "BrownoutConfig",
+    "BrownoutController",
+    "BrownoutReport",
+    "BrownoutTransition",
+    "FailoverCoordinator",
+    "ResilienceReport",
+    "RetryPolicy",
+    "SpareActivation",
+    "SparePool",
+    "availability",
+    "recovery_time_s",
+    "retry_policy",
+]

@@ -201,7 +201,9 @@ class HealthEvent:
     time_s: float
     node_id: int
     #: One of ``"upset"``, ``"watchdog-trip"``, ``"drift-trip"``,
-    #: ``"recalibrated"``, ``"died"``.
+    #: ``"recalibrated"``, ``"died"``, or an injected ``"chaos-node-loss"``,
+    #: ``"chaos-upset"``, ``"chaos-cache-storm"``, ``"chaos-latency-spike"``
+    #: (node id -1 for fleet-wide spikes).
     kind: str
     #: Human-readable context (equivalent bits, drift excursion, ...).
     detail: str = ""
@@ -229,8 +231,18 @@ class HealthReport:
 
     @property
     def upsets(self) -> int:
-        """Fault onsets across the fleet (fatal ones included)."""
-        return sum(event.kind in ("upset", "died") for event in self.events)
+        """Fault onsets across the fleet (fatal + chaos-injected included)."""
+        return sum(
+            event.kind in ("upset", "died", "chaos-upset")
+            for event in self.events
+        )
+
+    @property
+    def chaos_events(self) -> int:
+        """Injected chaos events that fired (any ``chaos-*`` kind)."""
+        return sum(
+            event.kind.startswith("chaos-") for event in self.events
+        )
 
     @property
     def recalibrations(self) -> int:
@@ -304,6 +316,9 @@ class _NodeHealth:
         #: compute phase reprograms).
         self.monitor_model: str | None = None
         self.recal_done_s: float | None = None
+        #: Chaos loss window end: the node is unavailable until then and
+        #: its health machinery (upsets, watchdog) is frozen meanwhile.
+        self.lost_until = 0.0
         #: Drift reference: ambient excursion accumulates since this time.
         self.drift_anchor_s = 0.0
         self.last_check_s = -float("inf")
@@ -330,12 +345,21 @@ class HealthMonitor:
         nodes,
         cache,
         seed: int | None,
+        chaos=None,
     ) -> None:
         self.profile = profile
         self.config = config
         self.nodes = nodes
         self.cache = cache
         self.seed = seed
+        #: Optional :class:`~repro.engine.chaos.ChaosTimeline` — injected
+        #: fleet events fire inside :meth:`advance` ahead of the organic
+        #: per-node state machine.
+        self.chaos = chaos
+        #: Scheduler hook ``(node, time_s, until_s)`` fired when a chaos
+        #: loss takes a node out — the scheduler reaps its in-flight
+        #: frames and consults the failover layer.
+        self.on_node_lost = None
         self.watchdog = SnrWatchdog(config, margin_bits=profile.snr_margin_bits)
         self.thermal = ThermalModel(
             ring=MicroringResonator(config.microring), tuning=config.tuning
@@ -347,18 +371,115 @@ class HealthMonitor:
         #: so a post-recalibration reprogram triggers a (same-seed)
         #: refreeze on the fresh record.
         self._fault_cores: dict[tuple[int, int, str], tuple] = {}
+        #: Per-(node, upset index) fault spec override for chaos-injected
+        #: upsets (organic upsets use the profile's spec).
+        self._upset_specs: dict[tuple[int, int], FaultSpec] = {}
 
     # ------------------------------------------------------------------
     # Stream-time state machine
     # ------------------------------------------------------------------
     def advance(self, now_s: float) -> None:
-        """Process every health transition with event time <= ``now_s``."""
+        """Process every health transition with event time <= ``now_s``.
+
+        Chaos events fire first (they are *inputs* to the per-node state
+        machines), then each node's organic drift/upset/watchdog walk.
+        Warm spares attached mid-stream (node ids beyond the monitored
+        prefix) are not chaos targets and carry no health state.
+        """
+        if self.chaos is not None:
+            self._process_chaos(now_s)
         for node, state in zip(self.nodes, self._states):
             self._advance_node(node, state, now_s)
+
+    def _process_chaos(self, now_s: float) -> None:
+        """Fire every due chaos event from the resolved timeline."""
+        for event in self.chaos.due(now_s):
+            if event.kind in ("node-loss", "region-outage"):
+                for node_id in event.node_ids:
+                    self._chaos_lose_node(event, node_id)
+            elif event.kind == "correlated-upset":
+                for node_id in event.node_ids:
+                    self._chaos_upset_node(event, node_id)
+            elif event.kind == "cache-storm":
+                for node_id in event.node_ids:
+                    self._chaos_storm_node(event, node_id)
+            elif event.kind == "latency-spike":
+                self.report.events.append(
+                    HealthEvent(
+                        event.time_s,
+                        -1,
+                        "chaos-latency-spike",
+                        f"service x{event.factor:g} for "
+                        f"{event.duration_s * 1e3:.1f} ms ({event.detail})",
+                    )
+                )
+
+    def _chaos_lose_node(self, event, node_id: int) -> None:
+        node = self.nodes[node_id]
+        state = self._states[node_id]
+        if state.dead:
+            return
+        until = event.end_s
+        state.lost_until = max(state.lost_until, until)
+        node.free_at = max(node.free_at, until)
+        # A recalibration mid-flight cannot complete while the node is
+        # gone; it resumes once the node is back.
+        if state.recal_done_s is not None:
+            state.recal_done_s = max(state.recal_done_s, until)
+        self.report.events.append(
+            HealthEvent(
+                event.time_s,
+                node_id,
+                "chaos-node-loss",
+                f"{event.kind} until {until * 1e3:.1f} ms ({event.detail})",
+            )
+        )
+        if self.on_node_lost is not None:
+            self.on_node_lost(node, event.time_s, until)
+
+    def _chaos_upset_node(self, event, node_id: int) -> None:
+        state = self._states[node_id]
+        if state.dead:
+            return
+        state.upset_index += 1
+        state.upset_active = True
+        self._upset_specs[(node_id, state.upset_index)] = event.fault_spec
+        self.report.events.append(
+            HealthEvent(
+                event.time_s,
+                node_id,
+                "chaos-upset",
+                f"correlated upset #{state.upset_index}: "
+                f"{event.fault_spec!r} ({event.detail})",
+            )
+        )
+
+    def _chaos_storm_node(self, event, node_id: int) -> None:
+        node = self.nodes[node_id]
+        state = self._states[node_id]
+        if state.dead:
+            return
+        invalidated = self.cache.invalidate_die(node.opc.seed)
+        state.monitor_model = node.programmed_model or state.monitor_model
+        node.programmed_model = None
+        # Simulated residency is gone too: the next frame per (node,
+        # model) pays a full remap in stream time/energy.
+        node.active_model = None
+        self.report.events.append(
+            HealthEvent(
+                event.time_s,
+                node_id,
+                "chaos-cache-storm",
+                f"invalidated {invalidated} cached program(s) "
+                f"({event.detail})",
+            )
+        )
 
     def _advance_node(self, node, state: _NodeHealth, now_s: float) -> None:
         if state.dead:
             return
+        if now_s < state.lost_until:
+            return  # chaos took the node out: health machinery is frozen
         # Complete a pending recalibration first: recovery precedes any
         # later upset in event order.
         if state.recal_done_s is not None and state.recal_done_s <= now_s:
@@ -512,6 +633,8 @@ class HealthMonitor:
         (which runs after the whole admission loop) reproduces exactly the
         degradation each frame saw at its arrival time.
         """
+        if node.node_id >= len(self._states):
+            return 0  # warm spare attached mid-stream: not monitored
         state = self._states[node.node_id]
         return state.upset_index if state.upset_active else 0
 
@@ -536,8 +659,11 @@ class HealthMonitor:
             self.seed,
             f"health-upset-{node.node_id}-{upset_index}-{model_key}",
         ).integers(0, 2**63 - 1)
+        spec = self._upset_specs.get(
+            (node.node_id, upset_index), self.profile.fault_spec
+        )
         core = FaultyOpticalCore.from_programmed(
-            node.opc, self.profile.fault_spec, seed=int(fault_seed)
+            node.opc, spec, seed=int(fault_seed)
         )
         self._fault_cores[key] = (core, node.opc.programmed)
         return core
@@ -548,6 +674,27 @@ class HealthMonitor:
             self.report.degraded_frames += 1
         else:
             self.report.healthy_frames += 1
+
+    def unavailable_fraction(self, now_s: float) -> float:
+        """Fraction of the *monitored* fleet dead or in a loss window.
+
+        The brownout controller's capacity-loss signal; spares attached
+        mid-stream count toward neither numerator nor denominator.
+        """
+        if not self._states:
+            return 0.0
+        down = sum(
+            1
+            for state in self._states
+            if state.dead or now_s < state.lost_until
+        )
+        return down / len(self._states)
+
+    def latency_factor(self, now_s: float) -> float:
+        """Active chaos latency-spike multiplier (1.0 outside windows)."""
+        if self.chaos is None:
+            return 1.0
+        return self.chaos.latency_factor(now_s)
 
 
 __all__ = [

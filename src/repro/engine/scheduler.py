@@ -46,7 +46,7 @@ import heapq
 import math
 import time
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -62,9 +62,11 @@ _EPS = 1e-12
 
 #: Event kinds, ordered so completions process before arrivals that land
 #: on the same instant (a freed node should take a queued earlier frame
-#: before a brand-new arrival claims it).
+#: before a brand-new arrival claims it), and retries after both (a
+#: re-dispatch never jumps ahead of same-instant fresh traffic).
 _NODE_FREE = 0
 _ARRIVAL = 1
+_RETRY = 2
 
 
 @dataclass(frozen=True)
@@ -78,6 +80,9 @@ class QueuedFrame:
     slo: SloClass
     #: Absolute completion deadline on the stream clock (``inf`` = none).
     deadline_s: float
+    #: Re-dispatch count (0 = first dispatch); bumped by the failover
+    #: layer when a node loss kills the frame in flight.
+    attempt: int = 0
 
 
 class SchedulingPolicy:
@@ -289,6 +294,12 @@ class SchedulingResult:
     shed: set[int] = field(default_factory=set)
     #: Indices queued but never dispatched (deadline passed / stream end).
     expired: set[int] = field(default_factory=set)
+    #: Indices killed in flight by a node loss and never delivered
+    #: (retries disabled, refused or exhausted).
+    lost: set[int] = field(default_factory=set)
+    #: request idx -> model key actually dispatched, recorded only when it
+    #: differs from the requested key (brownout reduced-bits variants).
+    served: dict[int, str] = field(default_factory=dict)
     #: Host time spent on pipeline builds + timing tables.
     wall_clock_s: float = 0.0
 
@@ -309,7 +320,16 @@ class FrameScheduler:
         The :class:`~repro.engine.admission.AdmissionController`.
     monitor:
         Optional :class:`~repro.engine.health.HealthMonitor`; advanced on
-        every arrival (and, for queueing policies, on completions).
+        every arrival (and, for queueing policies, on completions).  A
+        monitor carrying a chaos timeline additionally calls back into
+        this scheduler when a loss event takes a node out, so in-flight
+        frames on it are reaped (and retried when a failover layer is
+        attached).
+    failover:
+        Optional :class:`~repro.engine.failover.FailoverCoordinator` —
+        retry decisions, spare activation and brownout admission tiers.
+        ``None`` keeps every failover branch cold (the default path stays
+        byte-identical to the pre-resilience engine).
     """
 
     def __init__(
@@ -319,12 +339,14 @@ class FrameScheduler:
         policy: SchedulingPolicy,
         admission: AdmissionController | None = None,
         monitor=None,
+        failover=None,
     ) -> None:
         self.nodes = nodes
         self.models = models
         self.policy = policy
         self.admission = admission if admission is not None else PASS_THROUGH
         self.monitor = monitor
+        self.failover = failover
         #: Rolling service-time hint [s] for the backpressure wait estimate
         #: (last dispatched frame's pipelined service time).
         self._service_hint_s = 0.0
@@ -349,6 +371,30 @@ class FrameScheduler:
         #: Node ids with a completion event currently in the heap — one
         #: pending event per node keeps the heap linear in dispatches.
         self._free_event_pending: set[int] = set()
+        #: In-flight tracking only exists when something can kill a frame
+        #: mid-run (a chaos timeline) or re-dispatch one (a failover
+        #: layer) — the default path allocates nothing.
+        self._track_inflight = self.failover is not None or (
+            self.monitor is not None
+            and getattr(self.monitor, "chaos", None) is not None
+        )
+        #: node id -> {request idx: (finish time, item)} for dispatched,
+        #: not-yet-finished frames.
+        self._in_flight: dict[int, dict[int, tuple[float, QueuedFrame]]] = {}
+        #: request idx -> (schedule position, dispatch energy [J]) of its
+        #: latest dispatch, so a loss can revoke it.
+        self._dispatch_meta: dict[int, tuple[int, float]] = {}
+        #: Schedule positions revoked by node losses (filtered at the end).
+        self._revoked: set[int] = set()
+        #: Indices that were killed in flight at least once.
+        self._lost_once: set[int] = set()
+        self._retry_items: dict[int, QueuedFrame] = {}
+        self._retry_serial = 0
+        if (
+            self.monitor is not None
+            and getattr(self.monitor, "chaos", None) is not None
+        ):
+            self.monitor.on_node_lost = self._on_node_lost
 
         order = sorted(range(len(requests)), key=arrivals.__getitem__)
         heap: list[tuple[float, int, int]] = [
@@ -360,10 +406,26 @@ class FrameScheduler:
             time_s, kind, key = heapq.heappop(heap)
             if kind == _NODE_FREE:
                 self._on_node_free(time_s, key)
+            elif kind == _RETRY:
+                self._on_retry(time_s, key)
             else:
                 self._on_arrival(time_s, key)
         for item in self.policy.drain():
             self._drop(item.index, item.arrival_s, expired=True)
+
+        if self._revoked:
+            result.schedule = [
+                entry
+                for position, entry in enumerate(result.schedule)
+                if position not in self._revoked
+            ]
+        if self.failover is not None:
+            self.failover.report.frames_abandoned = len(result.lost)
+            self.failover.report.frames_recovered = sum(
+                1
+                for index in self._lost_once
+                if not result.placements[index][1].dropped
+            )
 
         # Rebuild the event list in (arrival, index) order — bit-identical
         # to the old single-loop append order on the greedy path, and a
@@ -393,7 +455,33 @@ class FrameScheduler:
             slo=slo,
             deadline_s=slo.absolute_deadline_s(now_s),
         )
-        if slo.max_queue_s is not None and self.admission.sheds(
+        if self.failover is not None:
+            self.failover.record_offered(slo.name)
+        brownout = (
+            self.failover.brownout if self.failover is not None else None
+        )
+        if brownout is not None:
+            wait = self._wait_estimate(now_s, slo)
+            unavailable = (
+                self.monitor.unavailable_fraction(now_s)
+                if self.monitor is not None
+                else 0.0
+            )
+            brownout.observe(now_s, wait, unavailable)
+            if not brownout.admits(slo):
+                brownout.report.shed_frames += 1
+                self._result.wall_clock_s += clock() - started
+                self._drop(index, now_s, shed=True)
+                return
+            limit = brownout.effective_max_queue_s(slo)
+            if limit is not None and wait > limit:
+                if slo.max_queue_s is None or wait <= slo.max_queue_s:
+                    # Only the tightened bound sheds it — bill brownout.
+                    brownout.report.shed_frames += 1
+                self._result.wall_clock_s += clock() - started
+                self._drop(index, now_s, shed=True)
+                return
+        elif slo.max_queue_s is not None and self.admission.sheds(
             model_key, self._wait_estimate(now_s, slo)
         ):
             self._result.wall_clock_s += clock() - started
@@ -472,6 +560,7 @@ class FrameScheduler:
         arrival_s: float,
         shed: bool = False,
         expired: bool = False,
+        lost: bool = False,
     ) -> None:
         event = StreamEvent(index, arrival_s, arrival_s, arrival_s, True, False)
         self._result.placements[index] = (-1, event, 0)
@@ -479,12 +568,115 @@ class FrameScheduler:
             self._result.shed.add(index)
         elif expired:
             self._result.expired.add(index)
+        elif lost:
+            self._result.lost.add(index)
+
+    # ------------------------------------------------------------------
+    # Failover: node loss reaping + retry events
+    # ------------------------------------------------------------------
+    def _on_node_lost(self, node, now_s: float, until_s: float) -> None:
+        """Chaos loss callback: reap the node's in-flight frames and, when
+        a failover layer is attached, retry them / activate a spare.
+
+        Reaping revokes the dispatch (schedule entry filtered, per-node
+        frame count decremented) but keeps its already-spent energy in the
+        stream total — the work happened; the waste is itemised in the
+        resilience report.
+        """
+        entries = self._in_flight.get(node.node_id)
+        if entries:
+            victims = sorted(
+                index
+                for index, (finish_s, _) in entries.items()
+                if finish_s > now_s + _EPS
+            )
+            for index in victims:
+                _, item = entries.pop(index)
+                self._revoke_dispatch(node, item, now_s)
+        if self.failover is not None:
+            spare = self.failover.request_spare(node, now_s)
+            if spare is not None:
+                # The spare's bring-up completion must be an event, or
+                # queued frames strand until the next organic completion.
+                self._push_free_event(spare)
+
+    def _revoke_dispatch(self, node, item: QueuedFrame, now_s: float) -> None:
+        position, energy_j = self._dispatch_meta.pop(item.index)
+        self._revoked.add(position)
+        node.frames -= 1
+        self._lost_once.add(item.index)
+        retry_at = None
+        if self.failover is not None:
+            self.failover.report.frames_lost_in_flight += 1
+            self.failover.report.wasted_energy_j += energy_j
+            retry_at = self.failover.retry_after_loss(
+                item, now_s, self._service_hint_s
+            )
+        if retry_at is None:
+            self._drop(item.index, item.arrival_s, lost=True)
+        else:
+            self._schedule_retry(
+                retry_at, replace(item, attempt=item.attempt + 1)
+            )
+
+    def _schedule_retry(self, retry_at_s: float, item: QueuedFrame) -> None:
+        serial = self._retry_serial
+        self._retry_serial += 1
+        self._retry_items[serial] = item
+        heapq.heappush(self._heap, (retry_at_s, _RETRY, serial))
+
+    def _on_retry(self, now_s: float, serial: int) -> None:
+        """One retry event: re-dispatch, re-queue, back off, or abandon."""
+        item = self._retry_items.pop(serial)
+        clock = time.perf_counter
+        started = clock()
+        if self.monitor is not None:
+            self.monitor.advance(now_s)
+        if item.deadline_s < now_s - _EPS:
+            self._result.wall_clock_s += clock() - started
+            self._drop(item.index, item.arrival_s, lost=True)
+            return
+        node = self.policy.select_node(self.nodes, now_s, item.model_key)
+        if node is None:
+            if self.policy.queueing and item.slo.drop_policy != "busy":
+                self.policy.enqueue(item)
+                for candidate in self.nodes:
+                    self._push_free_event(candidate)
+                self._result.wall_clock_s += clock() - started
+                return
+            retry_at = (
+                self.failover.retry_after_busy(
+                    item, now_s, self._service_hint_s
+                )
+                if self.failover is not None
+                else None
+            )
+            self._result.wall_clock_s += clock() - started
+            if retry_at is None:
+                self._drop(item.index, item.arrival_s, lost=True)
+            else:
+                self._schedule_retry(
+                    retry_at, replace(item, attempt=item.attempt + 1)
+                )
+            return
+        self._dispatch(item, node, now_s, started)
 
     def _dispatch(
         self, item: QueuedFrame, node, start_s: float, started_clock: float
     ) -> None:
         clock = time.perf_counter
         entry = self.models[item.model_key]
+        if self.failover is not None:
+            effective = self.failover.effective_model_key(item.model_key)
+            if effective != item.model_key:
+                # Brownout reduced-bits tier: dispatch the reduced-
+                # precision variant; SLO accounting stays on the
+                # requested key, transport/energy on the served one.
+                entry = self.models[effective]
+                self._result.served[item.index] = effective
+                self.failover.brownout.report.reduced_bits_frames += 1
+            else:
+                self._result.served.pop(item.index, None)
         # Building the pipeline (first sighting of a model on a node) and
         # the timing tables is host work; charge it to wall clock.
         pipeline = node.pipeline_for(entry)
@@ -500,19 +692,41 @@ class FrameScheduler:
         )
         remapped = node.active_model != entry.key
         timing = remap if remapped else steady
-        finish = start_s + timing.sequential_s
-        node.free_at = start_s + timing.pipelined_s
-        self._service_hint_s = timing.pipelined_s
+        sequential_s = timing.sequential_s
+        pipelined_s = timing.pipelined_s
+        if self.monitor is not None:
+            # Chaos latency spikes stretch the dispatch service window;
+            # outside a spike the factor is exactly 1.0 and the untouched
+            # timings keep the no-chaos path bit-identical.
+            factor = self.monitor.latency_factor(start_s)
+            if factor != 1.0:
+                sequential_s *= factor
+                pipelined_s *= factor
+        finish = start_s + sequential_s
+        node.free_at = start_s + pipelined_s
+        self._service_hint_s = pipelined_s
         node.active_model = entry.key
         node.frames += 1
         event = StreamEvent(
             item.index, item.arrival_s, start_s, finish, False, remapped
         )
-        self._result.stream.total_energy_j += remap_j if remapped else steady_j
+        energy_j = remap_j if remapped else steady_j
+        self._result.stream.total_energy_j += energy_j
         self._result.placements[item.index] = (node.node_id, event, tag)
         self._result.schedule.append(
             (item.index, node.node_id, entry.key, tag)
         )
+        if self._track_inflight:
+            self._in_flight.setdefault(node.node_id, {})[item.index] = (
+                finish,
+                item,
+            )
+            self._dispatch_meta[item.index] = (
+                len(self._result.schedule) - 1,
+                energy_j,
+            )
+        if self.failover is not None and item.attempt > 0:
+            self.failover.report.retries_dispatched += 1
         self.policy.on_dispatched(item)
         if self.monitor is not None:
             self.monitor.record_frame(tag > 0)

@@ -79,6 +79,16 @@ from repro.engine.admission import (
     build_slo_report,
 )
 from repro.engine.cache import WeightProgramCache
+from repro.engine.chaos import ChaosPlan, ChaosTimeline
+from repro.engine.failover import (
+    BrownoutConfig,
+    BrownoutController,
+    BrownoutReport,
+    FailoverCoordinator,
+    ResilienceReport,
+    RetryPolicy,
+    SparePool,
+)
 from repro.engine.health import FaultProfile, HealthMonitor, HealthReport
 from repro.engine.scheduler import (
     FrameScheduler,
@@ -86,6 +96,7 @@ from repro.engine.scheduler import (
     scheduling_policy,
 )
 from repro.nn.layers import Sequential
+from repro.nn.quant import UniformWeightQuantizer
 from repro.sim.fleet import FleetModel, RadioModel
 from repro.sim.stream import StreamEvent, StreamReport
 from repro.util.parallel import ParallelConfig, parallel_map
@@ -155,6 +166,9 @@ class FrameResponse:
     #: Whether the frame computed on a degraded (upset) die — only ever
     #: True when the server runs under a :class:`FaultProfile`.
     degraded: bool = False
+    #: Model key actually dispatched when it differs from the request
+    #: (brownout reduced-bits variants); ``None`` = served as requested.
+    served_model: str | None = None
 
     @property
     def dropped(self) -> bool:
@@ -184,6 +198,12 @@ class ServeReport:
     health: HealthReport | None = None
     #: Per-class SLO accounting (``None`` on the default best-effort path).
     slo: SloReport | None = None
+    #: Retry/spare outcomes when a failover layer is configured
+    #: (``None`` otherwise).
+    resilience: ResilienceReport | None = None
+    #: Brownout tier history when a brownout controller is configured
+    #: (``None`` otherwise).
+    brownout: BrownoutReport | None = None
 
     @property
     def delivered(self) -> int:
@@ -404,6 +424,27 @@ class FrameServer:
         ``"reference"`` — the retained per-chunk loop.  The two produce
         bit-identical reports on every healthy-die stream; serving under
         a fault profile always uses the reference loop.
+    chaos_plan:
+        Injected fleet-failure schedule — a
+        :class:`~repro.engine.chaos.ChaosPlan`, a named plan string
+        (``"none"``, ``"node-loss"``, ``"region-outage"``,
+        ``"correlated-upsets"``, ``"cache-storm"``, ``"latency-spike"``,
+        ``"rolling"``), or ``None``/``"none"`` for no injection
+        (byte-identical to a server built without the argument).
+    retry_policy:
+        Deadline-aware re-dispatch of frames killed in flight — a
+        :class:`~repro.engine.failover.RetryPolicy`, a named policy
+        string (``"none"``, ``"deadline"``, ``"aggressive"``), or
+        ``None``/``"none"`` to abandon killed frames.
+    spares:
+        Warm-standby budget: a spare count or a
+        :class:`~repro.engine.failover.SparePool`; ``0`` disables
+        failover spares.
+    brownout:
+        Degradation-tier admission — a
+        :class:`~repro.engine.failover.BrownoutConfig`, a named config
+        string (``"none"``, ``"standard"``), or ``None``/``"none"`` to
+        keep admission tier-free.
     """
 
     COMPUTE_MODES = ("batched", "reference")
@@ -421,6 +462,10 @@ class FrameServer:
         policy: str | SchedulingPolicy = "greedy",
         slo_classes: dict[str, SloClass] | AdmissionController | None = None,
         compute_mode: str = "batched",
+        chaos_plan: ChaosPlan | str | None = None,
+        retry_policy: RetryPolicy | str | None = None,
+        spares: int | SparePool = 0,
+        brownout: BrownoutConfig | str | None = None,
     ) -> None:
         check_positive("num_nodes", num_nodes)
         check_positive("micro_batch", micro_batch)
@@ -448,6 +493,20 @@ class FrameServer:
         if fault_profile is not None and not fault_profile.active:
             fault_profile = None
         self.fault_profile = fault_profile
+        if isinstance(chaos_plan, str):
+            chaos_plan = ChaosPlan.named(chaos_plan)
+        self.chaos_plan = chaos_plan
+        if isinstance(retry_policy, str):
+            retry_policy = RetryPolicy.named(retry_policy)
+        self.retry_policy = retry_policy
+        if isinstance(spares, SparePool):
+            self.spare_pool = spares if spares.count > 0 else None
+        else:
+            self.spare_pool = SparePool(count=int(spares)) if spares else None
+        if isinstance(brownout, str):
+            brownout = BrownoutConfig.named(brownout)
+        self.brownout_config = brownout
+        self._enable_noise = enable_noise
         seeds = spawn_seeds(seed, num_nodes)
         self.nodes = [
             _Node(index, self.config, seeds[index], self.cache, enable_noise)
@@ -471,8 +530,8 @@ class FrameServer:
 
     @property
     def model_keys(self) -> tuple[str, ...]:
-        """Registered model keys."""
-        return tuple(self._models)
+        """Registered model keys (internal ``@brownout`` variants hidden)."""
+        return tuple(key for key in self._models if "@brownout" not in key)
 
     def warmup(
         self,
@@ -626,19 +685,32 @@ class FrameServer:
 
         # Health monitoring covers one serve() call (the stream restarts at
         # t = 0); cache invalidations it performs persist via the shared
-        # program cache.  With no profile, monitor is None and scheduling
-        # is bit-identical to the healthy-die server.
+        # program cache.  With no profile and no chaos plan, monitor is
+        # None and scheduling is bit-identical to the healthy-die server.
+        # A chaos plan without a fault profile rides on a neutral carrier
+        # profile (no organic drift/upsets — only injected events fire).
+        base_nodes = len(self.nodes)
+        timeline = (
+            ChaosTimeline(self.chaos_plan, base_nodes, self._seed)
+            if self.chaos_plan is not None
+            else None
+        )
+        profile = self.fault_profile
+        if profile is None and timeline is not None:
+            profile = FaultProfile(name=f"chaos:{timeline.plan.name}")
         monitor = (
             HealthMonitor(
-                self.fault_profile,
+                profile,
                 self.config,
                 self.nodes,
                 self.cache,
                 self._seed,
+                chaos=timeline,
             )
-            if self.fault_profile is not None
+            if profile is not None
             else None
         )
+        failover = self._build_failover()
 
         hits0, misses0 = self.cache.stats.hits, self.cache.stats.misses
 
@@ -654,6 +726,7 @@ class FrameServer:
             self.policy,
             admission=self.admission,
             monitor=monitor,
+            failover=failover,
         )
         result = scheduler.run(requests, arrivals)
 
@@ -667,9 +740,14 @@ class FrameServer:
         report.cache_misses = self.cache.stats.misses - misses0
         if monitor is not None:
             report.health = monitor.report
+        if failover is not None:
+            report.resilience = failover.report
+            if failover.brownout is not None:
+                report.brownout = failover.brownout.report
         for index, request in enumerate(requests):
             node_id, event, tag = result.placements[index]
             output = outputs.get(index)
+            served = result.served.get(index)
             report.responses.append(
                 FrameResponse(
                     index,
@@ -678,10 +756,16 @@ class FrameServer:
                     output,
                     event,
                     degraded=tag > 0,
+                    served_model=served,
                 )
             )
             if not event.dropped:
-                payload, radio_j = self._models[request.model_key].transport
+                # Transport bills the key actually dispatched — a brownout
+                # reduced-bits variant ships its own (identically shaped)
+                # feature payload.
+                payload, radio_j = self._models[
+                    served or request.model_key
+                ].transport
                 report.payload_bytes += payload
                 report.radio_energy_j += radio_j
         report.node_frames = {node.node_id: node.frames for node in self.nodes}
@@ -694,7 +778,13 @@ class FrameServer:
                 self.admission,
                 result.shed,
                 result.expired,
+                lost=result.lost,
             )
+        # Warm spares only live for the serve call that activated them:
+        # the fleet returns to its configured size (their cache entries —
+        # shared with the nodes they covered — persist).
+        if len(self.nodes) > base_nodes:
+            del self.nodes[base_nodes:]
         return report
 
     def serve_frames(
@@ -755,6 +845,87 @@ class FrameServer:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _build_failover(self) -> FailoverCoordinator | None:
+        """A fresh coordinator per serve call, or ``None`` when the whole
+        failover layer is disabled (the byte-identical default path)."""
+        if (
+            self.retry_policy is None
+            and self.spare_pool is None
+            and self.brownout_config is None
+        ):
+            return None
+        brownout = reduced = None
+        if self.brownout_config is not None:
+            brownout = BrownoutController(self.brownout_config)
+            reduced = self._ensure_reduced_variants(
+                self.brownout_config.reduced_bits
+            )
+        return FailoverCoordinator(
+            retry=self.retry_policy,
+            spares=self.spare_pool,
+            brownout=brownout,
+            seed=self._seed,
+            spare_factory=self._activate_spare,
+            reduced_key=reduced,
+        )
+
+    def _activate_spare(self, covering: _Node, ready_s: float) -> _Node:
+        """Attach a warm spare adopting ``covering``'s die seed.
+
+        Same die seed → same cache keys: every program the primary warmed
+        is a cache hit on the spare and the installed records are
+        bit-identical to the primary's.  The spare joins busy until
+        ``ready_s`` (the pool's bring-up latency).
+        """
+        spare = _Node(
+            len(self.nodes),
+            self.config,
+            covering.opc.seed,
+            self.cache,
+            self._enable_noise,
+        )
+        if self.fault_profile is not None and self.fault_profile.calibrated:
+            from repro.core.calibration import CalibratedAwcMapper
+
+            spare.opc.awc = CalibratedAwcMapper(spare.opc.awc)
+        spare.free_at = ready_s
+        self.nodes.append(spare)
+        return spare
+
+    def _ensure_reduced_variants(self, bits: int) -> dict[str, str]:
+        """Register reduced-precision variants for the brownout tier.
+
+        Each registered model whose first quant layer exceeds ``bits``
+        gets a deep-copied twin quantized to ``bits``, registered under
+        ``"<key>@brownout<bits>b"`` (hidden from :attr:`model_keys`).
+        Variants are real models — their timing/energy/accuracy books are
+        the honest reduced-bit numbers, not a discount factor.
+        """
+        import copy
+
+        mapping: dict[str, str] = {}
+        for key in list(self._models):
+            if "@brownout" in key:
+                continue
+            entry = self._models[key]
+            first = HardwareFirstLayerPipeline._find_first_quant_layer(
+                entry.model
+            )
+            if first is None or first.quantizer.bits <= bits:
+                continue
+            variant_key = f"{key}@brownout{bits}b"
+            if variant_key not in self._models:
+                model = copy.deepcopy(entry.model)
+                variant_first = (
+                    HardwareFirstLayerPipeline._find_first_quant_layer(model)
+                )
+                variant_first.quantizer = UniformWeightQuantizer(bits)
+                self._models[variant_key] = _ModelEntry(
+                    variant_key, model, self.config, self.fleet
+                )
+            mapping[key] = variant_key
+        return mapping
+
     def _compute(
         self,
         requests: list[FrameRequest],

@@ -494,6 +494,77 @@ def _mixed_tenant_scenario(
     )
 
 
+#: SLO classes of the ``chaos`` scenario (also used by the chaos bench):
+#: a latency-critical interactive tenant whose deadline a node-loss window
+#: visibly endangers, and a shed-first batch tenant.
+CHAOS_CLASSES: dict[str, SloClass] = {
+    "lenet-4b": SloClass(
+        name="interactive",
+        priority=2,
+        deadline_s=0.008,
+        drop_policy="deadline",
+        weight=3.0,
+    ),
+    "mlp-2b": SloClass(
+        name="batch",
+        priority=0,
+        deadline_s=0.05,
+        drop_policy="deadline",
+        weight=1.0,
+        max_queue_s=0.02,
+    ),
+}
+
+
+@register_scenario(
+    "chaos",
+    "steady interactive LeNet tenant + Poisson batch MLP tenant, sized "
+    "so a chaos node-loss window endangers the interactive deadline",
+)
+def _chaos_scenario(frames: int, offered_fps: float, seed: int) -> Scenario:
+    # The resilience-drill stream: interactive traffic is a steady,
+    # well-behaved tenant at two thirds of the offered rate — enough that
+    # losing a node mid-stream (the ``node-loss`` chaos plan) overloads
+    # the survivors and burns interactive deadlines unless the failover
+    # layer (retry + warm spares) absorbs the window.
+    rng = np.random.default_rng(seed)
+    interactive = ModelSpec("lenet", 4)
+    batch = ModelSpec("mlp", 2)
+    models = _build_models((interactive, batch), seed)
+
+    n_interactive = (2 * frames) // 3
+    n_batch = frames - n_interactive
+    interactive_frames = _frames_batch(rng, [interactive] * n_interactive)
+    interactive_stream = [
+        FrameRequest(
+            interactive_frames[i],
+            interactive.key,
+            arrival_s=i / (2.0 / 3.0 * offered_fps),
+            tenant="interactive",
+        )
+        for i in range(n_interactive)
+    ]
+    batch_arrivals = _poisson_arrivals(rng, n_batch, offered_fps / 3.0)
+    batch_frames = _frames_batch(rng, [batch] * n_batch)
+    batch_stream = [
+        FrameRequest(
+            batch_frames[i],
+            batch.key,
+            arrival_s=batch_arrivals[i],
+            tenant="batch",
+        )
+        for i in range(n_batch)
+    ]
+    return Scenario(
+        name="chaos",
+        description=scenario_description("chaos"),
+        models=models,
+        requests=_interleave([interactive_stream, batch_stream]),
+        slo_classes=dict(CHAOS_CLASSES),
+        offered_fps=offered_fps,
+    )
+
+
 @register_scenario(
     "zoo",
     "round-robin over every model family at several bit widths",
@@ -550,6 +621,7 @@ def models_scenario(
 
 
 __all__ = [
+    "CHAOS_CLASSES",
     "MIXED_TENANT_CLASSES",
     "ModelSpec",
     "Scenario",

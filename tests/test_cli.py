@@ -108,7 +108,7 @@ def test_serve_models_flag_overrides_scenario(capsys):
 
 
 @pytest.mark.parametrize(
-    "scenario", ["poisson-burst", "diurnal", "mixed-tenants", "zoo"]
+    "scenario", ["poisson-burst", "diurnal", "mixed-tenants", "chaos", "zoo"]
 )
 def test_serve_exercises_every_workload_generator(scenario, capsys):
     """`repro serve --scenario` runs each registered generator end-to-end."""
@@ -142,3 +142,78 @@ def test_sweep_capacity_command(capsys):
     out = capsys.readouterr().out
     assert "Capacity planning" in out
     assert "sustainable FPS" in out
+
+
+_CHAOS_SERVE = [
+    "serve",
+    "--scenario",
+    "chaos",
+    "--frames",
+    "120",
+    "--fps",
+    "2400",
+    "--nodes",
+    "2",
+    "--batch",
+    "8",
+    "--policy",
+    "slo",
+    "--chaos-plan",
+    "node-loss",
+]
+
+
+def test_serve_chaos_failover_report(capsys):
+    assert main(
+        _CHAOS_SERVE + ["--retry-policy", "deadline", "--spares", "1"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "chaos events fired" in out
+    assert "retry policy" in out and "deadline" in out
+    assert "spares activated / configured" in out
+    assert "chaos-node-loss" in out
+
+
+def test_serve_check_slo_exit_codes(capsys):
+    # With failover the interactive class holds its deadline target...
+    assert main(
+        _CHAOS_SERVE
+        + ["--retry-policy", "deadline", "--spares", "1", "--check-slo"]
+    ) == 0
+    assert "all classes meet the target" in capsys.readouterr().out
+    # ...without it the node loss burns deadlines and the gate trips.
+    assert main(_CHAOS_SERVE + ["--check-slo"]) == 1
+    assert "FAILED" in capsys.readouterr().out
+
+
+def test_serve_brownout_report(capsys):
+    assert main(
+        [
+            "serve",
+            "--scenario",
+            "chaos",
+            "--frames",
+            "160",
+            "--fps",
+            "2400",
+            "--nodes",
+            "2",
+            "--batch",
+            "8",
+            "--policy",
+            "slo",
+            "--chaos-plan",
+            "region-outage",
+            "--brownout",
+            "standard",
+        ]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "brownout peak tier" in out
+
+
+def test_sweep_resilience_command(capsys):
+    assert main(["sweep", "--resilience", "--fast"]) == 0
+    out = capsys.readouterr().out
+    assert "Serving resilience" in out
+    assert "no-failover" in out and "retry+spares" in out

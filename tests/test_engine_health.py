@@ -283,6 +283,70 @@ def test_dense_models_serve_under_faults():
 
 
 # ----------------------------------------------------------------------
+# Monitor under queueing policies + the reference-path pin
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("policy", ["edf", "slo"])
+def test_monitor_runs_under_queueing_policies(policy):
+    """Health monitoring is policy-agnostic: the edf/slo queueing paths
+    see the same deterministic fault cycle as greedy."""
+    from repro.engine.workloads import build_scenario
+
+    def run():
+        scenario = build_scenario(
+            "poisson", frames=200, offered_fps=1000.0, seed=0
+        )
+        server = FrameServer(
+            num_nodes=2,
+            micro_batch=8,
+            seed=0,
+            policy=policy,
+            fault_profile=UPSET_PROFILE,
+        )
+        for key, model in scenario.models.items():
+            server.register_model(key, model)
+        server.warmup()
+        return server.serve_scenario(scenario)
+
+    first = run()
+    health = first.health
+    assert health is not None
+    assert health.upsets >= 1 and health.recalibrations >= 1
+    second = run()
+    assert [
+        (e.time_s, e.kind, e.node_id) for e in health.events
+    ] == [(e.time_s, e.kind, e.node_id) for e in second.health.events]
+    for left, right in zip(first.responses, second.responses):
+        assert left.event == right.event
+        if left.output is not None:
+            np.testing.assert_array_equal(left.output, right.output)
+
+
+def test_fault_profile_forces_reference_compute_path(frames):
+    """A monitored server routes through the per-chunk reference loop:
+    the (default) batched mode and explicit reference mode must be
+    bit-identical under a fault profile."""
+    batched = _server(UPSET_PROFILE)
+    assert batched.compute_mode == "batched"
+    reference = FrameServer(
+        num_nodes=2,
+        micro_batch=8,
+        seed=0,
+        fault_profile=UPSET_PROFILE,
+        compute_mode="reference",
+    )
+    reference.register_model("a", build_lenet(seed=0))
+    left = batched.serve_frames(frames, "a", offered_fps=1000.0)
+    right = reference.serve_frames(frames, "a", offered_fps=1000.0)
+    assert left.health is not None and right.health is not None
+    assert left.stream.total_energy_j == right.stream.total_energy_j
+    for a, b in zip(left.responses, right.responses):
+        assert a.event == b.event
+        assert a.degraded == b.degraded
+        if a.output is not None:
+            np.testing.assert_array_equal(a.output, b.output)
+
+
+# ----------------------------------------------------------------------
 # SnrWatchdog
 # ----------------------------------------------------------------------
 def test_watchdog_bit_arithmetic():

@@ -149,6 +149,52 @@ def test_absent_metric_is_not_gated():
     )
 
 
+def test_chaos_invariants_gated():
+    """The resilience flags are exact claims, checked in quick mode too."""
+    fresh = {
+        "quick": True,
+        "default_bit_identical": False,
+        "deterministic": True,
+    }
+    failures = kpi_check.check_invariants("chaos", fresh)
+    assert len(failures) == 1
+    assert "default_bit_identical" in failures[0]
+    fresh["default_bit_identical"] = True
+    assert kpi_check.check_invariants("chaos", fresh) == []
+
+
+# --------------------------------------------------------------------------
+# Core-gated skip annotations
+# --------------------------------------------------------------------------
+def test_core_gated_skips_are_annotated():
+    """A 1-core host's excused speedup KPIs produce explicit SKIP notes."""
+    few_cores = _full(
+        {
+            "cores": 1,
+            "zoo_warmup": {"bit_identical": True, "speedup": 0.4},
+            "capacity_grid": {"bit_identical": True, "speedup": 0.5},
+        }
+    )
+    baseline = _full(
+        {
+            "cores": 8,
+            "zoo_warmup": {"bit_identical": True, "speedup": 3.0},
+            "capacity_grid": {"bit_identical": True, "speedup": 2.5},
+        }
+    )
+    skips = kpi_check.core_gated_skips("parallel", few_cores, baseline)
+    assert len(skips) == 2
+    assert "zoo_warmup.speedup" in skips[0] and "fresh host has 1" in skips[0]
+    # Capable hosts on both sides: nothing excused, nothing annotated.
+    assert kpi_check.core_gated_skips("parallel", baseline, baseline) == []
+
+
+def test_quick_payloads_produce_no_skip_notes():
+    """Quick-mode runs compare nothing, so no core gate ever fires."""
+    quick = {"quick": True, "cores": 1}
+    assert kpi_check.core_gated_skips("parallel", quick, _full({})) == []
+
+
 # --------------------------------------------------------------------------
 # File-level behavior
 # --------------------------------------------------------------------------
