@@ -1,0 +1,275 @@
+"""Control-plane drill: autoscaling tracks the static fleet at lower cost.
+
+The acceptance scenario for the sharded fleet control plane
+(:mod:`repro.engine.controlplane` + :mod:`repro.engine.router`): the
+``diurnal-regions`` workload streams three phase-shifted regional
+diurnal interactive tenants (plus a batch tail) into a three-shard
+control plane with partition placement — one regional LeNet per shard —
+and the bench serves the *same* request stream twice:
+
+* **autoscaled** — each shard breathes between ``MIN_NODES`` and
+  ``MAX_NODES`` against its own regional swing, with the capacity model
+  measured by :func:`repro.analysis.capacity.sustainable_fps_per_node`;
+* **static max-provisioned** — every shard pinned at ``MAX_NODES``, the
+  fleet a capacity planner would buy for the regional peak.
+
+and asserts:
+
+* **the scaler tracks the bound** — the autoscaled interactive
+  deadline-hit rate stays within ``HIT_TOLERANCE`` of the static
+  fleet's;
+* **the savings are material** — the autoscaled fleet consumes at least
+  ``SAVINGS_FLOOR`` fewer node-seconds than the static counterfactual
+  (same windows, same duration convention);
+* **determinism** — two independent control planes produce
+  byte-identical scaling-decision audit trails;
+* **default-path bit-identity** — a 1-shard, autoscale-off control
+  plane still reproduces the pinned ``mixed_two_nodes_1800fps`` golden
+  from ``tests/goldens/serve_default.json`` byte for byte.
+
+The run writes ``BENCH_controlplane.json`` at the repo root as the
+control-plane perf-trajectory entry.  Set ``REPRO_BENCH_QUICK=1`` (CI
+smoke) for the shorter stream; the invariant flags and assertions are
+identical either way, and the guarded writer never lets a smoke run
+clobber a full-mode entry.
+"""
+
+import hashlib
+import json
+import os
+import platform
+
+import numpy as np
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BENCH_JSON = os.path.join(REPO_ROOT, "BENCH_controlplane.json")
+GOLDEN_JSON = os.path.join(REPO_ROOT, "tests", "goldens", "serve_default.json")
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") == "1"
+
+SCENARIO = "diurnal-regions"
+SHARDS = 3
+MIN_NODES = 1
+MAX_NODES = 3
+OFFERED_FPS = 800.0
+SEED = 0
+POLICY = "greedy"
+ROUTER = "rendezvous"
+PLACEMENT = "partition"
+FRAMES = 180 if QUICK else 600
+WINDOW_S = 0.02 if QUICK else 0.01
+
+#: Autoscaled interactive hit rate may trail the static fleet's by at
+#: most this much (the ISSUE acceptance tolerance).
+HIT_TOLERANCE = 0.005
+#: Node-seconds the scaler must shave off the static counterfactual.
+SAVINGS_FLOOR = 0.25
+
+
+def _autoscaler_config():
+    from repro.engine import AutoscalerConfig
+
+    return AutoscalerConfig(
+        window_s=WINDOW_S,
+        min_nodes=MIN_NODES,
+        max_nodes=MAX_NODES,
+    )
+
+
+def _serve(autoscaled: bool):
+    """One control-plane pass over the bench stream; returns the report."""
+    from repro.engine import ControlPlane, build_scenario
+
+    scenario = build_scenario(
+        SCENARIO, frames=FRAMES, offered_fps=OFFERED_FPS, seed=SEED
+    )
+    plane = ControlPlane(
+        shards=SHARDS,
+        nodes_per_shard=MAX_NODES,
+        micro_batch=8,
+        seed=SEED,
+        policy=POLICY,
+        router=ROUTER,
+        autoscaler=_autoscaler_config() if autoscaled else None,
+    )
+    return plane.serve_scenario(scenario, placement=PLACEMENT)
+
+
+def _hit_rate(report, class_name: str) -> float:
+    stats = report.slo.classes.get(class_name)
+    return stats.hit_rate if stats is not None else float("nan")
+
+
+def _default_path_matches_golden() -> bool:
+    """Serve the pinned mixed stream through a 1-shard control plane.
+
+    Mirrors ``tests/test_engine_scheduler.py`` exactly — but through
+    :class:`~repro.engine.controlplane.ControlPlane` with one shard and
+    no autoscaler, which must delegate wholesale and stay byte-identical
+    to the golden (the control plane may not perturb the default path
+    even by one ULP).
+    """
+    from repro.engine import ControlPlane, FrameRequest
+    from repro.nn.models import build_lenet
+
+    plane = ControlPlane(shards=1, nodes_per_shard=2, micro_batch=8, seed=0)
+    plane.register_model("model-a", build_lenet(seed=0))
+    plane.register_model("model-b", build_lenet(seed=1))
+    frames = np.random.default_rng(42).uniform(0.0, 1.0, (48, 1, 28, 28))
+    requests = [
+        FrameRequest(frames[i], "model-a" if (i // 6) % 2 == 0 else "model-b")
+        for i in range(48)
+    ]
+    report = plane.serve(requests, offered_fps=1800.0)
+
+    responses = []
+    for resp in report.responses:
+        output = resp.output
+        responses.append(
+            {
+                "index": resp.index,
+                "model_key": resp.model_key,
+                "node_id": resp.node_id,
+                "arrival_s": repr(resp.event.arrival_s),
+                "start_s": repr(resp.event.start_s),
+                "finish_s": repr(resp.event.finish_s),
+                "dropped": resp.event.dropped,
+                "remapped": resp.event.remapped,
+                "degraded": resp.degraded,
+                "output_sha256": (
+                    None
+                    if output is None
+                    else hashlib.sha256(
+                        np.ascontiguousarray(output, dtype=float).tobytes()
+                    ).hexdigest()
+                ),
+            }
+        )
+    actual = {
+        "responses": responses,
+        "total_energy_j": repr(report.stream.total_energy_j),
+        "frames": report.stream.frames,
+        "dropped": report.stream.dropped,
+        "cache_hits": report.cache_hits,
+        "cache_misses": report.cache_misses,
+        "payload_bytes": report.payload_bytes,
+        "radio_energy_j": repr(report.radio_energy_j),
+        "node_frames": {
+            str(node): count
+            for node, count in sorted(report.node_frames.items())
+        },
+        "health": report.health is not None,
+    }
+    with open(GOLDEN_JSON) as handle:
+        expected = json.load(handle)
+    return actual == expected["mixed_two_nodes_1800fps"]
+
+
+def run_controlplane_bench(quick: bool = QUICK) -> dict:
+    """Autoscaled vs static passes, plus the invariant flags."""
+    autoscaled = _serve(autoscaled=True)
+    repeat = _serve(autoscaled=True)
+    static = _serve(autoscaled=False)
+
+    plane_report = autoscaled.controlplane
+    trail = plane_report.decision_trail()
+    deterministic = trail == repeat.controlplane.decision_trail()
+
+    autoscaled_hit = _hit_rate(autoscaled, "interactive")
+    static_hit = _hit_rate(static, "interactive")
+    return {
+        "bench": "controlplane",
+        "schema": 1,
+        "quick": quick,
+        "scenario": SCENARIO,
+        "frames": FRAMES,
+        "offered_fps": OFFERED_FPS,
+        "shards": SHARDS,
+        "min_nodes": MIN_NODES,
+        "max_nodes": MAX_NODES,
+        "window_s": WINDOW_S,
+        "router": ROUTER,
+        "policy": POLICY,
+        "placement": PLACEMENT,
+        "seed": SEED,
+        "hit_tolerance": HIT_TOLERANCE,
+        "savings_floor": SAVINGS_FLOOR,
+        "autoscaled_interactive_hit_rate": autoscaled_hit,
+        "static_interactive_hit_rate": static_hit,
+        "interactive_hit_delta": autoscaled_hit - static_hit,
+        "autoscaled_batch_hit_rate": _hit_rate(autoscaled, "batch"),
+        "static_batch_hit_rate": _hit_rate(static, "batch"),
+        "node_seconds": plane_report.node_seconds,
+        "static_node_seconds": plane_report.static_node_seconds,
+        "node_seconds_saved_frac": plane_report.node_seconds_saved_frac,
+        "windows": plane_report.windows,
+        "scaling_decisions": len(plane_report.decisions),
+        "decision_trail_sha256": hashlib.sha256(
+            trail.encode()
+        ).hexdigest(),
+        "routes": plane_report.routes,
+        "deterministic": deterministic,
+        "default_bit_identical": _default_path_matches_golden(),
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+    }
+
+
+@pytest.fixture(scope="module")
+def bench_result(save_artifact):
+    from repro.analysis.perf import would_clobber_full_bench, write_bench
+
+    result = run_controlplane_bench()
+    kept = would_clobber_full_bench(BENCH_JSON, result)
+    write_bench(BENCH_JSON, result)
+    save_artifact("controlplane.txt", json.dumps(result, indent=2))
+    if kept:
+        print(f"[full-mode trajectory entry at {BENCH_JSON} kept]")
+    else:
+        print(f"[controlplane trajectory entry written to {BENCH_JSON}]")
+    return result
+
+
+def test_autoscaler_tracks_the_static_fleet(bench_result):
+    """The headline acceptance: hit rate within tolerance of static."""
+    delta = bench_result["interactive_hit_delta"]
+    assert delta >= -HIT_TOLERANCE, (
+        f"autoscaled interactive hit rate trails the static fleet by "
+        f"{-delta:.4f} (> {HIT_TOLERANCE})"
+    )
+
+
+def test_autoscaler_saves_node_seconds(bench_result):
+    """The savings are material, not a rounding artifact."""
+    assert bench_result["node_seconds_saved_frac"] >= SAVINGS_FLOOR, (
+        f"autoscaler saved only "
+        f"{bench_result['node_seconds_saved_frac']:.3f} of the static "
+        f"fleet's node-seconds (floor {SAVINGS_FLOOR})"
+    )
+
+
+def test_autoscaler_actually_scaled(bench_result):
+    """The drill is non-trivial: the trail records real resizes."""
+    assert bench_result["scaling_decisions"] >= 1
+    assert bench_result["node_seconds"] < bench_result["static_node_seconds"]
+
+
+def test_scaling_trail_is_deterministic(bench_result):
+    """Two independent planes produce byte-identical audit trails."""
+    assert bench_result["deterministic"] is True
+
+
+def test_default_path_stays_bit_identical(bench_result):
+    """A 1-shard, autoscale-off plane leaves the serving golden intact."""
+    assert bench_result["default_bit_identical"] is True
+
+
+def test_controlplane_json_written_at_repo_root(bench_result):
+    """The trajectory artifact exists and round-trips as JSON."""
+    assert os.path.exists(BENCH_JSON)
+    with open(BENCH_JSON) as handle:
+        payload = json.load(handle)
+    assert payload["bench"] == "controlplane"
+    assert "node_seconds_saved_frac" in payload

@@ -413,6 +413,41 @@ def sweep_scenarios(
     return reports
 
 
+def sustainable_fps_per_node(
+    scenario: str,
+    policy: str = "greedy",
+    frames: int = 96,
+    seed: int = 0,
+    micro_batch: int = 8,
+    cache=None,
+) -> float:
+    """One node's measured sustainable rate on ``scenario`` [FPS].
+
+    The autoscaler's controller model (:mod:`repro.engine.controlplane`):
+    capacity of an n-node shard is approximated as ``n x`` this value,
+    which the knee search measures once per (scenario, policy) instead of
+    hand-tuning a constant.  Runs the standard bracket + bisect at
+    ``nodes=1`` with a short probe stream — the controller needs a
+    *planning* estimate, not a report-grade curve, and the search is
+    seeded so the estimate (and therefore every scaling decision built on
+    it) reproduces bit-for-bit.  Returns ``0.0`` when even the search
+    floor is unsustainable; callers fall back to the analytic LeNet bound.
+    """
+    settings = CapacitySettings(
+        scenario=scenario,
+        policies=(policy,),
+        node_counts=(1,),
+        frames=frames,
+        seed=seed,
+        micro_batch=micro_batch,
+        search_iterations=5,
+    )
+    fleet = FleetModel()
+    hint = 1.5 * fleet.fleet_capacity_fps(LENET_FIRST_LAYER, 1)
+    point = _search(settings, policy, 1, hint, cache=cache)
+    return point.sustainable_fps
+
+
 def render_capacity_report(report: CapacityReport) -> str:
     """Human-readable capacity-planning table."""
     rows = []
@@ -463,5 +498,6 @@ __all__ = [
     "CapacitySettings",
     "build_capacity_report",
     "render_capacity_report",
+    "sustainable_fps_per_node",
     "sweep_scenarios",
 ]

@@ -253,36 +253,68 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             offered_fps=args.fps,
             seed=args.seed,
         )
-    server = FrameServer(
-        num_nodes=args.nodes,
-        micro_batch=args.batch,
-        seed=args.seed,
-        fault_profile=args.fault_profile,
-        policy=args.policy,
-        chaos_plan=args.chaos_plan,
-        retry_policy=args.retry_policy,
-        spares=args.spares,
-        brownout=args.brownout,
-    )
-    # --workers/--backend fan the cold warmup out before serving; the
-    # serve report is bit-identical either way (the parallel layer's
-    # ordered-merge contract), only the programming wall-clock moves.
-    # A failover configuration also warms up front (serially when no
-    # fan-out is requested): pre-warmed programs are what make spare
-    # activation pure cache hits.
-    parallel = _parallel_from_args(args)
     resilient = (
         args.chaos_plan != "none"
         or args.retry_policy != "none"
         or args.spares > 0
         or args.brownout != "none"
     )
+    parallel = _parallel_from_args(args)
     warm = None
-    if parallel is not None or resilient:
-        for key, model in scenario.models.items():
-            server.register_model(key, model)
-        warm = server.warmup(parallel=parallel)
-    report = server.serve_scenario(scenario, offered_fps=args.fps)
+    if args.shards > 0:
+        # The sharded control plane builds plain shard servers — the
+        # fault/chaos/failover layers do not compose with node_limit
+        # autoscaling (see FrameServer.serve).
+        if resilient or args.fault_profile != "none":
+            raise SystemExit(
+                "--shards does not compose with --fault-profile/"
+                "--chaos-plan/--retry-policy/--spares/--brownout; "
+                "shard servers are built plain"
+            )
+        from repro.engine import AutoscalerConfig, ControlPlane
+
+        autoscaler = (
+            AutoscalerConfig.parse(args.autoscale)
+            if args.autoscale is not None
+            else None
+        )
+        plane = ControlPlane(
+            shards=args.shards,
+            nodes_per_shard=args.nodes,
+            micro_batch=args.batch,
+            seed=args.seed,
+            policy=args.policy,
+            router=args.router,
+            autoscaler=autoscaler,
+        )
+        report = plane.serve_scenario(
+            scenario, offered_fps=args.fps, placement=args.placement
+        )
+    else:
+        if args.autoscale is not None:
+            raise SystemExit("--autoscale requires --shards")
+        server = FrameServer(
+            num_nodes=args.nodes,
+            micro_batch=args.batch,
+            seed=args.seed,
+            fault_profile=args.fault_profile,
+            policy=args.policy,
+            chaos_plan=args.chaos_plan,
+            retry_policy=args.retry_policy,
+            spares=args.spares,
+            brownout=args.brownout,
+        )
+        # --workers/--backend fan the cold warmup out before serving; the
+        # serve report is bit-identical either way (the parallel layer's
+        # ordered-merge contract), only the programming wall-clock moves.
+        # A failover configuration also warms up front (serially when no
+        # fan-out is requested): pre-warmed programs are what make spare
+        # activation pure cache hits.
+        if parallel is not None or resilient:
+            for key, model in scenario.models.items():
+                server.register_model(key, model)
+            warm = server.warmup(parallel=parallel)
+        report = server.serve_scenario(scenario, offered_fps=args.fps)
     rows = [
         ("scenario", scenario.name),
         ("models", ", ".join(scenario.model_keys)),
@@ -312,6 +344,45 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         (f"frames on node {node}", count)
         for node, count in sorted(report.node_frames.items())
     )
+    if report.controlplane is not None:
+        plane_report = report.controlplane
+        rows.extend(
+            (
+                ("shards", ", ".join(plane_report.shards)),
+                ("router", plane_report.router),
+                (
+                    "routes (tenant|model -> shard)",
+                    ", ".join(
+                        f"{pair}->{shard}"
+                        for pair, shard in plane_report.routes.items()
+                    )
+                    or "-",
+                ),
+                (
+                    "reroutes / preloads",
+                    f"{plane_report.reroutes} / {plane_report.preloads}",
+                ),
+                (
+                    "node-seconds (active / static)",
+                    f"{plane_report.node_seconds:.4f} / "
+                    f"{plane_report.static_node_seconds:.4f}",
+                ),
+            )
+        )
+        if plane_report.autoscaled:
+            rows.extend(
+                (
+                    (
+                        "node-seconds saved",
+                        f"{plane_report.node_seconds_saved_frac * 100:.1f}%",
+                    ),
+                    (
+                        "scaling windows / decisions",
+                        f"{plane_report.windows} / "
+                        f"{len(plane_report.decisions)}",
+                    ),
+                )
+            )
     if report.health is not None:
         health = report.health
         rows.extend(
@@ -433,6 +504,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 f"({transition.to_name}): pressure {transition.pressure:.2f}, "
                 f"{transition.reason}"
             )
+    if (
+        report.controlplane is not None
+        and report.controlplane.decisions
+    ):
+        print("\nscaling decisions:")
+        for decision in report.controlplane.decisions:
+            print(f"  {decision.line()}")
     if report.health is not None and report.health.events:
         print("\nhealth events:")
         for event in report.health.events:
@@ -619,7 +697,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--scenario",
         default="default",
         help="workload scenario (engine/workloads registry: default, "
-        "poisson, poisson-burst, diurnal, mixed-tenants, chaos, zoo)",
+        "poisson, poisson-burst, diurnal, mixed-tenants, chaos, "
+        "diurnal-regions, zoo)",
     )
     serve.add_argument(
         "--models",
@@ -673,6 +752,35 @@ def build_parser() -> argparse.ArgumentParser:
         default="none",
         choices=("none", "standard"),
         help="degradation-tier admission ladder under overload/capacity loss",
+    )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="serve through the sharded control plane with this many "
+        "shards (0 = plain single-fleet path); --nodes becomes the "
+        "per-shard node count",
+    )
+    serve.add_argument(
+        "--router",
+        default="rendezvous",
+        choices=("rendezvous", "hash"),
+        help="tenant-to-shard routing policy (engine/router registry)",
+    )
+    serve.add_argument(
+        "--autoscale",
+        default=None,
+        metavar="MIN:MAX[:WINDOW_S]",
+        help="autoscale each shard's active node count between MIN and "
+        "MAX, observing load every WINDOW_S simulated seconds "
+        "(requires --shards)",
+    )
+    serve.add_argument(
+        "--placement",
+        default="replicate",
+        choices=("replicate", "partition"),
+        help="zoo placement across shards (replicate everywhere, or "
+        "partition round-robin with spillover)",
     )
     serve.add_argument(
         "--check-slo",

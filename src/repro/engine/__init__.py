@@ -35,6 +35,14 @@
   :class:`RetryPolicy` backoff, warm-standby :class:`SparePool` spares
   (cache-hit activation, bit-identical programs), and the
   :class:`BrownoutController` degradation-tier admission ladder.
+* :mod:`repro.engine.router` — deterministic tenant-to-shard routing:
+  rendezvous (HRW) hashing with draining-shard spillover, plus the
+  hash-modulo contrast policy.
+* :mod:`repro.engine.controlplane` — the sharded fleet control plane:
+  named shards over plain frame servers, zoo placement, shard drains,
+  and the windowed :class:`Autoscaler` (capacity-model scale-up,
+  dwell-hysteresis scale-down) with a byte-deterministic
+  scaling-decision audit trail.
 """
 
 from repro.engine.admission import (
@@ -44,6 +52,14 @@ from repro.engine.admission import (
     SloReport,
 )
 from repro.engine.cache import CacheStats, WeightProgramCache
+from repro.engine.controlplane import (
+    Autoscaler,
+    AutoscalerConfig,
+    ControlPlane,
+    ControlPlaneReport,
+    ScalingDecision,
+    Shard,
+)
 from repro.engine.chaos import (
     CHAOS_KINDS,
     ChaosEvent,
@@ -83,6 +99,14 @@ from repro.engine.scheduler import (
     SloAwarePolicy,
     scheduling_policy,
 )
+from repro.engine.router import (
+    ROUTERS,
+    HashModuloRouter,
+    RendezvousRouter,
+    TenantRouter,
+    rendezvous_score,
+    tenant_router,
+)
 from repro.engine.server import (
     FrameRequest,
     FrameResponse,
@@ -101,7 +125,10 @@ __all__ = [
     "BROWNOUT_TIERS",
     "CHAOS_KINDS",
     "POLICIES",
+    "ROUTERS",
     "AdmissionController",
+    "Autoscaler",
+    "AutoscalerConfig",
     "BrownoutConfig",
     "BrownoutController",
     "BrownoutReport",
@@ -111,6 +138,8 @@ __all__ = [
     "ChaosPlan",
     "ChaosSpec",
     "ChaosTimeline",
+    "ControlPlane",
+    "ControlPlaneReport",
     "EarliestDeadlinePolicy",
     "FailoverCoordinator",
     "FaultProfile",
@@ -119,15 +148,19 @@ __all__ = [
     "FrameScheduler",
     "FrameServer",
     "GreedyFifoPolicy",
+    "HashModuloRouter",
     "HealthEvent",
     "HealthMonitor",
     "HealthReport",
     "ModelSpec",
+    "RendezvousRouter",
     "ResilienceReport",
     "RetryPolicy",
+    "ScalingDecision",
     "Scenario",
     "ServeReport",
     "SchedulingPolicy",
+    "Shard",
     "SloAwarePolicy",
     "SloClass",
     "SloClassStats",
@@ -135,13 +168,16 @@ __all__ = [
     "SnrWatchdog",
     "SpareActivation",
     "SparePool",
+    "TenantRouter",
     "WeightProgramCache",
     "availability",
     "build_scenario",
     "chaos_plan",
     "models_scenario",
     "recovery_time_s",
+    "rendezvous_score",
     "retry_policy",
     "scenario_registry",
     "scheduling_policy",
+    "tenant_router",
 ]

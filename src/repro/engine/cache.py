@@ -22,7 +22,18 @@ when a node's watchdog trips — the die's stale programs are dropped and
 the next activation re-runs the mapping chain.  Because programming is
 deterministic per (die, config, kernel set) — the scalar-reference
 bit-identity contract of :mod:`repro.core.reference` — the reprogrammed
-entries are bit-identical to the invalidated ones.
+entries are bit-identical to the invalidated ones.  The sharded control
+plane (:mod:`repro.engine.controlplane`) reuses the same hook for shard
+drains: a drained shard's dies release their resident bytes back to the
+shared budget.
+
+Priority eviction: the control plane shares *one* cache (one byte
+budget) across every shard, and pins the programs of recently routed
+(tenant, model) pairs via :meth:`WeightProgramCache.set_priority`.
+Eviction removes the lowest-priority, least-recently-used entry first —
+a pinned program is only ever evicted once every unpinned entry is gone
+and the budget still does not hold.  With no priorities set the order is
+exactly the historical pure LRU.
 """
 
 from __future__ import annotations
@@ -107,6 +118,10 @@ class WeightProgramCache:
         self._die_of: dict[str, int | None] = {}
         #: Resident byte size per entry (computed once at insert).
         self._nbytes_of: dict[str, int] = {}
+        #: Eviction priority per key (0 = normal LRU, higher = pinned).
+        #: Outlives residency on purpose: a pin set before the program is
+        #: computed (preload-on-route) applies when the entry lands.
+        self._priority_of: dict[str, int] = {}
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -210,10 +225,53 @@ class WeightProgramCache:
         """Whether a program is resident, without touching stats or LRU."""
         return self.key_for(opc, quantized_weights, scale) in self._entries
 
+    def set_priority(self, key: str, priority: int) -> None:
+        """Set one key's eviction priority (0 restores plain LRU).
+
+        Priorities are *sticky*: they survive eviction, invalidation and
+        :meth:`clear`, so a pin set before the program is computed
+        (the control plane's preload-on-route path) applies when the
+        entry eventually lands.  Callers own unpinning — the control
+        plane drops a shard's pins when the shard drains.
+        """
+        if priority:
+            self._priority_of[key] = int(priority)
+        else:
+            self._priority_of.pop(key, None)
+
+    def priority_of(self, key: str) -> int:
+        """The eviction priority of ``key`` (0 when never set)."""
+        return self._priority_of.get(key, 0)
+
+    def _eviction_candidate(self) -> str:
+        """The key to evict: lowest priority first, LRU within a priority.
+
+        The newest entry (the one just installed) is never a candidate —
+        evicting the program the caller is about to use would turn every
+        swap into a cold remap, the same rationale as the sole-oversized-
+        entry rule.  With no priorities set this degenerates to "oldest
+        key", the historical pure-LRU order, exactly.
+        """
+        candidates = list(self._entries)[:-1]
+        best = candidates[0]
+        best_priority = self._priority_of.get(best, 0)
+        for key in candidates[1:]:
+            if best_priority <= 0:
+                break  # an unpinned LRU-oldest entry always wins
+            priority = self._priority_of.get(key, 0)
+            if priority < best_priority:
+                best, best_priority = key, priority
+        return best
+
     def _insert(
         self, key: str, programmed: ProgrammedWeights, die: int | None
     ) -> None:
-        """Store one entry, then evict LRU until capacity and budget hold."""
+        """Store one entry, then evict until capacity and budget hold.
+
+        Eviction order is (priority, least-recently-used) — see
+        :meth:`set_priority`; a cache with no priorities set evicts in
+        the historical pure-LRU order.
+        """
         self._entries[key] = programmed
         self._die_of[key] = die
         self._nbytes_of[key] = self.entry_nbytes(programmed)
@@ -225,7 +283,8 @@ class WeightProgramCache:
                 and self.stats.bytes_cached > self.memory_budget_bytes
             )
         ):
-            evicted, _ = self._entries.popitem(last=False)
+            evicted = self._eviction_candidate()
+            self._entries.pop(evicted)
             self._die_of.pop(evicted, None)
             nbytes = self._nbytes_of.pop(evicted, 0)
             self.stats.bytes_cached -= nbytes

@@ -1,0 +1,178 @@
+"""Tenant-to-shard routing for the sharded fleet control plane.
+
+A control plane (:mod:`repro.engine.controlplane`) splits the fleet into
+named shards — node groups hosting a slice (or a replica) of the model
+zoo — and every admitted frame must land on exactly one of them.  The
+routing decision has to be *deterministic* (the control plane's
+bit-reproducibility contract extends the scheduler's), *stable* under
+fleet churn (an autoscaler resizing a shard's node count must never move
+tenants — moves invalidate cache locality), and *bounded* under shard-set
+churn (adding or draining one shard may move only the tenants whose
+rendezvous winner actually changed).
+
+Two policies are registered:
+
+* ``"rendezvous"`` — highest-random-weight (HRW) hashing: each
+  ``(tenant, shard)`` pair gets a stable SHA-256 score and the tenant
+  routes to the highest-scoring *eligible* shard.  Classic rendezvous
+  guarantees follow: routing never depends on node counts at all, and
+  removing a shard moves exactly the tenants that were on it while adding
+  one moves only the tenants whose new top score is the newcomer
+  (``tests/test_properties.py`` pins both).
+* ``"hash"`` — stable-hash modulo over the eligible shard list.  Kept as
+  the contrast policy: it is deterministic but *not* churn-bounded (a
+  shard-set change can reshuffle every tenant), which is exactly why
+  rendezvous is the default.
+
+Eligibility and spillover: a shard is eligible for a request when it
+hosts the request's model key (zoo sharding) and is not draining.  When
+no shard hosts the model the whole non-draining fleet is eligible (the
+control plane registers the model on the routed shard — preload-on-route)
+and when everything eligible is draining the drain flag is ignored —
+routing somewhere beats dropping on the floor.  The skip-the-draining
+step *is* the spillover: the next-best rendezvous score takes over, and
+because scores are per ``(tenant, shard)`` the spilled tenants spread
+over the survivors instead of piling onto one.
+
+Determinism: scores hash only ``(salt, shard name, tenant)`` — no
+``hash()`` randomization, no wall clock, no RNG state.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Protocol, Sequence
+
+
+class ShardView(Protocol):
+    """What a router is allowed to see of a shard.
+
+    Deliberately *excludes* node counts and load: routing that peeks at
+    capacity would move tenants whenever the autoscaler breathes.
+    """
+
+    name: str
+    draining: bool
+
+    def hosts(self, model_key: str) -> bool: ...
+
+
+def rendezvous_score(salt: int, shard_name: str, tenant: str) -> int:
+    """Stable HRW score of one (tenant, shard) pair.
+
+    The first 8 digest bytes as a big-endian integer — 64 bits is far
+    beyond what shard-count tie probabilities need, and slicing the
+    digest keeps the comparison cheap.
+    """
+    digest = hashlib.sha256(
+        f"{salt}|{shard_name}|{tenant}".encode()
+    ).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class TenantRouter:
+    """Base router: eligibility + spillover shared by every policy."""
+
+    name = "base"
+
+    def __init__(self, salt: int = 0) -> None:
+        self.salt = int(salt)
+
+    def eligible(
+        self, model_key: str, shards: Sequence[ShardView]
+    ) -> list[ShardView]:
+        """Shards a request may land on, after spillover rules.
+
+        Live hosting shards first; then the live fleet (the control
+        plane's spillover placement fills the zoo gap on the landing
+        shard); draining shards only when nothing live is left.
+        """
+        if not shards:
+            raise ValueError("cannot route with zero shards")
+        hosting = [shard for shard in shards if shard.hosts(model_key)]
+        live_hosting = [shard for shard in hosting if not shard.draining]
+        if live_hosting:
+            return live_hosting
+        live = [shard for shard in shards if not shard.draining]
+        if live:
+            return live
+        return hosting or list(shards)
+
+    def route(
+        self, tenant: str, model_key: str, shards: Sequence[ShardView]
+    ) -> ShardView:
+        """The one shard this (tenant, model) pair lands on."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # audit trails embed the router spec
+        return f"{type(self).__name__}(salt={self.salt})"
+
+
+class RendezvousRouter(TenantRouter):
+    """Highest-random-weight tenant routing (the default policy)."""
+
+    name = "rendezvous"
+
+    def route(
+        self, tenant: str, model_key: str, shards: Sequence[ShardView]
+    ) -> ShardView:
+        candidates = self.eligible(model_key, shards)
+        # Max score wins; the (score, name) key makes an (astronomically
+        # unlikely) score tie deterministic rather than list-order-bound.
+        return max(
+            candidates,
+            key=lambda shard: (
+                rendezvous_score(self.salt, shard.name, tenant),
+                shard.name,
+            ),
+        )
+
+
+class HashModuloRouter(TenantRouter):
+    """Stable-hash modulo routing — deterministic, not churn-bounded.
+
+    The contrast policy: one shard joining or draining renumbers the
+    eligible list and can move *every* tenant.  Useful as a baseline when
+    measuring how much program-cache locality rendezvous preserves.
+    """
+
+    name = "hash"
+
+    def route(
+        self, tenant: str, model_key: str, shards: Sequence[ShardView]
+    ) -> ShardView:
+        candidates = sorted(
+            self.eligible(model_key, shards), key=lambda shard: shard.name
+        )
+        digest = hashlib.sha256(f"{self.salt}|{tenant}".encode()).digest()
+        return candidates[int.from_bytes(digest[:8], "big") % len(candidates)]
+
+
+#: Registered router policies (CLI ``--router`` choices).
+ROUTERS: dict[str, type[TenantRouter]] = {
+    "rendezvous": RendezvousRouter,
+    "hash": HashModuloRouter,
+}
+
+
+def tenant_router(spec: str | TenantRouter, salt: int = 0) -> TenantRouter:
+    """Resolve a router spec (name or instance) to a router."""
+    if isinstance(spec, TenantRouter):
+        return spec
+    cls = ROUTERS.get(str(spec).lower())
+    if cls is None:
+        raise ValueError(
+            f"unknown router {spec!r}; known: {', '.join(sorted(ROUTERS))}"
+        )
+    return cls(salt=salt)
+
+
+__all__ = [
+    "ROUTERS",
+    "HashModuloRouter",
+    "RendezvousRouter",
+    "ShardView",
+    "TenantRouter",
+    "rendezvous_score",
+    "tenant_router",
+]

@@ -204,6 +204,12 @@ class ServeReport:
     #: Brownout tier history when a brownout controller is configured
     #: (``None`` otherwise).
     brownout: BrownoutReport | None = None
+    #: Control-plane accounting (routing table, scaling-decision audit
+    #: trail, node-seconds) when the report came through a
+    #: :class:`~repro.engine.controlplane.ControlPlane` (``None`` on the
+    #: plain single-fleet path).  Typed loosely to keep the facade free
+    #: of an engine-internal import cycle.
+    controlplane: object | None = None
 
     @property
     def delivered(self) -> int:
@@ -528,6 +534,63 @@ class FrameServer:
             raise ValueError(f"model key {key!r} is already registered")
         self._models[key] = _ModelEntry(key, model, self.config, self.fleet)
 
+    def adopt_models(
+        self, models: dict[str, Sequential], origin: str = "caller"
+    ) -> None:
+        """Register models idempotently, rejecting silent weight conflicts.
+
+        New keys register normally; a key this server already knows is
+        accepted only when *every* parameter matches the registered model
+        — the off-chip head serves too, so first-layer equality alone
+        would let a different network hide behind a known kernel set.
+        ``origin`` names the source (a scenario, a control-plane shard
+        assignment) in the error message.
+        """
+        for key, model in models.items():
+            if key not in self._models:
+                self.register_model(key, model)
+                continue
+            registered = self._models[key].model.parameters()
+            incoming = model.parameters()
+            if len(registered) != len(incoming) or any(
+                not np.array_equal(ours.data, theirs.data)
+                for ours, theirs in zip(registered, incoming)
+            ):
+                raise ValueError(
+                    f"{origin} redefines model key {key!r} with different "
+                    "weights than the model already registered on this "
+                    "server; serve it on a fresh server (or use distinct "
+                    "keys)"
+                )
+
+    def pin_model_programs(self, model_key: str, pinned: bool = True) -> int:
+        """(Un)pin one model's programs on every die, in the shared cache.
+
+        The control plane pins the programs of recently routed
+        (tenant, model) pairs so the priority-evicting
+        :class:`~repro.engine.cache.WeightProgramCache` sheds cold
+        programs first under byte pressure (see
+        :meth:`~repro.engine.cache.WeightProgramCache.set_priority`;
+        pins are sticky and apply even before the program is computed).
+        Touches only eviction priorities — never stats, LRU order or
+        residency — so pinning is invisible to every serving counter.
+        Returns the number of (die, program) keys touched.
+        """
+        entry = self._models.get(model_key)
+        if entry is None:
+            raise ValueError(f"unknown model key {model_key!r}")
+        first = HardwareFirstLayerPipeline._find_first_quant_layer(entry.model)
+        if first is None:
+            return 0
+        quantized = first.quantizer.quantize(first.weight.data)
+        scale = first.quantizer.scale(first.weight.data)
+        touched = 0
+        for node in self.nodes:
+            key = self.cache.key_for(node.opc, quantized, scale)
+            self.cache.set_priority(key, 1 if pinned else 0)
+            touched += 1
+        return touched
+
     @property
     def model_keys(self) -> tuple[str, ...]:
         """Registered model keys (internal ``@brownout`` variants hidden)."""
@@ -657,6 +720,7 @@ class FrameServer:
         self,
         requests: list[FrameRequest],
         offered_fps: float | None = None,
+        node_limit: int | None = None,
     ) -> ServeReport:
         """Admit, schedule and compute a stream of requests.
 
@@ -668,10 +732,42 @@ class FrameServer:
         drop-if-busy rule of :class:`~repro.sim.stream.StreamSimulator`);
         the admitted frames then compute in micro-batches, grouped into
         consecutive same-model runs per node.
+
+        ``node_limit`` restricts this call to the first ``node_limit``
+        nodes — the control plane's autoscaling hook.  Because
+        :func:`~repro.util.rng.spawn_seeds` is prefix-stable, the first
+        *k* nodes of an N-node server are byte-identical (same die
+        seeds, same construction order) to a k-node server's fleet, so a
+        limited serve reproduces the smaller fleet's stream exactly
+        while the nodes above the limit stay warm (their cached programs
+        make the next scale-up free).  ``None`` (the default) serves on
+        every node — byte-identical to a server without the parameter.
         """
         rate = offered_fps if offered_fps is not None else self.config.frame_rate_hz
         check_positive("offered_fps", rate)
         interval = 1.0 / rate
+        if node_limit is not None:
+            if not 1 <= node_limit <= len(self.nodes):
+                raise ValueError(
+                    f"node_limit must be in [1, {len(self.nodes)}], got "
+                    f"{node_limit}"
+                )
+            if (
+                self.fault_profile is not None
+                or self.chaos_plan is not None
+                or self.retry_policy is not None
+                or self.spare_pool is not None
+                or self.brownout_config is not None
+            ):
+                # The health/chaos/failover layers walk ``self.nodes``
+                # directly (spares append to it, monitors trip dies by
+                # id); slicing under them would silently skew every
+                # outage statistic.  The control plane builds plain
+                # shard servers, so the combination has no user.
+                raise ValueError(
+                    "node_limit does not compose with fault/chaos/"
+                    "failover layers; configure the shard server plain"
+                )
         for request in requests:
             if request.model_key not in self._models:
                 raise ValueError(f"unknown model key {request.model_key!r}")
@@ -720,8 +816,9 @@ class FrameServer:
             request.arrival_s if request.arrival_s is not None else index * interval
             for index, request in enumerate(requests)
         ]
+        active = self.nodes if node_limit is None else self.nodes[:node_limit]
         scheduler = FrameScheduler(
-            self.nodes,
+            active,
             self._models,
             self.policy,
             admission=self.admission,
@@ -768,7 +865,7 @@ class FrameServer:
                 ].transport
                 report.payload_bytes += payload
                 report.radio_energy_j += radio_j
-        report.node_frames = {node.node_id: node.frames for node in self.nodes}
+        report.node_frames = {node.node_id: node.frames for node in active}
         # SLO accounting only exists when there is something to account
         # for — classes or a queueing policy; the default path stays bare.
         if self.admission.has_classes or self.policy.queueing:
@@ -818,25 +915,7 @@ class FrameServer:
         frames through scenario A's weights would silently corrupt every
         statistic.
         """
-        for key, model in scenario.models.items():
-            if key not in self._models:
-                self.register_model(key, model)
-                continue
-            # Every parameter must match — the off-chip head serves too,
-            # so first-layer equality alone would let a different network
-            # hide behind a known kernel set.
-            registered = self._models[key].model.parameters()
-            incoming = model.parameters()
-            if len(registered) != len(incoming) or any(
-                not np.array_equal(ours.data, theirs.data)
-                for ours, theirs in zip(registered, incoming)
-            ):
-                raise ValueError(
-                    f"scenario {scenario.name!r} redefines model key "
-                    f"{key!r} with different weights than the model "
-                    "already registered on this server; serve it on a "
-                    "fresh server (or use distinct keys)"
-                )
+        self.adopt_models(scenario.models, origin=f"scenario {scenario.name!r}")
         if not self._explicit_slo:
             self.admission = AdmissionController(scenario.slo_classes)
         rate = offered_fps if offered_fps is not None else scenario.offered_fps

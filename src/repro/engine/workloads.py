@@ -565,6 +565,119 @@ def _chaos_scenario(frames: int, offered_fps: float, seed: int) -> Scenario:
     )
 
 
+#: Regions of the ``diurnal-regions`` scenario, in stream order.  Each
+#: region serves its *own* interactive model key (a regionally fine-tuned
+#: LeNet) so a sharded control plane can place one region per shard and
+#: route by model hosting rather than by tenant-hash luck.
+DIURNAL_REGIONS: tuple[str, ...] = ("na", "eu", "ap")
+
+#: One shared interactive class instance across the regional keys — the
+#: admission controller requires classes sharing a name to be identical.
+_REGION_INTERACTIVE = SloClass(
+    name="interactive",
+    priority=2,
+    deadline_s=0.008,
+    drop_policy="deadline",
+    weight=3.0,
+)
+
+#: SLO classes of the ``diurnal-regions`` scenario (also used by the
+#: control-plane bench): per-region interactive LeNets plus one
+#: fleet-wide shed-first batch tenant.
+REGION_CLASSES: dict[str, SloClass] = {
+    **{
+        f"lenet-4b@{region}": _REGION_INTERACTIVE
+        for region in DIURNAL_REGIONS
+    },
+    "mlp-2b": SloClass(
+        name="batch",
+        priority=0,
+        deadline_s=0.05,
+        drop_policy="deadline",
+        weight=1.0,
+        max_queue_s=0.02,
+    ),
+}
+
+
+@register_scenario(
+    "diurnal-regions",
+    "three phase-shifted regional diurnal interactive streams (one LeNet "
+    "per region) + a Poisson batch MLP tail — the autoscaling drill",
+)
+def _diurnal_regions_scenario(
+    frames: int, offered_fps: float, seed: int
+) -> Scenario:
+    # The multi-region story: each region's interactive demand swings
+    # through a deep diurnal cycle (0.15x..1.85x), but the three phases
+    # are spaced a third of a "day" apart, so the *global* rate is nearly
+    # flat — only a control plane that shards by region and autoscales
+    # each shard against its own regional swing can harvest the trough
+    # capacity.  A single static fleet sized for the regional peak wastes
+    # it around the clock.
+    rng = np.random.default_rng(seed)
+    lenet = ModelSpec("lenet", 4)
+    batch = ModelSpec("mlp", 2)
+    seeds = spawn_seeds(seed, len(DIURNAL_REGIONS) + 1)
+    models: dict[str, Sequential] = {
+        f"lenet-4b@{region}": lenet.build(seeds[index])
+        for index, region in enumerate(DIURNAL_REGIONS)
+    }
+    models[batch.key] = batch.build(seeds[len(DIURNAL_REGIONS)])
+
+    n_batch = frames // 5
+    n_interactive = frames - n_batch
+    base = 0.25 * offered_fps  # per-region average interactive rate
+    streams: list[list[FrameRequest]] = []
+    for index, region in enumerate(DIURNAL_REGIONS):
+        count = n_interactive // len(DIURNAL_REGIONS) + (
+            1 if index < n_interactive % len(DIURNAL_REGIONS) else 0
+        )
+        arrivals = []
+        now = 0.0
+        for i in range(count):
+            # One full day over the stream, phase-shifted per region.
+            phase = 2.0 * math.pi * (
+                i / count + index / len(DIURNAL_REGIONS)
+            )
+            rate = base * (1.0 + 0.85 * math.sin(phase))
+            now += 1.0 / rate
+            arrivals.append(now)
+        region_frames = _frames_batch(rng, [lenet] * count)
+        streams.append(
+            [
+                FrameRequest(
+                    region_frames[i],
+                    f"lenet-4b@{region}",
+                    arrival_s=arrivals[i],
+                    tenant=f"{region}:interactive",
+                )
+                for i in range(count)
+            ]
+        )
+    batch_arrivals = _poisson_arrivals(rng, n_batch, 0.2 * offered_fps)
+    batch_frames = _frames_batch(rng, [batch] * n_batch)
+    streams.append(
+        [
+            FrameRequest(
+                batch_frames[i],
+                batch.key,
+                arrival_s=batch_arrivals[i],
+                tenant="batch",
+            )
+            for i in range(n_batch)
+        ]
+    )
+    return Scenario(
+        name="diurnal-regions",
+        description=scenario_description("diurnal-regions"),
+        models=models,
+        requests=_interleave(streams),
+        slo_classes=dict(REGION_CLASSES),
+        offered_fps=offered_fps,
+    )
+
+
 @register_scenario(
     "zoo",
     "round-robin over every model family at several bit widths",
@@ -622,7 +735,9 @@ def models_scenario(
 
 __all__ = [
     "CHAOS_CLASSES",
+    "DIURNAL_REGIONS",
     "MIXED_TENANT_CLASSES",
+    "REGION_CLASSES",
     "ModelSpec",
     "Scenario",
     "build_scenario",

@@ -1,0 +1,162 @@
+"""Differential tests: a trivial control plane IS the plain frame server.
+
+The sharded control plane earns its complexity budget only if the
+degenerate configuration — one shard, autoscaling off — delegates
+wholesale to the underlying :class:`~repro.engine.server.FrameServer`
+and changes **nothing**: same floats, same per-die read-noise RNG
+consumption, same cache hit/miss counters, same SLO accounting.  These
+tests pin that claim differentially over the whole scenario zoo under
+every scheduling policy, and then pin the absolute anchor: the 1-shard
+plane must reproduce the committed ``serve_default.json`` golden byte
+for byte.
+"""
+
+import hashlib
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.engine import ControlPlane, FrameRequest, FrameServer
+from repro.engine.workloads import build_scenario, scenario_registry
+from repro.nn.models import build_lenet
+
+GOLDEN_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "goldens", "serve_default.json"
+)
+
+
+def _assert_reports_identical(plane_report, server_report):
+    assert len(plane_report.responses) == len(server_report.responses)
+    for ours, theirs in zip(plane_report.responses, server_report.responses):
+        assert ours.index == theirs.index
+        assert ours.model_key == theirs.model_key
+        assert ours.node_id == theirs.node_id
+        assert ours.event == theirs.event
+        assert ours.degraded == theirs.degraded
+        assert (ours.output is None) == (theirs.output is None)
+        if ours.output is not None:
+            assert np.array_equal(ours.output, theirs.output)
+    assert repr(plane_report.stream.total_energy_j) == repr(
+        server_report.stream.total_energy_j
+    )
+    assert plane_report.stream.frames == server_report.stream.frames
+    assert plane_report.stream.dropped == server_report.stream.dropped
+    assert repr(plane_report.wall_clock_s) != ""  # host-time: present, not pinned
+    assert plane_report.cache_hits == server_report.cache_hits
+    assert plane_report.cache_misses == server_report.cache_misses
+    assert plane_report.payload_bytes == server_report.payload_bytes
+    assert repr(plane_report.radio_energy_j) == repr(
+        server_report.radio_energy_j
+    )
+    assert plane_report.node_frames == server_report.node_frames
+    assert (plane_report.slo is None) == (server_report.slo is None)
+    if plane_report.slo is not None:
+        assert plane_report.slo == server_report.slo
+
+
+# ----------------------------------------------------------------------
+# Differential equivalence over the scenario zoo
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("policy", ["greedy", "edf", "slo"])
+@pytest.mark.parametrize("key", scenario_registry())
+def test_one_shard_plane_matches_plain_server(key, policy):
+    scenario = build_scenario(key, frames=36, offered_fps=1500.0, seed=0)
+    plane = ControlPlane(
+        shards=1, nodes_per_shard=2, micro_batch=8, seed=0, policy=policy
+    )
+    plane_report = plane.serve_scenario(scenario)
+
+    scenario_again = build_scenario(key, frames=36, offered_fps=1500.0, seed=0)
+    server = FrameServer(num_nodes=2, micro_batch=8, seed=0, policy=policy)
+    server_report = server.serve_scenario(scenario_again)
+
+    _assert_reports_identical(plane_report, server_report)
+    # The plane annotates its report but never autoscales here.
+    assert plane_report.controlplane is not None
+    assert plane_report.controlplane.autoscaled is False
+    assert list(plane_report.controlplane.decisions) == []
+
+
+def test_one_shard_plane_matches_explicit_request_stream():
+    """Raw ``serve`` (no scenario wrapper) is equally a pure delegation."""
+    frames = np.random.default_rng(7).uniform(0.0, 1.0, (24, 1, 28, 28))
+    model = build_lenet(seed=3)
+
+    plane = ControlPlane(shards=1, nodes_per_shard=2, micro_batch=8, seed=0)
+    plane.register_model("m", model)
+    plane_report = plane.serve(
+        [FrameRequest(frame, "m") for frame in frames], offered_fps=1200.0
+    )
+
+    server = FrameServer(num_nodes=2, micro_batch=8, seed=0)
+    server.register_model("m", build_lenet(seed=3))
+    server_report = server.serve(
+        [FrameRequest(frame, "m") for frame in frames], offered_fps=1200.0
+    )
+    _assert_reports_identical(plane_report, server_report)
+
+
+# ----------------------------------------------------------------------
+# Absolute anchor: the committed serving golden
+# ----------------------------------------------------------------------
+def test_one_shard_plane_reproduces_serve_default_golden():
+    """Byte-for-byte identity with ``tests/goldens/serve_default.json``.
+
+    Same serialization as ``tests/test_engine_scheduler.py`` writes, but
+    the stream runs through a 1-shard, autoscale-off control plane: the
+    control plane may not perturb the pinned default path even by one
+    ULP, one cache counter, or one payload byte.
+    """
+    plane = ControlPlane(shards=1, nodes_per_shard=2, micro_batch=8, seed=0)
+    plane.register_model("model-a", build_lenet(seed=0))
+    plane.register_model("model-b", build_lenet(seed=1))
+    frames = np.random.default_rng(42).uniform(0.0, 1.0, (48, 1, 28, 28))
+    requests = [
+        FrameRequest(frames[i], "model-a" if (i // 6) % 2 == 0 else "model-b")
+        for i in range(48)
+    ]
+    report = plane.serve(requests, offered_fps=1800.0)
+
+    responses = []
+    for resp in report.responses:
+        output = resp.output
+        responses.append(
+            {
+                "index": resp.index,
+                "model_key": resp.model_key,
+                "node_id": resp.node_id,
+                "arrival_s": repr(resp.event.arrival_s),
+                "start_s": repr(resp.event.start_s),
+                "finish_s": repr(resp.event.finish_s),
+                "dropped": resp.event.dropped,
+                "remapped": resp.event.remapped,
+                "degraded": resp.degraded,
+                "output_sha256": (
+                    None
+                    if output is None
+                    else hashlib.sha256(
+                        np.ascontiguousarray(output, dtype=float).tobytes()
+                    ).hexdigest()
+                ),
+            }
+        )
+    actual = {
+        "responses": responses,
+        "total_energy_j": repr(report.stream.total_energy_j),
+        "frames": report.stream.frames,
+        "dropped": report.stream.dropped,
+        "cache_hits": report.cache_hits,
+        "cache_misses": report.cache_misses,
+        "payload_bytes": report.payload_bytes,
+        "radio_energy_j": repr(report.radio_energy_j),
+        "node_frames": {
+            str(node): count
+            for node, count in sorted(report.node_frames.items())
+        },
+        "health": report.health is not None,
+    }
+    with open(GOLDEN_PATH) as handle:
+        expected = json.load(handle)
+    assert actual == expected["mixed_two_nodes_1800fps"]

@@ -434,7 +434,7 @@ def write_golden() -> None:
 if __name__ == "__main__":
     import sys
 
-    if "--write" in sys.argv:
-        write_golden()
-    else:
-        print(__doc__)
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+    from golden_cli import golden_main
+
+    golden_main(write_golden, __doc__)

@@ -111,7 +111,7 @@ def write_goldens() -> None:
 if __name__ == "__main__":
     import sys
 
-    if "--write" in sys.argv:
-        write_goldens()
-    else:
-        print(__doc__)
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+    from golden_cli import golden_main
+
+    golden_main(write_goldens, __doc__)

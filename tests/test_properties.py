@@ -1,5 +1,7 @@
 """Property-based tests (hypothesis) on core invariants."""
 
+import types
+
 import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -8,6 +10,8 @@ from hypothesis.extra.numpy import arrays
 from repro.circuits.awc import AwcCircuit, AwcDesign
 from repro.core.config import OISAConfig
 from repro.core.mapping import ConvWorkload, macs_per_cycle, plan_convolution
+from repro.engine.cache import WeightProgramCache
+from repro.engine.router import HashModuloRouter, RendezvousRouter
 from repro.nn import functional as F
 from repro.nn.quant import TernaryActivation, UniformWeightQuantizer, ternarize
 from repro.photonics.microring import MicroringResonator
@@ -200,3 +204,183 @@ def test_format_table_alignment_property(rows):
     lines = text.splitlines()
     widths = {len(line) for line in lines}
     assert len(widths) == 1  # every line equally wide
+
+
+# --------------------------------------------------------------------------
+# Tenant routing (control plane)
+# --------------------------------------------------------------------------
+class _FakeShard:
+    """Minimal :class:`repro.engine.router.ShardView` for router tests."""
+
+    def __init__(self, name, hosted=(), draining=False, nodes=1):
+        self.name = name
+        self.hosted = set(hosted)
+        self.draining = draining
+        self.nodes = nodes  # routers must never read this
+
+    def hosts(self, model_key):
+        return model_key in self.hosted
+
+
+_names = st.lists(
+    st.text(alphabet="abcdefgh0123", min_size=1, max_size=6),
+    min_size=1,
+    max_size=6,
+    unique=True,
+)
+_tenants = st.lists(
+    st.text(alphabet="tuvwxyz0123456789:", min_size=1, max_size=10),
+    min_size=1,
+    max_size=12,
+    unique=True,
+)
+
+
+@given(
+    names=_names,
+    tenants=_tenants,
+    salt=st.integers(0, 2**32),
+    router_cls=st.sampled_from([RendezvousRouter, HashModuloRouter]),
+)
+@settings(max_examples=60, deadline=None)
+def test_routing_total_and_deterministic(names, tenants, salt, router_cls):
+    """Every admitted (tenant, model) pair lands on exactly one shard,
+    and two independently built routers with the same salt agree."""
+    shards = [_FakeShard(name) for name in names]
+    first = router_cls(salt=salt)
+    second = router_cls(salt=salt)
+    for tenant in tenants:
+        target = first.route(tenant, "m", shards)
+        assert target in shards  # exactly one, drawn from the fleet
+        assert second.route(tenant, "m", shards) is target
+
+
+@given(
+    names=_names,
+    tenants=_tenants,
+    salt=st.integers(0, 2**32),
+    counts=st.lists(st.integers(1, 16), min_size=6, max_size=6),
+)
+@settings(max_examples=60, deadline=None)
+def test_rendezvous_stable_under_node_count_changes(
+    names, tenants, salt, counts
+):
+    """Autoscaler breathing (node counts) never moves a tenant."""
+    shards = [_FakeShard(name) for name in names]
+    router = RendezvousRouter(salt=salt)
+    before = {t: router.route(t, "m", shards).name for t in tenants}
+    for shard, count in zip(shards, counts):
+        shard.nodes = count
+    after = {t: router.route(t, "m", shards).name for t in tenants}
+    assert before == after
+
+
+@given(names=_names, tenants=_tenants, salt=st.integers(0, 2**32))
+@settings(max_examples=60, deadline=None)
+def test_rendezvous_removal_churn_is_bounded(names, tenants, salt):
+    """Dropping one shard moves only the tenants that were on it."""
+    shards = [_FakeShard(name) for name in names]
+    router = RendezvousRouter(salt=salt)
+    before = {t: router.route(t, "m", shards).name for t in tenants}
+    removed = shards[0]
+    survivors = shards[1:]
+    if not survivors:
+        return
+    for tenant in tenants:
+        after = router.route(tenant, "m", survivors).name
+        if before[tenant] != removed.name:
+            assert after == before[tenant]
+
+
+@given(names=_names, tenants=_tenants, salt=st.integers(0, 2**32))
+@settings(max_examples=60, deadline=None)
+def test_rendezvous_addition_churn_is_bounded(names, tenants, salt):
+    """Adding one shard only ever pulls tenants *onto* the newcomer."""
+    shards = [_FakeShard(name) for name in names]
+    router = RendezvousRouter(salt=salt)
+    before = {t: router.route(t, "m", shards).name for t in tenants}
+    newcomer = _FakeShard("zz-new")
+    grown = shards + [newcomer]
+    for tenant in tenants:
+        after = router.route(tenant, "m", grown).name
+        if after != before[tenant]:
+            assert after == newcomer.name
+
+
+@given(names=_names, tenants=_tenants, salt=st.integers(0, 2**32))
+@settings(max_examples=60, deadline=None)
+def test_draining_shards_never_routed_while_alternatives_exist(
+    names, tenants, salt
+):
+    shards = [_FakeShard(name) for name in names]
+    shards[0].draining = True
+    router = RendezvousRouter(salt=salt)
+    for tenant in tenants:
+        target = router.route(tenant, "m", shards)
+        if len(shards) > 1:
+            assert target is not shards[0]
+        else:  # routing somewhere beats dropping on the floor
+            assert target is shards[0]
+
+
+# --------------------------------------------------------------------------
+# Priority eviction (weight-program cache)
+# --------------------------------------------------------------------------
+def _fake_program(nbytes):
+    """A stand-in record with the two counted ndarray payloads."""
+    half = max(1, nbytes // 16)  # float64: 8 bytes/elem, two tensors
+    return types.SimpleNamespace(
+        ideal=np.zeros(half), realized=np.zeros(half)
+    )
+
+
+@given(
+    inserts=st.lists(
+        st.tuples(st.booleans(), st.integers(1, 4)),  # (pinned, size units)
+        min_size=2,
+        max_size=24,
+    ),
+    budget_units=st.integers(2, 10),
+)
+@settings(max_examples=80, deadline=None)
+def test_priority_eviction_matches_reference_model(inserts, budget_units):
+    """Model-based check of the eviction order — in particular: a pinned
+    entry is never evicted while an unpinned candidate exists and the
+    byte budget still allows keeping it."""
+    unit = 16  # bytes per size unit in _fake_program terms
+    cache = WeightProgramCache(memory_budget_bytes=budget_units * unit)
+    model: list[tuple[str, int, int]] = []  # (key, priority, nbytes), LRU order
+
+    for index, (pinned, units) in enumerate(inserts):
+        key = f"k{index}"
+        nbytes = units * unit
+        if pinned:
+            cache.set_priority(key, 1)
+        cache._insert(key, _fake_program(nbytes), die=0)
+        model.append((key, 1 if pinned else 0, nbytes))
+        # Reference eviction: lowest priority first, LRU within priority,
+        # newest never a candidate.
+        while len(model) > 1 and sum(m[2] for m in model) > budget_units * unit:
+            candidates = model[:-1]
+            victim = min(candidates, key=lambda m: m[1])
+            # The invariant under test: a pinned victim implies every
+            # candidate was pinned.
+            if victim[1] > 0:
+                assert all(m[1] > 0 for m in candidates)
+            model.remove(victim)
+        assert list(cache._entries) == [m[0] for m in model]
+        assert cache.stats.bytes_cached == sum(m[2] for m in model)
+
+
+def test_unpinning_restores_pure_lru_order():
+    unit = 16
+    cache = WeightProgramCache(memory_budget_bytes=3 * unit)
+    cache.set_priority("a", 1)
+    cache._insert("a", _fake_program(unit), die=0)
+    cache._insert("b", _fake_program(unit), die=0)
+    cache._insert("c", _fake_program(unit), die=0)
+    cache._insert("d", _fake_program(unit), die=0)  # evicts b (a pinned)
+    assert list(cache._entries) == ["a", "c", "d"]
+    cache.set_priority("a", 0)
+    cache._insert("e", _fake_program(unit), die=0)  # a is plain LRU now
+    assert list(cache._entries) == ["c", "d", "e"]

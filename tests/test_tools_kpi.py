@@ -163,6 +163,54 @@ def test_chaos_invariants_gated():
     assert kpi_check.check_invariants("chaos", fresh) == []
 
 
+def test_controlplane_invariants_gated():
+    """The control-plane flags are exact claims, checked in quick mode too."""
+    fresh = {
+        "quick": True,
+        "default_bit_identical": True,
+        "deterministic": False,
+    }
+    failures = kpi_check.check_invariants("controlplane", fresh)
+    assert len(failures) == 1
+    assert "deterministic" in failures[0]
+    fresh["deterministic"] = True
+    assert kpi_check.check_invariants("controlplane", fresh) == []
+
+
+def test_controlplane_savings_and_hit_rate_gated():
+    """Node-seconds savings and the deadline-hit rate are trajectory KPIs."""
+    baseline = _full(
+        {
+            "autoscaled_interactive_hit_rate": 1.0,
+            "node_seconds_saved_frac": 0.45,
+        }
+    )
+    ok = kpi_check.compare_payloads(
+        "controlplane",
+        _full(
+            {
+                "autoscaled_interactive_hit_rate": 0.995,
+                "node_seconds_saved_frac": 0.42,
+            }
+        ),
+        baseline,
+    )
+    assert ok == []
+    bad = kpi_check.compare_payloads(
+        "controlplane",
+        _full(
+            {
+                "autoscaled_interactive_hit_rate": 0.90,
+                "node_seconds_saved_frac": 0.20,
+            }
+        ),
+        baseline,
+    )
+    assert len(bad) == 2
+    assert any("autoscaled_interactive_hit_rate" in f for f in bad)
+    assert any("node_seconds_saved_frac" in f for f in bad)
+
+
 # --------------------------------------------------------------------------
 # Core-gated skip annotations
 # --------------------------------------------------------------------------
@@ -193,6 +241,16 @@ def test_quick_payloads_produce_no_skip_notes():
     """Quick-mode runs compare nothing, so no core gate ever fires."""
     quick = {"quick": True, "cores": 1}
     assert kpi_check.core_gated_skips("parallel", quick, _full({})) == []
+
+
+def test_controlplane_kpis_hold_on_any_host():
+    """Simulated-time control-plane KPIs carry no ``min_cores`` gate, so a
+    1-core CI container gates them fully and annotates no skips."""
+    assert all(
+        not kpi.min_cores for kpi in kpi_check.KPIS["controlplane"]
+    )
+    one_core = _full({"cores": 1, "node_seconds_saved_frac": 0.45})
+    assert kpi_check.core_gated_skips("controlplane", one_core, one_core) == []
 
 
 # --------------------------------------------------------------------------

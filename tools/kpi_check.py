@@ -110,6 +110,16 @@ KPIS: dict[str, tuple[Kpi, ...]] = {
         Kpi("failover_availability", rel_tol=0.02),
         Kpi("failover_recovery_ratio", rel_tol=0.05),
     ),
+    "controlplane": (
+        # The control plane's hard contracts: the scaling-decision audit
+        # trail is byte-deterministic, and a 1-shard autoscale-off plane
+        # leaves the default serving path byte-identical to the golden.
+        Kpi("default_bit_identical", kind="invariant_true"),
+        Kpi("deterministic", kind="invariant_true"),
+        # Simulated-time outcomes, not wall-clock: hold them tight.
+        Kpi("autoscaled_interactive_hit_rate", rel_tol=0.01),
+        Kpi("node_seconds_saved_frac", rel_tol=0.10),
+    ),
 }
 
 
