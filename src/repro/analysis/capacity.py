@@ -280,7 +280,9 @@ def _search(
 
 
 def _prewarm_programs(
-    settings: CapacitySettings, parallel: ParallelConfig | None = None
+    settings: CapacitySettings,
+    parallel: ParallelConfig | None = None,
+    program_store=None,
 ):
     """Program the scenario's model zoo once, for every probe die.
 
@@ -298,6 +300,11 @@ def _prewarm_programs(
     deserialized cache copy per task — is host memory, not recomputation).
     The cache is host-side only, so sharing it never changes a simulated
     quantity.
+
+    With a ``program_store`` (:class:`~repro.engine.store.ProgramStore`
+    or path) the prewarm itself is a store read-through: a second study
+    against the same store restores every program from disk instead of
+    re-running the mapping chain.
     """
     from repro.engine.server import FrameServer
     from repro.engine.workloads import build_scenario
@@ -312,6 +319,7 @@ def _prewarm_programs(
         num_nodes=max(settings.node_counts),
         micro_batch=settings.micro_batch,
         seed=settings.seed,
+        program_store=program_store,
     )
     for key, model in scenario.models.items():
         server.register_model(key, model)
@@ -337,16 +345,19 @@ def _search_task(
 def build_capacity_report(
     settings: CapacitySettings | None = None,
     parallel: ParallelConfig | None = None,
+    program_store=None,
 ) -> CapacityReport:
     """Measure the capacity knee for every (policy, nodes) grid point.
 
     The outer grid fans out over ``parallel`` (grid points are
     independent searches); results merge in grid order, so the report is
-    byte-identical under every backend.
+    byte-identical under every backend.  ``program_store`` (path or
+    :class:`~repro.engine.store.ProgramStore`) makes the prewarmed cache
+    read-through/write-behind so repeat studies program nothing.
     """
     settings = settings or CapacitySettings()
     fleet = FleetModel()
-    cache = _prewarm_programs(settings, parallel)
+    cache = _prewarm_programs(settings, parallel, program_store)
     report = CapacityReport(
         settings=settings,
         analytic_node_fps=fleet.sustainable_fps(LENET_FIRST_LAYER),
@@ -370,6 +381,7 @@ def sweep_scenarios(
     scenarios: tuple[str, ...],
     settings: CapacitySettings | None = None,
     parallel: ParallelConfig | None = None,
+    program_store=None,
 ) -> list[CapacityReport]:
     """One capacity report per scenario (same grid/criteria).
 
@@ -385,7 +397,7 @@ def sweep_scenarios(
     tasks = []
     grid_size = 0
     for scenario_settings in per_scenario:
-        cache = _prewarm_programs(scenario_settings, parallel)
+        cache = _prewarm_programs(scenario_settings, parallel, program_store)
         grid = [
             (
                 scenario_settings,

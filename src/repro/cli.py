@@ -11,6 +11,7 @@ Usage::
     python -m repro.cli sweep              # registry-driven platform sweep
     python -m repro.cli serve              # batched frame-serving demo
     python -m repro.cli bench              # perf bench -> BENCH_program.json
+    python -m repro.cli cache stats        # on-disk program store inventory
 
 (Installed as the ``repro`` console script via ``pyproject.toml``.)
 """
@@ -195,7 +196,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print()
         print(
             render_capacity_report(
-                build_capacity_report(capacity, parallel=parallel)
+                build_capacity_report(
+                    capacity,
+                    parallel=parallel,
+                    program_store=args.program_store,
+                )
             )
         )
     if args.resilience:
@@ -286,10 +291,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             policy=args.policy,
             router=args.router,
             autoscaler=autoscaler,
+            program_store=args.program_store,
         )
         report = plane.serve_scenario(
             scenario, offered_fps=args.fps, placement=args.placement
         )
+        store = plane.cache.store
     else:
         if args.autoscale is not None:
             raise SystemExit("--autoscale requires --shards")
@@ -303,6 +310,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             retry_policy=args.retry_policy,
             spares=args.spares,
             brownout=args.brownout,
+            program_store=args.program_store,
         )
         # --workers/--backend fan the cold warmup out before serving; the
         # serve report is bit-identical either way (the parallel layer's
@@ -315,6 +323,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 server.register_model(key, model)
             warm = server.warmup(parallel=parallel)
         report = server.serve_scenario(scenario, offered_fps=args.fps)
+        store = server.cache.store
     rows = [
         ("scenario", scenario.name),
         ("models", ", ".join(scenario.model_keys)),
@@ -330,6 +339,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ("radio energy [mJ]", f"{report.radio_energy_j * 1e3:.3f}"),
         ("payload [kB]", f"{report.payload_bytes / 1e3:.1f}"),
     ]
+    if store is not None:
+        rows.append(
+            (
+                "program store (loads / writes / entries)",
+                f"{store.stats.hits} / {store.stats.writes} / {len(store)}",
+            )
+        )
     if warm is not None:
         backend = parallel.effective_backend if parallel is not None else "serial"
         rows.append(
@@ -572,6 +588,60 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    """Inspect or maintain the on-disk program store.
+
+    ``stats`` prints the inventory, ``verify`` integrity-checks every
+    entry (exit 1 when any is corrupt), ``purge`` removes every
+    current-schema entry.  Table output matches ``repro serve``'s
+    reporting style.
+    """
+    import os
+
+    from repro.engine.store import STORE_SCHEMA_VERSION, ProgramStore
+    from repro.util.tables import format_table
+
+    if args.action in ("stats", "purge") and not os.path.isdir(
+        args.program_store
+    ):
+        # stats/purge on a store that was never written is an empty
+        # answer, not a directory-creating side effect.
+        print(f"program store {args.program_store!r}: no store directory")
+        return 0
+    store = ProgramStore(args.program_store)
+    if args.action == "purge":
+        removed = store.purge()
+        print(
+            f"program store {store.root!r}: purged {removed} entr"
+            f"{'y' if removed == 1 else 'ies'}"
+        )
+        return 0
+    verified = store.verify() if args.action == "verify" else None
+    rows = [
+        ("store path", store.root),
+        ("schema version", STORE_SCHEMA_VERSION),
+        ("schema token", ProgramStore.schema_token()),
+        ("entries", len(store)),
+        ("bytes on disk", store.total_bytes()),
+    ]
+    if verified is not None:
+        rows.append(("verified ok", len(verified["ok"])))
+        rows.append(("corrupt", len(verified["corrupt"])))
+    print(
+        format_table(
+            ("metric", "value"),
+            rows,
+            title=f"program store — {args.action}",
+        )
+    )
+    if verified is not None and verified["corrupt"]:
+        print("\ncorrupt entries (kept for inspection; purge to remove):")
+        for key in verified["corrupt"]:
+            print(f"  {key}")
+        return 1
+    return 0
+
+
 def _add_parallel_flags(sub: argparse.ArgumentParser) -> None:
     """``--workers``/``--backend`` for the multi-core fan-out layer.
 
@@ -591,6 +661,23 @@ def _add_parallel_flags(sub: argparse.ArgumentParser) -> None:
         choices=("serial", "thread", "process"),
         help="fan-out executor backend (results are bit-identical under "
         "every backend; 'process' buys wall-clock on multi-core hosts)",
+    )
+
+
+def _add_store_flag(sub: argparse.ArgumentParser) -> None:
+    """``--program-store`` for the on-disk program-artifact tier.
+
+    Results are bit-identical with or without a store (store-restored
+    programs are byte-equal to freshly programmed ones); the flag only
+    kills repeat programming across runs.
+    """
+    sub.add_argument(
+        "--program-store",
+        default=None,
+        metavar="PATH",
+        help="directory of content-addressed programmed-weight artifacts "
+        "(engine/store); a second run against the same store programs "
+        "nothing",
     )
 
 
@@ -684,6 +771,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="spare budget for the --resilience retry+spares rung",
     )
     _add_parallel_flags(sweep)
+    _add_store_flag(sweep)
     sweep.set_defaults(handler=_cmd_sweep)
     serve = subparsers.add_parser(
         "serve", help="batched frame-serving engine demo"
@@ -795,6 +883,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="deadline-hit target for --check-slo (default 0.95)",
     )
     _add_parallel_flags(serve)
+    _add_store_flag(serve)
     serve.set_defaults(handler=_cmd_serve)
     bench = subparsers.add_parser(
         "bench",
@@ -806,6 +895,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--seed", type=int, default=0)
     bench.set_defaults(handler=_cmd_bench)
+    cache = subparsers.add_parser(
+        "cache",
+        help="inspect/maintain the on-disk program store (engine/store)",
+    )
+    cache.add_argument(
+        "action",
+        choices=("stats", "verify", "purge"),
+        help="stats: inventory table; verify: integrity-check every "
+        "entry (exit 1 on corruption); purge: remove every entry",
+    )
+    cache.add_argument(
+        "--program-store",
+        default=".program-store",
+        metavar="PATH",
+        help="store directory (default: .program-store)",
+    )
+    cache.set_defaults(handler=_cmd_cache)
     return parser
 
 

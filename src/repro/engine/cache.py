@@ -34,6 +34,19 @@ Eviction removes the lowest-priority, least-recently-used entry first —
 a pinned program is only ever evicted once every unpinned entry is gone
 and the budget still does not hold.  With no priorities set the order is
 exactly the historical pure LRU.
+
+On-disk tier: an attached :class:`~repro.engine.store.ProgramStore`
+makes the cache read-through/write-behind.  A memory miss first tries
+the store (an integrity-checked npz load instead of the mapping chain —
+counted as a hit plus :attr:`CacheStats.store_hits`); a genuine miss
+programs normally and persists the result.  Eviction stays strictly an
+in-memory affair — an evicted entry's on-disk copy survives and the
+next activation restores it from the store — while
+:meth:`WeightProgramCache.invalidate_die` drops the die's programs from
+*both* layers (a recalibrated die's artifacts are stale everywhere).
+Because programming is deterministic, a store-restored record is
+byte-equal to a freshly programmed one, so every bit-identity golden
+holds with or without a store attached.
 """
 
 from __future__ import annotations
@@ -45,6 +58,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.opc import OpticalProcessingCore, ProgrammedWeights
+from repro.engine.store import ProgramStore
 
 
 @dataclass
@@ -54,6 +68,14 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    #: Hits served by restoring an entry from the attached on-disk
+    #: :class:`~repro.engine.store.ProgramStore` (a subset of neither
+    #: ``hits`` nor ``misses`` arithmetic: each store restore counts one
+    #: ``hits`` increment on installs via :meth:`WeightProgramCache.
+    #: get_or_program`, and is stats-neutral on warmup-side
+    #: :meth:`WeightProgramCache.restore_from_store` checks — ``misses``
+    #: keeps meaning "mapping chains actually run").
+    store_hits: int = 0
     #: Entries dropped by health-driven :meth:`WeightProgramCache.invalidate_die`
     #: calls (recalibration after a fault or thermal re-trim).
     invalidations: int = 0
@@ -95,12 +117,19 @@ class WeightProgramCache:
         entry (evicting the program that was just installed would make
         every swap a cold remap — worse than briefly exceeding the
         budget) and becomes first in line once anything newer lands.
+    store:
+        Optional on-disk tier (:class:`~repro.engine.store.ProgramStore`)
+        making the cache read-through/write-behind: memory misses try an
+        integrity-checked disk load before programming, and freshly
+        programmed entries are persisted.  Eviction never touches the
+        disk copy; :meth:`invalidate_die` invalidates both layers.
     """
 
     def __init__(
         self,
         capacity: int | None = None,
         memory_budget_bytes: int | None = None,
+        store: "ProgramStore | None" = None,
     ) -> None:
         if capacity is not None and capacity <= 0:
             raise ValueError(f"capacity must be positive or None, got {capacity}")
@@ -111,6 +140,7 @@ class WeightProgramCache:
             )
         self.capacity = capacity
         self.memory_budget_bytes = memory_budget_bytes
+        self.store = store
         self.stats = CacheStats()
         self._entries: OrderedDict[str, ProgrammedWeights] = OrderedDict()
         #: Die seed each entry was programmed on, for health-driven
@@ -181,9 +211,17 @@ class WeightProgramCache:
             opc.install(cached)
             return cached, True
 
+        restored = self._restore(key, opc.seed)
+        if restored is not None:
+            self.stats.hits += 1
+            opc.install(restored)
+            return restored, True
+
         self.stats.misses += 1
         programmed = opc.program(quantized_weights, scale)
         self._insert(key, programmed, opc.seed)
+        if self.store is not None:
+            self.store.put(key, programmed, die=opc.seed)
         return programmed, False
 
     def preload(
@@ -215,6 +253,10 @@ class WeightProgramCache:
             return
         self.stats.misses += 1
         self._insert(key, programmed, opc.seed)
+        if self.store is not None:
+            # Write-behind: the worker-computed program becomes a durable
+            # artifact a later run restores instead of recomputing.
+            self.store.put(key, programmed, die=opc.seed)
 
     def has_program(
         self,
@@ -224,6 +266,54 @@ class WeightProgramCache:
     ) -> bool:
         """Whether a program is resident, without touching stats or LRU."""
         return self.key_for(opc, quantized_weights, scale) in self._entries
+
+    def attach_store(self, store: ProgramStore) -> None:
+        """Attach an on-disk tier after construction.
+
+        Attaching the same store twice is a no-op; replacing a
+        different one is refused — two stores behind one cache would
+        split the write-behind stream unpredictably.
+        """
+        if self.store is store:
+            return
+        if self.store is not None:
+            raise ValueError(
+                "cache already has a program store attached; build a new "
+                "cache to switch stores"
+            )
+        self.store = store
+
+    def _restore(self, key: str, die: int | None) -> ProgrammedWeights | None:
+        """Pull one entry from the store into memory (``None`` on miss)."""
+        if self.store is None:
+            return None
+        restored = self.store.load(key)
+        if restored is None:
+            return None
+        self.stats.store_hits += 1
+        self._insert(key, restored, die)
+        return restored
+
+    def restore_from_store(
+        self,
+        opc: OpticalProcessingCore,
+        quantized_weights: np.ndarray,
+        scale: float,
+    ) -> bool:
+        """Make a program resident from the store if possible.
+
+        The parallel warmup path calls this while collecting pending
+        (model, die) pairs: a pair the store already holds needs no
+        worker task at all — restoring an npz beats reprogramming by
+        orders of magnitude.  Returns whether the program is resident
+        afterwards.  Stats-neutral on the hit/miss counters (like
+        :meth:`has_program`); a successful restore counts one
+        :attr:`CacheStats.store_hits`.
+        """
+        key = self.key_for(opc, quantized_weights, scale)
+        if key in self._entries:
+            return True
+        return self._restore(key, opc.seed) is not None
 
     def set_priority(self, key: str, priority: int) -> None:
         """Set one key's eviction priority (0 restores plain LRU).
@@ -306,6 +396,10 @@ class WeightProgramCache:
             self._die_of.pop(key, None)
             self.stats.bytes_cached -= self._nbytes_of.pop(key, 0)
         self.stats.invalidations += len(stale)
+        if self.store is not None:
+            # Both layers: the recalibrated die's on-disk artifacts are
+            # as stale as its resident programs.
+            self.store.invalidate_die(seed)
         return len(stale)
 
     def clear(self) -> None:

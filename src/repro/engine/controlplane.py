@@ -70,6 +70,7 @@ saved fraction compares like with like.
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass, field, replace as dataclass_replace
 
 from repro.core.config import OISAConfig
@@ -81,6 +82,7 @@ from repro.engine.admission import (
 )
 from repro.engine.cache import WeightProgramCache
 from repro.engine.router import TenantRouter, tenant_router
+from repro.engine.store import ProgramStore
 from repro.engine.server import (
     FrameRequest,
     FrameResponse,
@@ -385,6 +387,12 @@ class ControlPlane:
         the salt defaults to the base seed.
     autoscaler:
         Per-shard scaling policy; ``None`` serves statically.
+    program_store:
+        On-disk program artifacts (:class:`~repro.engine.store.
+        ProgramStore` or a directory path) attached to the *shared*
+        cache — cross-shard program reuse then extends across runs: a
+        restarted control plane restores every (model, die) program
+        from disk instead of reprogramming it.
     """
 
     def __init__(
@@ -402,6 +410,7 @@ class ControlPlane:
         compute_mode: str = "batched",
         router: str | TenantRouter = "rendezvous",
         autoscaler: AutoscalerConfig | None = None,
+        program_store: ProgramStore | str | None = None,
     ) -> None:
         if isinstance(shards, int):
             check_positive("shards", shards)
@@ -415,6 +424,10 @@ class ControlPlane:
         check_positive("nodes_per_shard", nodes_per_shard)
         self.config = config or OISAConfig()
         self.cache = cache if cache is not None else WeightProgramCache()
+        if isinstance(program_store, (str, os.PathLike)):
+            program_store = ProgramStore(program_store)
+        if program_store is not None:
+            self.cache.attach_store(program_store)
         self.router = tenant_router(router, salt=seed or 0)
         self.autoscaler_config = autoscaler
         self._seed = seed

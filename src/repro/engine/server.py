@@ -56,6 +56,7 @@ configuration — ``policy="greedy"``, no SLO classes,
 from __future__ import annotations
 
 import math
+import os
 import time
 from dataclasses import dataclass, field
 
@@ -95,6 +96,7 @@ from repro.engine.scheduler import (
     SchedulingPolicy,
     scheduling_policy,
 )
+from repro.engine.store import ProgramStore
 from repro.nn.layers import Sequential
 from repro.nn.quant import UniformWeightQuantizer
 from repro.sim.fleet import FleetModel, RadioModel
@@ -451,6 +453,13 @@ class FrameServer:
         :class:`~repro.engine.failover.BrownoutConfig`, a named config
         string (``"none"``, ``"standard"``), or ``None``/``"none"`` to
         keep admission tier-free.
+    program_store:
+        On-disk program artifacts — a
+        :class:`~repro.engine.store.ProgramStore` or a directory path —
+        attached to the cache as a read-through/write-behind tier:
+        warmup and kernel swaps restore integrity-checked npz records
+        instead of reprogramming, so a second run against the same
+        store programs nothing.  ``None`` keeps the cache memory-only.
     """
 
     COMPUTE_MODES = ("batched", "reference")
@@ -472,6 +481,7 @@ class FrameServer:
         retry_policy: RetryPolicy | str | None = None,
         spares: int | SparePool = 0,
         brownout: BrownoutConfig | str | None = None,
+        program_store: ProgramStore | str | None = None,
     ) -> None:
         check_positive("num_nodes", num_nodes)
         check_positive("micro_batch", micro_batch)
@@ -483,7 +493,13 @@ class FrameServer:
         self.config = config or OISAConfig()
         self.micro_batch = micro_batch
         self.compute_mode = compute_mode
+        if isinstance(program_store, (str, os.PathLike)):
+            program_store = ProgramStore(program_store)
         self.cache = cache if cache is not None else WeightProgramCache()
+        if program_store is not None:
+            # Read-through/write-behind on-disk tier: a second run against
+            # the same store directory programs nothing (engine/store.py).
+            self.cache.attach_store(program_store)
         self.fleet = FleetModel(self.config, radio=radio)
         self._seed = seed
         self.policy = scheduling_policy(policy)
@@ -672,12 +688,15 @@ class FrameServer:
         """Fan the cold (model, die) programming out over workers.
 
         Walks the same ``keys x nodes`` order as the serial pass, skips
-        pairs whose program is already resident, ships the rest as pure
-        task descriptions to :func:`_warmup_program_task`, and preloads
-        the returned programs into the shared cache in task order
-        (:meth:`~repro.engine.cache.WeightProgramCache.preload`).  The
-        subsequent in-process activation pass then only performs O(1)
-        installs.
+        pairs whose program is already resident — or restorable from the
+        cache's on-disk :class:`~repro.engine.store.ProgramStore`
+        (loading an npz beats reprogramming by orders of magnitude, so
+        warm-store pairs never become worker tasks) — ships the rest as
+        pure task descriptions to :func:`_warmup_program_task`, and
+        preloads the returned programs into the shared cache in task
+        order (:meth:`~repro.engine.cache.WeightProgramCache.preload`).
+        The subsequent in-process activation pass then only performs
+        O(1) installs.
         """
         pending: list[tuple] = []
         targets: list[tuple[_Node, np.ndarray, float]] = []
@@ -691,7 +710,7 @@ class FrameServer:
             quantized = first.quantizer.quantize(first.weight.data)
             scale = first.quantizer.scale(first.weight.data)
             for node in self.nodes:
-                if self.cache.has_program(node.opc, quantized, scale):
+                if self.cache.restore_from_store(node.opc, quantized, scale):
                     continue
                 calibrated = (
                     getattr(node.opc.awc, "calibration_token", None)

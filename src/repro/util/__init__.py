@@ -7,9 +7,14 @@ import cycles.
 
 from repro.util.parallel import (
     BACKENDS,
+    START_METHOD,
     ParallelConfig,
+    active_pools,
     available_cores,
     parallel_map,
+    pool_scope,
+    shutdown_pools,
+    warm_pools,
 )
 from repro.util.rng import derive_rng, spawn_seeds
 from repro.util.tables import format_table
@@ -38,9 +43,14 @@ __all__ = [
     "PLANCK_J_S",
     "ParallelConfig",
     "ROOM_TEMPERATURE_K",
+    "START_METHOD",
+    "active_pools",
     "available_cores",
     "check_in_range",
     "parallel_map",
+    "pool_scope",
+    "shutdown_pools",
+    "warm_pools",
     "check_positive",
     "check_power_of_two",
     "check_probability",

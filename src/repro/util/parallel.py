@@ -33,6 +33,34 @@ Task requirements (the caller's side of the contract):
   (:func:`repro.util.rng.derive_rng`), never from global or ambient
   state, or the ordered merge preserves order but not bits.
 
+**Start method.** Process pools are pinned to the explicit ``spawn``
+start method, never the platform default.  ``fork`` (Linux's default)
+duplicates the parent mid-flight — including live BLAS/OpenMP thread
+pools, whose forked locks can deadlock or silently corrupt state — and
+makes worker state depend on *when* the pool was forked.  ``spawn``
+children import the task module fresh, so a task sees exactly what its
+description says, on every platform, every run.  The price is a one-time
+interpreter start + import per worker — which is why pools persist.
+
+**Persistent pools.** Executors are created lazily in a module-level
+registry keyed by ``(backend, workers)`` and **reused across
+parallel_map calls** within a run: warmup, the capacity grid and the
+registry sweeps share one set of spawned workers instead of paying the
+spawn+import tax per fan-out.  :func:`shutdown_pools` tears the registry
+down (also registered via ``atexit``), and :func:`pool_scope` wraps a
+block with a teardown for tests.  Tasks are submitted in chunks
+(:meth:`ParallelConfig.resolve_chunksize`) to amortize per-task IPC
+without disturbing the ordered merge.
+
+**Zero-copy transport.** On the process backend, task descriptions and
+results whose ndarrays reach ``ParallelConfig.shm_min_bytes`` ride
+shared-memory segments (:mod:`repro.util.shm`) instead of the IPC pipe:
+workers read task arrays as zero-copy views and ship result arrays back
+by name.  The encoding falls back to plain pickling transparently —
+per payload on encode failure, wholesale when shared memory is
+unavailable or ``shm_min_bytes`` is ``None`` — and is bit-identical by
+construction, so the merge contract is unchanged.
+
 The ``thread`` backend exists for tasks that release the GIL (large BLAS
 calls) and for exercising the contract cheaply in tests; ``process`` is
 the backend that buys wall-clock on multi-core hosts.  Both degrade to
@@ -42,16 +70,30 @@ the serial loop when only one worker is available, so ``--workers 1`` is
 
 from __future__ import annotations
 
+import atexit
+import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+import threading
+from concurrent.futures import (
+    BrokenExecutor,
+    Executor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Callable, Iterable, Sequence, TypeVar
+from typing import Any, Callable, Iterable, Iterator, Sequence, TypeVar
+
+from repro.util import shm
 
 _Task = TypeVar("_Task")
 _Result = TypeVar("_Result")
 
 #: Supported executor backends, in "cheapest first" order.
 BACKENDS: tuple[str, ...] = ("serial", "thread", "process")
+
+#: The pinned start method for process pools (see the module docstring).
+START_METHOD: str = "spawn"
 
 
 @dataclass(frozen=True)
@@ -68,10 +110,23 @@ class ParallelConfig:
     workers:
         Worker count; ``None`` means "one per available core".  A value
         of 1 degrades any backend to the serial loop.
+    chunksize:
+        Tasks submitted per worker round-trip; ``None`` picks
+        ``ceil(tasks / (workers * 4))`` so each worker sees ~4 chunks —
+        large enough to amortize per-task IPC, small enough to balance
+        uneven task costs.  Chunking never reorders the merge.
+    shm_min_bytes:
+        Process-backend transport threshold: ndarrays of at least this
+        many bytes in a task description or result ride shared-memory
+        segments instead of the IPC pipe (:mod:`repro.util.shm`).
+        ``None`` disables the shared-memory path entirely (plain
+        pickling, the pre-persistent-pools behavior).
     """
 
     backend: str = "serial"
     workers: int | None = None
+    chunksize: int | None = None
+    shm_min_bytes: int | None = shm.DEFAULT_MIN_BYTES
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -82,12 +137,28 @@ class ParallelConfig:
             raise ValueError(
                 f"workers must be positive or None, got {self.workers}"
             )
+        if self.chunksize is not None and self.chunksize <= 0:
+            raise ValueError(
+                f"chunksize must be positive or None, got {self.chunksize}"
+            )
+        if self.shm_min_bytes is not None and self.shm_min_bytes < 0:
+            raise ValueError(
+                "shm_min_bytes must be non-negative or None, got "
+                f"{self.shm_min_bytes}"
+            )
 
     def resolve_workers(self) -> int:
         """Concrete worker count (``None`` -> available cores)."""
         if self.workers is not None:
             return self.workers
         return available_cores()
+
+    def resolve_chunksize(self, num_tasks: int) -> int:
+        """Concrete chunk size for a fan-out of ``num_tasks`` tasks."""
+        if self.chunksize is not None:
+            return self.chunksize
+        busy = max(1, min(self.resolve_workers(), num_tasks))
+        return max(1, -(-num_tasks // (busy * 4)))
 
     @property
     def effective_backend(self) -> str:
@@ -119,6 +190,169 @@ def available_cores() -> int:
     return max(1, os.cpu_count() or 1)
 
 
+# --------------------------------------------------------------------------
+# Persistent pool registry
+# --------------------------------------------------------------------------
+_pools: dict[tuple[str, int], Executor] = {}
+_pools_lock = threading.Lock()
+
+
+def _pool_for(backend: str, workers: int) -> Executor:
+    """The shared executor for ``(backend, workers)``, created lazily.
+
+    The pool is sized at the *configured* worker count, not clamped to
+    any one fan-out's task count, so warmup (8 tasks) and the capacity
+    grid (dozens) share the same spawned workers.
+    """
+    key = (backend, workers)
+    with _pools_lock:
+        pool = _pools.get(key)
+        if pool is None:
+            if backend == "thread":
+                pool = ThreadPoolExecutor(
+                    max_workers=workers, thread_name_prefix="repro-parallel"
+                )
+            else:
+                pool = ProcessPoolExecutor(
+                    max_workers=workers,
+                    mp_context=multiprocessing.get_context(START_METHOD),
+                )
+            _pools[key] = pool
+        return pool
+
+
+def _discard_pool(backend: str, workers: int) -> None:
+    """Drop one registry entry (after a worker crash broke the pool)."""
+    with _pools_lock:
+        pool = _pools.pop((backend, workers), None)
+    if pool is not None:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+def active_pools() -> tuple[tuple[str, int], ...]:
+    """The live registry keys (for tests and diagnostics)."""
+    with _pools_lock:
+        return tuple(_pools)
+
+
+def shutdown_pools() -> int:
+    """Tear down every registered pool; returns how many were shut down.
+
+    Safe to call at any time: the next :func:`parallel_map` simply
+    re-creates what it needs.  Registered via ``atexit`` so a run never
+    leaks worker processes.
+    """
+    with _pools_lock:
+        pools = list(_pools.values())
+        _pools.clear()
+    for pool in pools:
+        pool.shutdown(wait=True)
+    return len(pools)
+
+
+@contextmanager
+def pool_scope() -> Iterator[None]:
+    """Context manager guaranteeing pool teardown at block exit.
+
+    For tests and short-lived embedders: pools created inside the block
+    (or inherited from before it) are all shut down on exit, so no
+    worker processes outlive the scope.
+    """
+    try:
+        yield
+    finally:
+        shutdown_pools()
+
+
+atexit.register(shutdown_pools)
+
+
+def _noop(_task: Any) -> None:
+    """Do-nothing task used to force worker startup ahead of timing."""
+    return None
+
+
+def warm_pools(parallel: ParallelConfig | None) -> None:
+    """Pre-spawn the pool a config would use (no-op for serial configs).
+
+    Process workers are spawned lazily on first submission; benches that
+    want to measure *reused-pool* fan-out latency call this first so the
+    spawn+import tax is paid outside the timed region.
+    """
+    config = parallel or ParallelConfig()
+    if config.is_serial:
+        return
+    workers = config.resolve_workers()
+    # Two tasks per worker: enough submissions to start every worker.
+    parallel_map(_noop, range(2 * workers), config)
+
+
+# --------------------------------------------------------------------------
+# Shared-memory task execution (process backend)
+# --------------------------------------------------------------------------
+def _shm_call(blob: bytes) -> bytes:
+    """Worker-side trampoline: decode task views, run, encode result.
+
+    The task blob decodes to ``(fn, task, min_bytes)`` with large arrays
+    as read-only views into main-created segments; the result is encoded
+    into worker-created segments the main process copies out and
+    unlinks.  Falls back to plain pickling of the result if segment
+    creation fails (e.g. shared memory exhausted) — the main-side decode
+    accepts both forms.
+    """
+    import pickle
+
+    obj, attachments = shm.loads(blob, copy=False)
+    try:
+        fn, task, min_bytes = obj
+        result = fn(task)
+        try:
+            payload = shm.dumps(result, min_bytes)
+            out = payload.blob
+        except Exception:
+            out = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        del result
+        return out
+    finally:
+        del obj
+        shm.close_attachments(attachments)
+
+
+def _map_via_shm(
+    pool: Executor,
+    fn: Callable[[_Task], _Result],
+    items: Sequence[_Task],
+    config: ParallelConfig,
+    chunksize: int,
+) -> list[_Result] | None:
+    """Ordered map with shared-memory transport; ``None`` -> fall back.
+
+    Encoding failures (no shared memory on this platform, segment
+    creation refused) abort cleanly before any task runs, unlinking the
+    partially created segments, and the caller falls back to the plain
+    pickling path.
+    """
+    if not shm.shm_available():
+        return None
+    min_bytes = config.shm_min_bytes
+    payloads: list[shm.ShmPayload] = []
+    try:
+        for item in items:
+            payloads.append(shm.dumps((fn, item, min_bytes), min_bytes))
+    except Exception:
+        for payload in payloads:
+            shm.unlink_segments(payload.segments)
+        return None
+    try:
+        blobs = list(
+            pool.map(_shm_call, [p.blob for p in payloads], chunksize=chunksize)
+        )
+    finally:
+        for payload in payloads:
+            shm.unlink_segments(payload.segments)
+    return [shm.loads(blob, copy=True, unlink=True)[0] for blob in blobs]
+
+
 def parallel_map(
     fn: Callable[[_Task], _Result],
     tasks: Iterable[_Task],
@@ -133,6 +367,10 @@ def parallel_map(
     serial run *provided the tasks honour the purity/picklability/
     seeding contract* (module docstring).  Exceptions raised by a task
     propagate to the caller under every backend.
+
+    The executor comes from the persistent registry (:func:`_pool_for`)
+    and stays alive for the next call; a pool broken by a worker crash
+    is discarded so the next call starts fresh.
 
     Parameters
     ----------
@@ -150,15 +388,28 @@ def parallel_map(
     backend = config.effective_backend
     if backend == "serial" or len(items) <= 1:
         return [fn(item) for item in items]
-    workers = min(config.resolve_workers(), len(items))
-    pool_cls = ThreadPoolExecutor if backend == "thread" else ProcessPoolExecutor
-    with pool_cls(max_workers=workers) as pool:
-        return list(pool.map(fn, items))
+    workers = config.resolve_workers()
+    chunksize = config.resolve_chunksize(len(items))
+    pool = _pool_for(backend, workers)
+    try:
+        if backend == "process" and config.shm_min_bytes is not None:
+            merged = _map_via_shm(pool, fn, items, config, chunksize)
+            if merged is not None:
+                return merged
+        return list(pool.map(fn, items, chunksize=chunksize))
+    except BrokenExecutor:
+        _discard_pool(backend, workers)
+        raise
 
 
 __all__ = [
     "BACKENDS",
+    "START_METHOD",
     "ParallelConfig",
+    "active_pools",
     "available_cores",
     "parallel_map",
+    "pool_scope",
+    "shutdown_pools",
+    "warm_pools",
 ]

@@ -1,0 +1,237 @@
+"""Zero-copy ndarray transport over POSIX shared memory.
+
+The process backend of :func:`repro.util.parallel.parallel_map` moves
+task descriptions and results between address spaces.  Plain pickling
+copies every byte twice (serialize into the IPC pipe, deserialize out of
+it) — for warmup and capacity tasks the payloads are dominated by a few
+large ndarrays (quantized kernel sets, programmed weight tensors), so
+the pipe transfer dominates wall clock once compute is vectorized.
+
+This module rides those arrays over
+:class:`multiprocessing.shared_memory.SharedMemory` segments instead:
+:func:`dumps` pickles an object graph but intercepts every large ndarray
+(``persistent_id``), copying it into a fresh segment and emitting only a
+``(name, shape, dtype)`` handle into the pickle stream; :func:`loads`
+re-materializes the graph, attaching to each segment and exposing the
+array either as a **read-only zero-copy view** (``copy=False`` — the
+worker-side task path) or as a private copy (``copy=True`` — the
+main-process result path, which may also ``unlink`` the segment once
+copied).  Small arrays and everything else stay inside the pickle blob,
+so the format degrades transparently to plain pickle when no array
+clears ``min_bytes`` — a blob produced by vanilla ``pickle.dumps`` is
+also a valid input to :func:`loads`.
+
+Segment lifetime protocol (the caller's side of the contract):
+
+* the **creator** of a payload owns ``unlink`` of its segments — the
+  main process unlinks task segments after the map completes, and
+  unlinks result segments as it copies them out (``loads(...,
+  unlink=True)``); workers only ever ``close`` their attachments;
+* a zero-copy view (``copy=False``) pins its segment mapping — close
+  the returned attachments only after dropping every view (closing with
+  live views raises ``BufferError``; :func:`close_attachments` swallows
+  it and lets the garbage collector finish the job);
+* if a map is aborted by a task exception, result segments of
+  already-finished tasks may outlive the run — the spawn children share
+  the parent's ``resource_tracker``, which reclaims them at interpreter
+  exit, so an aborted run leaks bounded scratch space, never forever.
+
+Bit-identity: the intercepted arrays are copied byte-for-byte
+(``ascontiguousarray`` then a buffer copy), so a graph round-tripped
+through :func:`dumps`/:func:`loads` is bit-identical to the pickled
+original — the ordered-merge contract of :mod:`repro.util.parallel`
+holds unchanged under shared-memory transport.
+"""
+
+from __future__ import annotations
+
+import io
+import pickle
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+try:  # pragma: no cover - always present on CPython >= 3.8
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - exotic builds without _posixshmem
+    _shared_memory = None  # type: ignore[assignment]
+
+#: Arrays below this many bytes stay inside the pickle blob: a shared
+#: memory segment costs a syscall + mmap each side, which only pays for
+#: itself once the array is bigger than the IPC pipe's buffering.
+DEFAULT_MIN_BYTES: int = 1 << 16
+
+#: Persistent-id tag; versioned so a stale blob fails loudly, not weirdly.
+_PID_TAG = "repro-shm-ndarray-v1"
+
+#: Numeric dtype kinds eligible for segment transport (bool/int/uint/
+#: float/complex).  Object and structured dtypes pickle normally.
+_SIMPLE_KINDS = frozenset("biufc")
+
+
+def shm_available() -> bool:
+    """Whether this platform offers ``multiprocessing.shared_memory``."""
+    return _shared_memory is not None
+
+
+@dataclass(frozen=True)
+class ShmPayload:
+    """One encoded object graph: pickle blob + the segments it references.
+
+    ``segments`` lists the names of segments *created* while encoding —
+    the creator must :func:`unlink_segments` them once every consumer
+    has decoded the blob.
+    """
+
+    blob: bytes
+    segments: tuple[str, ...]
+
+
+class _ShmPickler(pickle.Pickler):
+    """Pickler that spills large ndarrays into shared-memory segments."""
+
+    def __init__(self, file: io.BytesIO, min_bytes: int) -> None:
+        super().__init__(file, protocol=pickle.HIGHEST_PROTOCOL)
+        self._min_bytes = min_bytes
+        self.segments: list[str] = []
+        # persistent_id is consulted *before* the pickle memo, so the
+        # same array object reached twice would spill twice — memoize by
+        # identity (strong refs keep the ids valid for the dump's life).
+        self._seen: dict[int, tuple[np.ndarray, tuple[Any, ...]]] = {}
+
+    def persistent_id(self, obj: Any) -> tuple[Any, ...] | None:
+        if (
+            not isinstance(obj, np.ndarray)
+            or obj.dtype.kind not in _SIMPLE_KINDS
+            or obj.nbytes < self._min_bytes
+        ):
+            return None
+        cached = self._seen.get(id(obj))
+        if cached is not None and cached[0] is obj:
+            return cached[1]
+        arr = np.ascontiguousarray(obj)
+        segment = _shared_memory.SharedMemory(
+            create=True, size=max(1, arr.nbytes)
+        )
+        try:
+            dst = np.ndarray(arr.shape, dtype=arr.dtype, buffer=segment.buf)
+            dst[...] = arr
+            del dst
+        finally:
+            segment.close()  # drop our mapping; the segment persists
+        self.segments.append(segment.name)
+        pid = (_PID_TAG, segment.name, arr.shape, arr.dtype.str)
+        self._seen[id(obj)] = (obj, pid)
+        return pid
+
+
+class _ShmUnpickler(pickle.Unpickler):
+    """Unpickler that re-materializes spilled ndarrays from segments."""
+
+    def __init__(self, file: io.BytesIO, copy: bool, unlink: bool) -> None:
+        super().__init__(file)
+        self._copy = copy
+        self._unlink = unlink
+        self.attachments: list[Any] = []
+
+    def persistent_load(self, pid: Any) -> np.ndarray:
+        if not (
+            isinstance(pid, tuple) and len(pid) == 4 and pid[0] == _PID_TAG
+        ):
+            raise pickle.UnpicklingError(f"unknown persistent id {pid!r}")
+        _, name, shape, dtype_str = pid
+        segment = _shared_memory.SharedMemory(name=name)
+        arr = np.ndarray(shape, dtype=np.dtype(dtype_str), buffer=segment.buf)
+        if not self._copy:
+            arr.flags.writeable = False  # views must not mutate shared state
+            self.attachments.append(segment)
+            return arr
+        out = arr.copy()
+        del arr
+        segment.close()
+        if self._unlink:
+            try:
+                segment.unlink()
+            except FileNotFoundError:
+                pass  # same array referenced twice: first load unlinked it
+        return out
+
+
+def dumps(obj: Any, min_bytes: int = DEFAULT_MIN_BYTES) -> ShmPayload:
+    """Encode ``obj``: pickle blob + shared-memory segments for big arrays.
+
+    Raises whatever the platform raises when segments cannot be created
+    (after unlinking any partial segments) — callers fall back to plain
+    pickling on failure.
+    """
+    if _shared_memory is None:
+        raise RuntimeError("multiprocessing.shared_memory is unavailable")
+    buffer = io.BytesIO()
+    pickler = _ShmPickler(buffer, min_bytes)
+    try:
+        pickler.dump(obj)
+    except Exception:
+        unlink_segments(pickler.segments)
+        raise
+    return ShmPayload(buffer.getvalue(), tuple(pickler.segments))
+
+
+def loads(
+    blob: bytes, *, copy: bool = True, unlink: bool = False
+) -> tuple[Any, list[Any]]:
+    """Decode a :func:`dumps` blob; returns ``(obj, attachments)``.
+
+    With ``copy=True`` every spilled array is copied out, its segment is
+    closed (and unlinked when ``unlink=True`` — the result-consuming
+    main process owns the worker-created segments), and ``attachments``
+    is empty.  With ``copy=False`` arrays are **read-only views** into
+    the live segments and ``attachments`` holds the open
+    ``SharedMemory`` handles — pass them to :func:`close_attachments`
+    after the last view is dropped.  Blobs from vanilla ``pickle.dumps``
+    decode unchanged (no persistent ids, no attachments).
+    """
+    unpickler = _ShmUnpickler(io.BytesIO(blob), copy=copy, unlink=unlink)
+    obj = unpickler.load()
+    return obj, unpickler.attachments
+
+
+def close_attachments(attachments: list[Any]) -> None:
+    """Close segment handles from ``loads(copy=False)``, tolerantly.
+
+    A handle whose views are still referenced raises ``BufferError`` on
+    close; that is not an error here — the mapping is released when the
+    garbage collector drops the last view.
+    """
+    for segment in attachments:
+        try:
+            segment.close()
+        except BufferError:  # a view outlives us; gc will finish the close
+            pass
+
+
+def unlink_segments(names: list[str] | tuple[str, ...]) -> None:
+    """Unlink segments by name, ignoring ones already gone."""
+    if _shared_memory is None:
+        return
+    for name in names:
+        try:
+            segment = _shared_memory.SharedMemory(name=name)
+        except FileNotFoundError:
+            continue
+        segment.close()
+        try:
+            segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - racing unlink
+            pass
+
+
+__all__ = [
+    "DEFAULT_MIN_BYTES",
+    "ShmPayload",
+    "close_attachments",
+    "dumps",
+    "loads",
+    "shm_available",
+    "unlink_segments",
+]

@@ -101,6 +101,86 @@ def test_workers_one_warmup_is_the_serial_path():
     assert pinned_stats["cache_misses"] == serial_stats["cache_misses"]
 
 
+def test_reused_pool_warmup_serves_golden_stream():
+    """The second warmup on a persistent pool is as bit-exact as the first."""
+    from repro.util import pool_scope
+
+    serial, _, _ = _warmed_serve(None)
+    config = ParallelConfig(backend="process", workers=2)
+    with pool_scope():
+        first, _, _ = _warmed_serve(config)
+        second, _, _ = _warmed_serve(config)  # same spawned workers
+    assert first == serial
+    assert second == serial
+
+
+def test_forced_shm_warmup_serves_golden_stream():
+    """shm transport forced onto every array: still byte-identical."""
+    serial, _, _ = _warmed_serve(None)
+    forced, _, _ = _warmed_serve(
+        ParallelConfig(backend="process", workers=2, shm_min_bytes=1)
+    )
+    disabled, _, _ = _warmed_serve(
+        ParallelConfig(backend="process", workers=2, shm_min_bytes=None)
+    )
+    assert forced == serial
+    assert disabled == serial
+
+
+# --------------------------------------------------------------------------
+# Program store round trips vs the pinned golden
+# --------------------------------------------------------------------------
+def _store_warmed_serve(store):
+    """The golden mixed stream served after a store-backed serial warmup."""
+    from repro.engine import ProgramStore
+
+    server = scheduler_golden._build_server(num_nodes=2)
+    server.cache.attach_store(
+        store if isinstance(store, ProgramStore) else ProgramStore(store)
+    )
+    server.warmup()
+    report = server.serve(
+        scheduler_golden._mixed_requests(), offered_fps=1800.0
+    )
+    return scheduler_golden._serialize(report), server
+
+
+def test_store_restored_serve_matches_golden_stream(tmp_path):
+    """Cold-run, warm-run and store-less servers serve identical bytes."""
+    serial, _, _ = _warmed_serve(None)
+    cold, cold_server = _store_warmed_serve(tmp_path / "store")
+    warm, warm_server = _store_warmed_serve(tmp_path / "store")
+    assert cold == serial
+    assert warm == serial  # restored programs serve the exact golden
+    assert cold_server.cache.stats.misses > 0
+    assert warm_server.cache.stats.misses == 0  # second run programs nothing
+    assert (
+        warm_server.cache.stats.store_hits == cold_server.cache.stats.misses
+    )
+
+
+def test_store_backed_parallel_warmup_matches_golden_stream(tmp_path):
+    """Store write-behind through process workers, then a warm restore."""
+    from repro.engine import ProgramStore
+
+    serial, _, _ = _warmed_serve(None)
+    config = ParallelConfig(backend="process", workers=2)
+
+    server = scheduler_golden._build_server(num_nodes=2)
+    server.cache.attach_store(ProgramStore(tmp_path / "store"))
+    server.warmup(parallel=config)
+    report = server.serve(
+        scheduler_golden._mixed_requests(), offered_fps=1800.0
+    )
+    assert scheduler_golden._serialize(report) == serial
+    # Worker-programmed records were persisted by the main process...
+    assert len(server.cache.store) > 0
+    # ... so a second (serial) run restores instead of programming.
+    warm, warm_server = _store_warmed_serve(tmp_path / "store")
+    assert warm == serial
+    assert warm_server.cache.stats.misses == 0
+
+
 # --------------------------------------------------------------------------
 # Capacity planner grid
 # --------------------------------------------------------------------------

@@ -51,20 +51,45 @@ def test_every_registered_kpi_names_a_known_kind():
 # --------------------------------------------------------------------------
 # Invariants
 # --------------------------------------------------------------------------
-def test_invariant_failure_reported_in_quick_mode_too():
-    fresh = {
-        "quick": True,
-        "zoo_warmup": {"bit_identical": False},
+def _identical_parallel_payload():
+    """Every schema-2 parallel invariant satisfied."""
+    return {
+        "zoo_warmup": {"bit_identical": True},
         "capacity_grid": {"bit_identical": True},
+        "pool_reuse": {"bit_identical": True},
+        "shm_transport": {"bit_identical": True},
+        "warm_store": {
+            "bit_identical": True,
+            "warm_programs_zero": True,
+            "restored_bit_identical": True,
+        },
     }
+
+
+def test_invariant_failure_reported_in_quick_mode_too():
+    fresh = {"quick": True, **_identical_parallel_payload()}
+    fresh["zoo_warmup"] = {"bit_identical": False}
     failures = kpi_check.check_invariants("parallel", fresh)
     assert len(failures) == 1
     assert "zoo_warmup.bit_identical" in failures[0]
 
 
+def test_warm_store_invariants_gated():
+    fresh = {"quick": False, **_identical_parallel_payload()}
+    assert kpi_check.check_invariants("parallel", fresh) == []
+    fresh["warm_store"] = {
+        "bit_identical": True,
+        "warm_programs_zero": False,
+        "restored_bit_identical": True,
+    }
+    failures = kpi_check.check_invariants("parallel", fresh)
+    assert len(failures) == 1
+    assert "warm_store.warm_programs_zero" in failures[0]
+
+
 def test_missing_invariant_counts_as_failure():
     failures = kpi_check.check_invariants("parallel", {"quick": False})
-    assert len(failures) == 2  # both bit-identity flags absent
+    assert len(failures) == 7  # all schema-2 exact claims absent
 
 
 # --------------------------------------------------------------------------
@@ -231,10 +256,23 @@ def test_core_gated_skips_are_annotated():
         }
     )
     skips = kpi_check.core_gated_skips("parallel", few_cores, baseline)
-    assert len(skips) == 2
+    # zoo_warmup, capacity_grid, pool_reuse and shm_transport speedups
+    # are core-gated; warm_store.speedup is not (it is no parallelism
+    # claim) and must never appear here.
+    assert len(skips) == 4
     assert "zoo_warmup.speedup" in skips[0] and "fresh host has 1" in skips[0]
+    assert not any("warm_store" in note for note in skips)
     # Capable hosts on both sides: nothing excused, nothing annotated.
     assert kpi_check.core_gated_skips("parallel", baseline, baseline) == []
+
+
+def test_warm_store_speedup_gated_on_any_host():
+    """The store-restore KPI carries no core gate: a 1-core container
+    still fails the gate when the warm-store speedup collapses."""
+    baseline = _full({"cores": 8, "warm_store": {"speedup": 40.0}})
+    fresh = _full({"cores": 1, "warm_store": {"speedup": 5.0}})
+    failures = kpi_check.compare_payloads("parallel", fresh, baseline)
+    assert len(failures) == 1 and "warm_store.speedup" in failures[0]
 
 
 def test_quick_payloads_produce_no_skip_notes():

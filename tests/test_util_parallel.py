@@ -1,14 +1,45 @@
 """Tests for repro.util.parallel — the ordered fan-out contract."""
 
+import os
+import pickle
 import time
 
+import numpy as np
 import pytest
 
-from repro.util import BACKENDS, ParallelConfig, available_cores, parallel_map
+from repro.util import (
+    BACKENDS,
+    START_METHOD,
+    ParallelConfig,
+    active_pools,
+    available_cores,
+    parallel_map,
+    pool_scope,
+    shutdown_pools,
+    warm_pools,
+)
+from repro.util import shm
 
 
 def _square(x):
     return x * x
+
+
+def _worker_pid(_x):
+    return os.getpid()
+
+
+#: Spawn-pin canary: a fork child inherits the parent's mutated module
+#: state; a spawn child re-imports this module fresh and sees False.
+_SPAWN_CANARY = {"mutated": False}
+
+
+def _read_canary(_x):
+    return _SPAWN_CANARY["mutated"]
+
+
+def _double_array(arr):
+    return arr * 2.0
 
 
 def _inverse_cost(x):
@@ -126,3 +157,227 @@ def test_workers_one_runs_in_caller_process():
     )
     assert result == [1, 2, 3]
     assert seen == [1, 2, 3]
+
+
+# --------------------------------------------------------------------------
+# Chunking
+# --------------------------------------------------------------------------
+@pytest.mark.parametrize("chunksize", [0, -3])
+def test_nonpositive_chunksize_rejected(chunksize):
+    with pytest.raises(ValueError, match="chunksize"):
+        ParallelConfig("thread", workers=2, chunksize=chunksize)
+
+
+def test_negative_shm_min_bytes_rejected():
+    with pytest.raises(ValueError, match="shm_min_bytes"):
+        ParallelConfig("process", workers=2, shm_min_bytes=-1)
+
+
+def test_explicit_chunksize_wins():
+    config = ParallelConfig("thread", workers=2, chunksize=7)
+    assert config.resolve_chunksize(100) == 7
+
+
+def test_derived_chunksize_targets_four_chunks_per_worker():
+    config = ParallelConfig("thread", workers=2)
+    # 16 tasks / (2 workers * 4) -> 2 per chunk.
+    assert config.resolve_chunksize(16) == 2
+    # Fewer tasks than workers: busy workers clamp to the task count.
+    assert config.resolve_chunksize(1) == 1
+    assert ParallelConfig("thread", workers=8).resolve_chunksize(4) == 1
+
+
+def test_chunked_map_preserves_order():
+    tasks = list(range(23))
+    result = parallel_map(
+        _square, tasks, ParallelConfig("thread", workers=3, chunksize=5)
+    )
+    assert result == [t * t for t in tasks]
+
+
+# --------------------------------------------------------------------------
+# Persistent pool registry
+# --------------------------------------------------------------------------
+def test_thread_pool_persists_across_calls():
+    with pool_scope():
+        config = ParallelConfig("thread", workers=2)
+        parallel_map(_square, range(4), config)
+        assert ("thread", 2) in active_pools()
+        before = active_pools()
+        parallel_map(_square, range(4), config)
+        assert active_pools() == before
+    assert active_pools() == ()  # pool_scope tore everything down
+
+
+def test_shutdown_pools_counts_and_clears():
+    with pool_scope():
+        parallel_map(_square, range(4), ParallelConfig("thread", workers=2))
+        parallel_map(_square, range(4), ParallelConfig("thread", workers=3))
+        assert ("thread", 2) in active_pools()
+        assert ("thread", 3) in active_pools()
+        assert shutdown_pools() == 2
+        assert active_pools() == ()
+        assert shutdown_pools() == 0  # idempotent
+
+
+def test_serial_configs_never_create_pools():
+    with pool_scope():
+        parallel_map(_square, range(4), None)
+        parallel_map(_square, range(4), ParallelConfig("process", workers=1))
+        warm_pools(None)
+        warm_pools(ParallelConfig())
+        assert active_pools() == ()
+
+
+def test_process_pool_spawn_pin_and_reuse():
+    """One spawned pool serves repeated maps; children are spawn-fresh."""
+    assert START_METHOD == "spawn"
+    with pool_scope():
+        config = ParallelConfig("process", workers=2)
+        _SPAWN_CANARY["mutated"] = True
+        try:
+            # fork children would inherit the mutation; spawn children
+            # re-import this module and see the pristine False.
+            assert parallel_map(_read_canary, range(4), config) == [False] * 4
+        finally:
+            _SPAWN_CANARY["mutated"] = False
+        assert ("process", 2) in active_pools()
+        pids = set(parallel_map(_worker_pid, range(8), config))
+        pids |= set(parallel_map(_worker_pid, range(8), config))
+        # Two maps, one persistent 2-worker pool: no third process ever.
+        assert len(pids) <= 2
+        assert os.getpid() not in pids
+
+
+def test_warm_pools_prespawns_the_process_pool():
+    with pool_scope():
+        config = ParallelConfig("process", workers=2)
+        warm_pools(config)
+        assert ("process", 2) in active_pools()
+        started = time.perf_counter()
+        assert parallel_map(_square, range(6), config) == [
+            0, 1, 4, 9, 16, 25,
+        ]
+        reused_s = time.perf_counter() - started
+        # A cold spawn costs ~1s; a warmed pool answers in well under it.
+        assert reused_s < 0.75
+
+
+# --------------------------------------------------------------------------
+# Shared-memory transport
+# --------------------------------------------------------------------------
+def test_shm_and_pickle_transport_bit_identical():
+    """Forced-shm and shm-off process maps both match the serial loop."""
+    rng = np.random.default_rng(7)
+    tasks = [rng.normal(size=(64, 257)) for _ in range(4)]  # ~132 KB each
+    expected = [_double_array(t) for t in tasks]
+    with pool_scope():
+        for config in (
+            ParallelConfig("process", workers=2, shm_min_bytes=1),
+            ParallelConfig("process", workers=2, shm_min_bytes=None),
+        ):
+            result = parallel_map(_double_array, tasks, config)
+            for ours, ref in zip(result, expected):
+                assert ours.dtype == ref.dtype and np.array_equal(ours, ref)
+
+
+def test_shm_map_leaves_no_segments_behind():
+    if not shm.shm_available():
+        pytest.skip("no multiprocessing.shared_memory on this platform")
+    shm_dir = "/dev/shm"
+    if not os.path.isdir(shm_dir):
+        pytest.skip("no /dev/shm to observe segment lifetime in")
+    rng = np.random.default_rng(11)
+    tasks = [rng.normal(size=(64, 257)) for _ in range(3)]
+    def ndarray_segments():
+        # SharedMemory names start with "psm_"; the pool's own sem.mp-*
+        # semaphores live in the same directory and are not ours.
+        return {n for n in os.listdir(shm_dir) if n.startswith("psm_")}
+
+    with pool_scope():
+        before = ndarray_segments()
+        parallel_map(
+            _double_array,
+            tasks,
+            ParallelConfig("process", workers=2, shm_min_bytes=1),
+        )
+        leaked = ndarray_segments() - before
+    assert leaked == set()
+
+
+# --------------------------------------------------------------------------
+# repro.util.shm unit round-trips (no worker processes)
+# --------------------------------------------------------------------------
+pytestmark_shm = pytest.mark.skipif(
+    not shm.shm_available(), reason="shared memory unavailable"
+)
+
+
+@pytestmark_shm
+def test_shm_dumps_spills_only_large_simple_arrays():
+    big = np.arange(4096, dtype=np.float64)
+    small = np.arange(4, dtype=np.float64)
+    boxed = np.array([{"not": "numeric"}, None], dtype=object)
+    payload = shm.dumps(
+        {"big": big, "small": small, "boxed": boxed}, min_bytes=1024
+    )
+    try:
+        assert len(payload.segments) == 1  # big only
+        obj, attachments = shm.loads(payload.blob)
+        assert attachments == []
+        assert np.array_equal(obj["big"], big)
+        assert np.array_equal(obj["small"], small)
+        assert obj["boxed"][0] == {"not": "numeric"}
+    finally:
+        shm.unlink_segments(payload.segments)
+
+
+@pytestmark_shm
+def test_shm_roundtrip_copy_unlink_removes_segments():
+    big = np.random.default_rng(3).normal(size=(256, 16))
+    payload = shm.dumps([big, "tag"], min_bytes=1)
+    obj, attachments = shm.loads(payload.blob, copy=True, unlink=True)
+    assert attachments == []
+    assert np.array_equal(obj[0], big) and obj[1] == "tag"
+    # unlink=True already removed the segments: nothing left to unlink.
+    shm.unlink_segments(payload.segments)
+    obj2 = None
+    with pytest.raises(Exception):
+        obj2, _ = shm.loads(payload.blob, copy=True)
+    assert obj2 is None
+
+
+@pytestmark_shm
+def test_shm_zero_copy_views_are_readonly():
+    big = np.arange(2048, dtype=np.int64)
+    payload = shm.dumps(big, min_bytes=1)
+    try:
+        view, attachments = shm.loads(payload.blob, copy=False)
+        assert np.array_equal(view, big)
+        assert not view.flags.writeable
+        with pytest.raises(ValueError):
+            view[0] = -1
+        del view
+        shm.close_attachments(attachments)
+    finally:
+        shm.unlink_segments(payload.segments)
+
+
+@pytestmark_shm
+def test_shm_same_array_spills_one_segment():
+    big = np.random.default_rng(5).normal(size=1024)
+    payload = shm.dumps((big, big), min_bytes=1)
+    try:
+        assert len(payload.segments) == 1
+        (first, second), _ = shm.loads(payload.blob, copy=True)
+        assert np.array_equal(first, big) and np.array_equal(second, big)
+    finally:
+        shm.unlink_segments(payload.segments)
+
+
+@pytestmark_shm
+def test_vanilla_pickle_blob_decodes_through_loads():
+    blob = pickle.dumps({"plain": [1, 2, 3]})
+    obj, attachments = shm.loads(blob)
+    assert obj == {"plain": [1, 2, 3]}
+    assert attachments == []

@@ -95,9 +95,22 @@ KPIS: dict[str, tuple[Kpi, ...]] = {
     "parallel": (
         Kpi("zoo_warmup.bit_identical", kind="invariant_true"),
         Kpi("capacity_grid.bit_identical", kind="invariant_true"),
+        # Schema 2 (persistent pools / shm transport / program store):
+        # every alternative path must stay byte-identical, and a warm
+        # store must never silently start re-programming.
+        Kpi("pool_reuse.bit_identical", kind="invariant_true"),
+        Kpi("shm_transport.bit_identical", kind="invariant_true"),
+        Kpi("warm_store.bit_identical", kind="invariant_true"),
+        Kpi("warm_store.warm_programs_zero", kind="invariant_true"),
+        Kpi("warm_store.restored_bit_identical", kind="invariant_true"),
         # Fan-out speedups are meaningless below 4 cores (IPC overhead).
         Kpi("zoo_warmup.speedup", min_cores=4),
         Kpi("capacity_grid.speedup", min_cores=4),
+        Kpi("pool_reuse.speedup", min_cores=4),
+        Kpi("shm_transport.speedup", min_cores=4),
+        # Store restore vs mapping chain is not a parallelism claim:
+        # gate it on every host.
+        Kpi("warm_store.speedup"),
     ),
     "chaos": (
         # The resilience layer's hard contracts: chaos replays are
